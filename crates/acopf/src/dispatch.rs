@@ -1,0 +1,252 @@
+//! Economic dispatch baseline (lossless, network-free).
+//!
+//! Classic equal-incremental-cost (λ-iteration) dispatch of quadratic-cost
+//! units against a fixed demand. GridMind uses it as the economic lower
+//! bound an ACOPF solution is validated against: ACOPF cost must be ≥ the
+//! unconstrained dispatch cost (network constraints can only add cost).
+
+use gm_network::Network;
+
+/// Result of an economic dispatch.
+#[derive(Clone, Debug)]
+pub struct DispatchResult {
+    /// MW per generator (index-aligned with `Network::gens`; zero for
+    /// out-of-service units).
+    pub p_mw: Vec<f64>,
+    /// Total cost ($/h).
+    pub cost: f64,
+    /// The marginal price λ ($/MWh) at the solution.
+    pub lambda: f64,
+    /// Whether demand was satisfiable within unit limits.
+    pub feasible: bool,
+}
+
+/// Dispatches the in-service units against `demand_mw`.
+///
+/// Uses bisection on the system marginal price: each unit's output at
+/// price λ is `clamp((λ − c1)/(2c2), Pmin, Pmax)` (for linear-cost units a
+/// step at `λ = c1`), which is monotone in λ.
+pub fn economic_dispatch(net: &Network, demand_mw: f64) -> DispatchResult {
+    let units: Vec<(usize, f64, f64, f64, f64)> = net
+        .gens
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| g.in_service)
+        .map(|(i, g)| (i, g.cost.c2, g.cost.c1, g.p_min_mw, g.p_max_mw))
+        .collect();
+    let mut p_mw = vec![0.0; net.gens.len()];
+    if units.is_empty() {
+        return DispatchResult {
+            p_mw,
+            cost: 0.0,
+            lambda: 0.0,
+            feasible: demand_mw <= 0.0,
+        };
+    }
+    let pmin: f64 = units.iter().map(|u| u.3).sum();
+    let pmax: f64 = units.iter().map(|u| u.4).sum();
+    let feasible = (pmin..=pmax).contains(&demand_mw);
+    let target = demand_mw.clamp(pmin, pmax);
+
+    let output_at = |lambda: f64| -> f64 {
+        units
+            .iter()
+            .map(|&(_, c2, c1, lo, hi)| {
+                if c2 > 1e-12 {
+                    ((lambda - c1) / (2.0 * c2)).clamp(lo, hi)
+                } else if lambda >= c1 {
+                    hi
+                } else {
+                    lo
+                }
+            })
+            .sum()
+    };
+
+    // Bracket λ.
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    while output_at(hi) < target && hi < 1e9 {
+        hi *= 2.0;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if output_at(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let lambda = 0.5 * (lo + hi);
+
+    // Final outputs at λ, with any residual (from flat cost segments)
+    // spread across unclamped units.
+    let mut total = 0.0;
+    for &(gi, c2, c1, lo_p, hi_p) in &units {
+        let p = if c2 > 1e-12 {
+            ((lambda - c1) / (2.0 * c2)).clamp(lo_p, hi_p)
+        } else if lambda >= c1 {
+            hi_p
+        } else {
+            lo_p
+        };
+        p_mw[gi] = p;
+        total += p;
+    }
+    let residual = target - total;
+    if residual.abs() > 1e-9 {
+        // Residual arises only on flat cost segments (λ exactly at some
+        // unit's marginal cost): spread it across those *marginal* units —
+        // adjusting any other unit would violate equal-incremental-cost.
+        let marginal_room = |gi: usize, c2: f64, c1: f64, lo_p: f64, hi_p: f64| -> f64 {
+            let mc = c1 + 2.0 * c2 * p_mw[gi];
+            if (mc - lambda).abs() > 1e-4 * (1.0 + lambda.abs()) {
+                return 0.0;
+            }
+            if residual > 0.0 {
+                hi_p - p_mw[gi]
+            } else {
+                lo_p - p_mw[gi] // negative
+            }
+        };
+        let mut room: Vec<(usize, f64)> = units
+            .iter()
+            .map(|&(gi, c2, c1, lo_p, hi_p)| (gi, marginal_room(gi, c2, c1, lo_p, hi_p)))
+            .filter(|&(_, r)| r.abs() > 1e-12)
+            .collect();
+        // Fall back to every unit with headroom if no marginal unit has any.
+        if room.is_empty() {
+            room = units
+                .iter()
+                .map(|&(gi, _, _, lo_p, hi_p)| {
+                    let r = if residual > 0.0 {
+                        hi_p - p_mw[gi]
+                    } else {
+                        lo_p - p_mw[gi]
+                    };
+                    (gi, r)
+                })
+                .filter(|&(_, r)| r.abs() > 1e-12)
+                .collect();
+        }
+        let room_total: f64 = room.iter().map(|&(_, r)| r).sum();
+        if room_total.abs() > 1e-12 {
+            for (gi, r) in room.drain(..) {
+                p_mw[gi] += residual * r / room_total;
+            }
+        }
+    }
+
+    let cost = net
+        .gens
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| g.in_service)
+        .map(|(gi, g)| g.cost.eval(p_mw[gi]))
+        .sum();
+    DispatchResult {
+        p_mw,
+        cost,
+        lambda,
+        feasible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_network::{cases, CaseId, GenCost, Generator, Network};
+
+    fn unit(bus: usize, c2: f64, c1: f64, pmax: f64) -> Generator {
+        Generator {
+            bus,
+            p_mw: 0.0,
+            q_mvar: 0.0,
+            vm_setpoint_pu: 1.0,
+            p_min_mw: 0.0,
+            p_max_mw: pmax,
+            q_min_mvar: -50.0,
+            q_max_mvar: 50.0,
+            in_service: true,
+            cost: GenCost { c2, c1, c0: 0.0 },
+        }
+    }
+
+    #[test]
+    fn equal_lambda_split_for_identical_units() {
+        let mut net = Network::new("ed");
+        net.gens.push(unit(0, 0.01, 10.0, 100.0));
+        net.gens.push(unit(0, 0.01, 10.0, 100.0));
+        let r = economic_dispatch(&net, 120.0);
+        assert!(r.feasible);
+        assert!((r.p_mw[0] - 60.0).abs() < 1e-6);
+        assert!((r.p_mw[1] - 60.0).abs() < 1e-6);
+        // λ = 10 + 2·0.01·60 = 11.2.
+        assert!((r.lambda - 11.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cheap_unit_loads_first() {
+        let mut net = Network::new("ed");
+        net.gens.push(unit(0, 0.01, 5.0, 100.0)); // cheap
+        net.gens.push(unit(0, 0.01, 30.0, 100.0)); // expensive
+        let r = economic_dispatch(&net, 80.0);
+        assert!((r.p_mw[0] - 80.0).abs() < 1e-6, "{:?}", r.p_mw);
+        assert!(r.p_mw[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn capacity_limit_respected() {
+        let mut net = Network::new("ed");
+        net.gens.push(unit(0, 0.01, 5.0, 50.0));
+        net.gens.push(unit(0, 0.01, 30.0, 100.0));
+        let r = economic_dispatch(&net, 90.0);
+        assert!((r.p_mw[0] - 50.0).abs() < 1e-6);
+        assert!((r.p_mw[1] - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_demand_flagged() {
+        let mut net = Network::new("ed");
+        net.gens.push(unit(0, 0.01, 5.0, 50.0));
+        let r = economic_dispatch(&net, 500.0);
+        assert!(!r.feasible);
+        assert!((r.p_mw[0] - 50.0).abs() < 1e-6); // best effort
+    }
+
+    #[test]
+    fn out_of_service_units_excluded() {
+        let mut net = Network::new("ed");
+        net.gens.push(unit(0, 0.01, 5.0, 100.0));
+        net.gens.push(unit(0, 0.01, 5.0, 100.0));
+        net.gens[1].in_service = false;
+        let r = economic_dispatch(&net, 60.0);
+        assert_eq!(r.p_mw[1], 0.0);
+        assert!((r.p_mw[0] - 60.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lower_bounds_acopf_cost_on_ieee14() {
+        let net = cases::load(CaseId::Ieee14);
+        let ed = economic_dispatch(&net, net.total_load_mw());
+        let ac = crate::solve_acopf(&net, &crate::AcopfOptions::default()).unwrap();
+        assert!(
+            ed.cost <= ac.objective_cost + 1e-6,
+            "ED {} must lower-bound ACOPF {}",
+            ed.cost,
+            ac.objective_cost
+        );
+        // And they should be within a loss-allowance of each other.
+        assert!(ac.objective_cost < ed.cost * 1.25);
+    }
+
+    #[test]
+    fn linear_cost_units_step_dispatch() {
+        let mut net = Network::new("ed");
+        net.gens.push(unit(0, 0.0, 10.0, 60.0));
+        net.gens.push(unit(0, 0.0, 20.0, 60.0));
+        let r = economic_dispatch(&net, 90.0);
+        assert!((r.p_mw[0] - 60.0).abs() < 1e-6, "{:?}", r.p_mw);
+        assert!((r.p_mw[1] - 30.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,50 @@
+//! Criterion bench: interior-point ACOPF per IEEE case (the solver cost
+//! component visible in Figure 3 right).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gm_acopf::{economic_dispatch, solve_acopf, solve_dcopf, AcopfOptions, IpmOptions};
+use gm_network::{cases, CaseId};
+use std::hint::black_box;
+
+fn bench_acopf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("acopf_ipm");
+    group.sample_size(10);
+    for id in [CaseId::Ieee14, CaseId::Ieee30, CaseId::Ieee57, CaseId::Ieee118] {
+        let net = cases::load(id);
+        group.bench_with_input(BenchmarkId::from_parameter(id.size()), &net, |b, net| {
+            b.iter(|| {
+                black_box(
+                    solve_acopf(net, &AcopfOptions::default())
+                        .unwrap()
+                        .objective_cost,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opf_baselines_case118");
+    group.sample_size(10);
+    let net = cases::load(CaseId::Ieee118);
+    group.bench_function("economic_dispatch", |b| {
+        b.iter(|| black_box(economic_dispatch(&net, net.total_load_mw()).cost))
+    });
+    group.bench_function("dc_opf", |b| {
+        b.iter(|| black_box(solve_dcopf(&net, &IpmOptions::default()).unwrap().objective_cost))
+    });
+    group.bench_function("ac_opf", |b| {
+        b.iter(|| {
+            black_box(
+                solve_acopf(&net, &AcopfOptions::default())
+                    .unwrap()
+                    .objective_cost,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_acopf, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: end-to-end agent turns (real compute only — the
+//! virtual LLM latency is accounted on the virtual clock and does not
+//! slow the bench), plus the contingency-cache ablation via repeated
+//! compound requests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridmind_core::{GridMind, ModelProfile};
+use std::hint::black_box;
+
+fn bench_agent_turns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agent_pipeline");
+    group.sample_size(10);
+    group.bench_function("solve_case14_turn", |b| {
+        b.iter(|| {
+            let mut gm = GridMind::new(ModelProfile::by_name("GPT-o3").unwrap());
+            black_box(gm.ask("solve case14").elapsed_s)
+        })
+    });
+    group.bench_function("what_if_turn_case14", |b| {
+        let mut gm = GridMind::new(ModelProfile::by_name("GPT-o3").unwrap());
+        gm.ask("solve case14");
+        let mut p = 20.0;
+        b.iter(|| {
+            p += 1.0;
+            black_box(
+                gm.ask(&format!("set the load at bus 10 to {p} MW"))
+                    .elapsed_s,
+            )
+        })
+    });
+    group.bench_function("full_ca_turn_case30", |b| {
+        b.iter(|| {
+            let mut gm = GridMind::new(ModelProfile::by_name("GPT-o3").unwrap());
+            black_box(gm.ask("run the contingency analysis for case30").elapsed_s)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_agent_turns);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench: sparse vs dense LU on power-flow-Jacobian-like
+//! matrices (ablation DESIGN.md §4.2), plus the ordering ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gm_numeric::{DMat, DenseLu};
+use gm_sparse::{CsMat, Ordering, SparseLu, Triplets};
+use std::hint::black_box;
+
+/// Builds a Jacobian-like sparse matrix: 2D-mesh stencil of size n×n.
+fn mesh_matrix(m: usize) -> CsMat<f64> {
+    let n = m * m;
+    let mut t = Triplets::new(n, n);
+    for r in 0..m {
+        for c in 0..m {
+            let i = r * m + c;
+            t.push(i, i, 8.0 + (i % 7) as f64 * 0.1);
+            if c + 1 < m {
+                t.push(i, i + 1, -1.1);
+                t.push(i + 1, i, -0.9);
+            }
+            if r + 1 < m {
+                t.push(i, i + m, -1.2);
+                t.push(i + m, i, -0.8);
+            }
+        }
+    }
+    t.to_csr()
+}
+
+fn bench_sparse_vs_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu_factor_solve");
+    group.sample_size(20);
+    for m in [8usize, 14, 20] {
+        let n = m * m;
+        let a = mesh_matrix(m);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        group.bench_with_input(BenchmarkId::new("sparse_min_degree", n), &a, |bch, a| {
+            bch.iter(|| black_box(SparseLu::factor(a).unwrap().solve(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("sparse_natural", n), &a, |bch, a| {
+            bch.iter(|| {
+                black_box(
+                    SparseLu::factor_with(a, Ordering::Natural, 0.1)
+                        .unwrap()
+                        .solve(&b),
+                )
+            })
+        });
+        let mut d = DMat::zeros(n, n);
+        a.to_dense_with(|i, j, v| d[(i, j)] = v);
+        group.bench_with_input(BenchmarkId::new("dense", n), &d, |bch, d| {
+            bch.iter(|| black_box(DenseLu::factor(d).unwrap().solve(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse_vs_dense);
+criterion_main!(benches);

@@ -1,0 +1,608 @@
+//! The N-1 sweep engine.
+//!
+//! Enumerates single-element outages (lines and transformers), solves the
+//! post-contingency AC power flow for each — warm-started from the base
+//! solution, with a flat-start retry on divergence (the paper's automatic
+//! recovery path) — and scans for thermal and voltage violations. The
+//! sweep is embarrassingly parallel and runs on rayon by default; the
+//! serial path is kept for the ablation benchmark.
+
+use crate::ranking::rank;
+use crate::types::{ContingencyOutcome, ContingencyReport, Outage, RankingStrategy, Violation};
+use gm_network::{topology, BranchKind, Network};
+use gm_numeric::Complex;
+use gm_powerflow::{solve_from, PfOptions, PfReport};
+use rayon::prelude::*;
+
+/// Sweep options.
+#[derive(Clone, Debug)]
+pub struct CaOptions {
+    /// Voltage band checked post-contingency (p.u.). The paper uses
+    /// 0.95–1.05 in its Fig. 8 transcripts.
+    pub vmin_pu: f64,
+    /// Upper voltage band (p.u.).
+    pub vmax_pu: f64,
+    /// Loading threshold (%) above which a branch counts as overloaded.
+    pub thermal_threshold_pct: f64,
+    /// Include line outages.
+    pub include_lines: bool,
+    /// Include transformer outages.
+    pub include_trafos: bool,
+    /// Run the sweep on the rayon thread pool.
+    pub parallel: bool,
+    /// Ranking strategy for the criticality list.
+    pub strategy: RankingStrategy,
+    /// Power flow controls for the post-contingency solves.
+    pub pf: PfOptions,
+}
+
+impl Default for CaOptions {
+    fn default() -> Self {
+        CaOptions {
+            vmin_pu: 0.95,
+            vmax_pu: 1.05,
+            thermal_threshold_pct: 100.0,
+            include_lines: true,
+            include_trafos: true,
+            parallel: true,
+            strategy: RankingStrategy::Composite,
+            pf: PfOptions {
+                enforce_q_limits: false,
+                max_iter: 25,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// Solves the base case (no outages) with the sweep's power flow options.
+pub fn solve_base(net: &Network, opts: &CaOptions) -> Result<PfReport, gm_powerflow::PfError> {
+    gm_powerflow::solve(net, &opts.pf)
+}
+
+/// Runs the full N-1 study.
+///
+/// `base` may be a previously solved base-case report (its voltages warm
+/// start each outage solve); when `None` the base case is solved first.
+pub fn run_n1(
+    net: &Network,
+    opts: &CaOptions,
+    base: Option<&PfReport>,
+) -> Result<ContingencyReport, gm_powerflow::PfError> {
+    run_n1_cached(net, opts, base, None)
+}
+
+/// Runs the full N-1 study with a per-outage result cache (§3.4: "each
+/// outage evaluation is cached under a composite key (case + outage +
+/// diff hash)").
+///
+/// `cache` is `(cache, diff_hash)`: outcomes are looked up / stored under
+/// the network's case name, branch index, and the supplied hash, so a
+/// repeated compound request recomputes only what the diff log staled.
+pub fn run_n1_cached(
+    net: &Network,
+    opts: &CaOptions,
+    base: Option<&PfReport>,
+    cache: Option<(&crate::cache::ContingencyCache, u64)>,
+) -> Result<ContingencyReport, gm_powerflow::PfError> {
+    let started = std::time::Instant::now();
+    let owned_base;
+    let base = match base {
+        Some(b) => b,
+        None => {
+            owned_base = solve_base(net, opts)?;
+            &owned_base
+        }
+    };
+    let v0: Vec<Complex> = base
+        .buses
+        .iter()
+        .map(|b| Complex::from_polar(b.vm_pu, b.va_deg.to_radians()))
+        .collect();
+
+    // Element enumeration with kind-relative indices (PandaPower-style
+    // "line 6" / "trafo 0" labels).
+    let mut targets: Vec<(Outage, usize)> = Vec::new();
+    let mut line_idx = 0usize;
+    let mut trafo_idx = 0usize;
+    for (bi, br) in net.branches.iter().enumerate() {
+        let (kind_index, include) = match br.kind {
+            BranchKind::Line => {
+                let k = line_idx;
+                line_idx += 1;
+                (k, opts.include_lines)
+            }
+            BranchKind::Transformer => {
+                let k = trafo_idx;
+                trafo_idx += 1;
+                (k, opts.include_trafos)
+            }
+        };
+        if include && br.in_service {
+            targets.push((
+                Outage {
+                    branch: bi,
+                    kind: br.kind,
+                },
+                kind_index,
+            ));
+        }
+    }
+
+    let eval = |&(outage, kind_index): &(Outage, usize)| -> ContingencyOutcome {
+        if let Some((cache, diff_hash)) = cache {
+            let key = crate::cache::CacheKey {
+                case: net.name.clone(),
+                outage_branch: outage.branch,
+                diff_hash,
+            };
+            if let Some(hit) = cache.get(&key) {
+                return hit;
+            }
+            let outcome = evaluate_outage(net, opts, &v0, outage, kind_index);
+            cache.put(key, outcome.clone());
+            return outcome;
+        }
+        evaluate_outage(net, opts, &v0, outage, kind_index)
+    };
+    let outcomes: Vec<ContingencyOutcome> = if opts.parallel {
+        targets.par_iter().map(eval).collect()
+    } else {
+        targets.iter().map(eval).collect()
+    };
+
+    let total_violations: usize = outcomes.iter().map(|o| o.violations.len()).sum();
+    let outages_with_overloads = outcomes.iter().filter(|o| o.n_thermal() > 0).count();
+    let outages_with_voltage_issues = outcomes.iter().filter(|o| o.n_voltage() > 0).count();
+    let max_overload_pct = outcomes
+        .iter()
+        .enumerate()
+        .map(|(i, o)| (o.max_loading_pct, i))
+        .fold((0.0f64, 0usize), |acc, v| if v.0 > acc.0 { v } else { acc });
+    let ranking = rank(&outcomes, opts.strategy);
+
+    Ok(ContingencyReport {
+        case_name: net.name.clone(),
+        n_contingencies: outcomes.len(),
+        n_lines: outcomes
+            .iter()
+            .filter(|o| o.outage.kind == BranchKind::Line)
+            .count(),
+        n_trafos: outcomes
+            .iter()
+            .filter(|o| o.outage.kind == BranchKind::Transformer)
+            .count(),
+        outcomes,
+        total_violations,
+        outages_with_overloads,
+        outages_with_voltage_issues,
+        max_overload_pct,
+        ranking,
+        voltage_band: (opts.vmin_pu, opts.vmax_pu),
+        sweep_time_s: started.elapsed().as_secs_f64(),
+        parallel: opts.parallel,
+    })
+}
+
+/// Runs the N-1 study with DC (LODF) screening: outages whose estimated
+/// worst post-outage DC loading stays below `screen_threshold` (fraction
+/// of rating, e.g. 0.9) are classified secure from the linear estimate
+/// alone; only flagged outages get a full AC solve.
+///
+/// This is the fast screening mode real-time CA tools use (and this
+/// library's speed-vs-completeness ablation): it can miss voltage
+/// violations on screened-out outages, which the AC sweep would catch --
+/// outcomes carry `ac_solved = false` so reports can count the shortcut.
+pub fn run_n1_screened(
+    net: &Network,
+    opts: &CaOptions,
+    base: Option<&PfReport>,
+    screen_threshold: f64,
+) -> Result<ContingencyReport, gm_powerflow::PfError> {
+    let started = std::time::Instant::now();
+    let owned_base;
+    let base = match base {
+        Some(b) => b,
+        None => {
+            owned_base = solve_base(net, opts)?;
+            &owned_base
+        }
+    };
+    let v0: Vec<Complex> = base
+        .buses
+        .iter()
+        .map(|b| Complex::from_polar(b.vm_pu, b.va_deg.to_radians()))
+        .collect();
+    let sens = gm_powerflow::sensitivities(net);
+    let base_p: Vec<f64> = base.branches.iter().map(|b| b.p_from_mw).collect();
+    let base_q: Vec<f64> = base
+        .branches
+        .iter()
+        .map(|b| b.q_from_mvar.abs().max(b.q_to_mvar.abs()))
+        .collect();
+
+    let mut targets: Vec<(Outage, usize)> = Vec::new();
+    let mut line_idx = 0usize;
+    let mut trafo_idx = 0usize;
+    for (bi, br) in net.branches.iter().enumerate() {
+        let (kind_index, include) = match br.kind {
+            BranchKind::Line => {
+                let k = line_idx;
+                line_idx += 1;
+                (k, opts.include_lines)
+            }
+            BranchKind::Transformer => {
+                let k = trafo_idx;
+                trafo_idx += 1;
+                (k, opts.include_trafos)
+            }
+        };
+        if include && br.in_service {
+            targets.push((
+                Outage {
+                    branch: bi,
+                    kind: br.kind,
+                },
+                kind_index,
+            ));
+        }
+    }
+
+    let eval = |&(outage, kind_index): &(Outage, usize)| -> ContingencyOutcome {
+        match sens.worst_post_outage_loading_mva(net, &base_p, &base_q, outage.branch) {
+            // Islanding (or unscreenable): always full evaluation.
+            None => evaluate_outage(net, opts, &v0, outage, kind_index),
+            Some(worst) if worst >= screen_threshold => {
+                evaluate_outage(net, opts, &v0, outage, kind_index)
+            }
+            Some(worst) => ContingencyOutcome {
+                outage,
+                kind_index,
+                converged: true,
+                islands: false,
+                stranded_buses: 0,
+                violations: Vec::new(),
+                max_loading_pct: 100.0 * worst,
+                min_vm: base.min_vm,
+                load_shed_mw: 0.0,
+                ac_solved: false,
+            },
+        }
+    };
+    let outcomes: Vec<ContingencyOutcome> = if opts.parallel {
+        targets.par_iter().map(eval).collect()
+    } else {
+        targets.iter().map(eval).collect()
+    };
+
+    let total_violations: usize = outcomes.iter().map(|o| o.violations.len()).sum();
+    let outages_with_overloads = outcomes.iter().filter(|o| o.n_thermal() > 0).count();
+    let outages_with_voltage_issues = outcomes.iter().filter(|o| o.n_voltage() > 0).count();
+    let max_overload_pct = outcomes
+        .iter()
+        .enumerate()
+        .map(|(i, o)| (o.max_loading_pct, i))
+        .fold((0.0f64, 0usize), |acc, v| if v.0 > acc.0 { v } else { acc });
+    let ranking = rank(&outcomes, opts.strategy);
+
+    Ok(ContingencyReport {
+        case_name: net.name.clone(),
+        n_contingencies: outcomes.len(),
+        n_lines: outcomes
+            .iter()
+            .filter(|o| o.outage.kind == BranchKind::Line)
+            .count(),
+        n_trafos: outcomes
+            .iter()
+            .filter(|o| o.outage.kind == BranchKind::Transformer)
+            .count(),
+        outcomes,
+        total_violations,
+        outages_with_overloads,
+        outages_with_voltage_issues,
+        max_overload_pct,
+        ranking,
+        voltage_band: (opts.vmin_pu, opts.vmax_pu),
+        sweep_time_s: started.elapsed().as_secs_f64(),
+        parallel: opts.parallel,
+    })
+}
+
+/// Analyzes one specific outage (the `analyze_specific_contingency` tool).
+pub fn evaluate_outage(
+    net: &Network,
+    opts: &CaOptions,
+    v0: &[Complex],
+    outage: Outage,
+    kind_index: usize,
+) -> ContingencyOutcome {
+    // Island screening before any solve.
+    let stranded = topology::stranded_buses(net, outage.branch);
+    if !stranded.is_empty() {
+        let load_shed: f64 = net
+            .loads
+            .iter()
+            .filter(|l| l.in_service && stranded.contains(&l.bus))
+            .map(|l| l.p_mw)
+            .sum();
+        return ContingencyOutcome {
+            outage,
+            kind_index,
+            converged: false,
+            islands: true,
+            stranded_buses: stranded.len(),
+            violations: Vec::new(),
+            max_loading_pct: 0.0,
+            min_vm: (0.0, 0),
+            load_shed_mw: load_shed,
+            ac_solved: false,
+        };
+    }
+
+    let mut work = net.clone();
+    work.branches[outage.branch].in_service = false;
+
+    // Warm start from the base voltages; fall back to a flat start if the
+    // warm-started Newton fails (automatic recovery, §3.2.1).
+    let report = solve_from(&work, &opts.pf, Some(v0)).or_else(|_| {
+        let flat = PfOptions {
+            init: gm_powerflow::InitStrategy::Flat,
+            max_iter: opts.pf.max_iter + 15,
+            ..opts.pf.clone()
+        };
+        gm_powerflow::solve(&work, &flat)
+    });
+
+    match report {
+        Err(_) => ContingencyOutcome {
+            outage,
+            kind_index,
+            converged: false,
+            islands: false,
+            stranded_buses: 0,
+            violations: Vec::new(),
+            max_loading_pct: 0.0,
+            min_vm: (0.0, 0),
+            load_shed_mw: 0.0,
+            ac_solved: true,
+        },
+        Ok(rep) => {
+            let mut violations = Vec::new();
+            for bf in &rep.branches {
+                if bf.loading_pct > opts.thermal_threshold_pct {
+                    violations.push(Violation::ThermalOverload {
+                        branch: bf.index,
+                        loading_pct: bf.loading_pct,
+                    });
+                }
+            }
+            for b in &rep.buses {
+                if b.vm_pu < opts.vmin_pu {
+                    violations.push(Violation::LowVoltage {
+                        bus_id: b.id,
+                        vm_pu: b.vm_pu,
+                    });
+                } else if b.vm_pu > opts.vmax_pu {
+                    violations.push(Violation::HighVoltage {
+                        bus_id: b.id,
+                        vm_pu: b.vm_pu,
+                    });
+                }
+            }
+            ContingencyOutcome {
+                outage,
+                kind_index,
+                converged: true,
+                islands: false,
+                stranded_buses: 0,
+                violations,
+                max_loading_pct: rep.max_loading.0,
+                min_vm: rep.min_vm,
+                load_shed_mw: 0.0,
+                ac_solved: true,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_network::{cases, CaseId};
+
+    #[test]
+    fn ieee14_full_sweep_counts() {
+        let net = cases::load(CaseId::Ieee14);
+        let rep = run_n1(&net, &CaOptions::default(), None).unwrap();
+        assert_eq!(rep.n_contingencies, 20);
+        assert_eq!(rep.n_lines, 17);
+        assert_eq!(rep.n_trafos, 3);
+        assert_eq!(rep.outcomes.len(), 20);
+        assert!(!rep.ranking.is_empty());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let net = cases::load(CaseId::Ieee30);
+        let par = run_n1(&net, &CaOptions::default(), None).unwrap();
+        let ser = run_n1(
+            &net,
+            &CaOptions {
+                parallel: false,
+                ..Default::default()
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(par.n_contingencies, ser.n_contingencies);
+        assert_eq!(par.total_violations, ser.total_violations);
+        for (a, b) in par.outcomes.iter().zip(&ser.outcomes) {
+            assert_eq!(a.converged, b.converged);
+            assert!((a.max_loading_pct - b.max_loading_pct).abs() < 1e-9);
+        }
+        // Ranking order identical.
+        let la: Vec<_> = par.ranking.iter().map(|r| r.label.clone()).collect();
+        let lb: Vec<_> = ser.ranking.iter().map(|r| r.label.clone()).collect();
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn islanding_outage_detected() {
+        // case14 line 7-8 is the only path to bus 8.
+        let net = cases::load(CaseId::Ieee14);
+        let rep = run_n1(&net, &CaOptions::default(), None).unwrap();
+        let islanders: Vec<_> = rep.outcomes.iter().filter(|o| o.islands).collect();
+        assert!(
+            !islanders.is_empty(),
+            "case14 has a radial branch (7-8) that must island"
+        );
+        for o in islanders {
+            assert!(!o.converged);
+            assert!(o.stranded_buses > 0);
+        }
+    }
+
+    #[test]
+    fn line_only_sweep() {
+        let net = cases::load(CaseId::Ieee14);
+        let rep = run_n1(
+            &net,
+            &CaOptions {
+                include_trafos: false,
+                ..Default::default()
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(rep.n_contingencies, 17);
+        assert_eq!(rep.n_trafos, 0);
+    }
+
+    #[test]
+    fn ieee118_sweep_matches_paper_inventory() {
+        // The paper's Fig. 8 run: 186 contingencies (175 lines + 11
+        // transformers in our reconstruction; the authors' pandapower
+        // conversion shows 173 + 13).
+        let net = cases::load(CaseId::Ieee118);
+        let rep = run_n1(&net, &CaOptions::default(), None).unwrap();
+        assert_eq!(rep.n_contingencies, 186);
+        assert_eq!(rep.n_lines, 175);
+        assert_eq!(rep.n_trafos, 11);
+        // Every outage either converges or is explained.
+        for o in &rep.outcomes {
+            assert!(
+                o.converged || o.islands || o.violations.is_empty(),
+                "unexplained outcome for branch {}",
+                o.outage.branch
+            );
+        }
+        // The synthetic case is built to have some N-1 thermal stress.
+        assert!(
+            rep.max_overload_pct.0 > 100.0,
+            "expected at least one overload, max {}",
+            rep.max_overload_pct.0
+        );
+    }
+
+    #[test]
+    fn reuses_provided_base_solution() {
+        let net = cases::load(CaseId::Ieee30);
+        let opts = CaOptions::default();
+        let base = solve_base(&net, &opts).unwrap();
+        let rep = run_n1(&net, &opts, Some(&base)).unwrap();
+        assert_eq!(rep.n_contingencies, 41);
+    }
+
+
+    #[test]
+    fn screened_sweep_agrees_on_thermal_criticals() {
+        let net = cases::load(CaseId::Ieee118);
+        let full = run_n1(&net, &CaOptions::default(), None).unwrap();
+        // DC screening underestimates MVA loading (no reactive flow), so
+        // the guarantee threshold must be conservative.
+        let screened = run_n1_screened(&net, &CaOptions::default(), None, 0.85).unwrap();
+        assert_eq!(screened.n_contingencies, full.n_contingencies);
+        // Every thermally overloading outage in the full sweep must have
+        // been AC-solved by the screen and carry the same overload count.
+        for (f, s) in full.outcomes.iter().zip(&screened.outcomes) {
+            if f.n_thermal() > 0 {
+                assert!(
+                    s.ac_solved,
+                    "outage of branch {} missed by the screen",
+                    f.outage.branch
+                );
+                assert_eq!(f.n_thermal(), s.n_thermal());
+            }
+        }
+        // And the screen must actually skip a meaningful share.
+        let skipped = screened.outcomes.iter().filter(|o| !o.ac_solved).count();
+        assert!(
+            skipped > screened.n_contingencies / 4,
+            "screen only skipped {skipped}"
+        );
+    }
+
+    #[test]
+    fn screened_sweep_faster_than_full() {
+        let net = cases::load(CaseId::Ieee118);
+        let opts = CaOptions::default();
+        let base = solve_base(&net, &opts).unwrap();
+        let t0 = std::time::Instant::now();
+        let _ = run_n1(&net, &opts, Some(&base)).unwrap();
+        let full_t = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let _ = run_n1_screened(&net, &opts, Some(&base), 0.85).unwrap();
+        let screened_t = t1.elapsed();
+        assert!(
+            screened_t < full_t,
+            "screened {screened_t:?} !< full {full_t:?}"
+        );
+    }
+
+    #[test]
+    fn cached_sweep_hits_on_repeat() {
+        let net = cases::load(CaseId::Ieee14);
+        let cache = crate::cache::ContingencyCache::new();
+        let opts = CaOptions::default();
+        let r1 = run_n1_cached(&net, &opts, None, Some((&cache, 42))).unwrap();
+        let (h1, m1) = cache.stats();
+        assert_eq!(h1, 0);
+        assert_eq!(m1 as usize, r1.n_contingencies);
+        // Same diff hash: every outage served from the cache.
+        let r2 = run_n1_cached(&net, &opts, None, Some((&cache, 42))).unwrap();
+        let (h2, _) = cache.stats();
+        assert_eq!(h2 as usize, r2.n_contingencies);
+        assert_eq!(r1.total_violations, r2.total_violations);
+        // Different hash (modified network state): cache misses again.
+        let _ = run_n1_cached(&net, &opts, None, Some((&cache, 43))).unwrap();
+        let (_, m3) = cache.stats();
+        assert_eq!(m3 as usize, 2 * r1.n_contingencies);
+    }
+
+    #[test]
+    fn voltage_band_is_configurable() {
+        let net = cases::load(CaseId::Ieee30);
+        let tight = run_n1(
+            &net,
+            &CaOptions {
+                vmin_pu: 1.00,
+                vmax_pu: 1.02,
+                ..Default::default()
+            },
+            None,
+        )
+        .unwrap();
+        let loose = run_n1(
+            &net,
+            &CaOptions {
+                vmin_pu: 0.80,
+                vmax_pu: 1.20,
+                ..Default::default()
+            },
+            None,
+        )
+        .unwrap();
+        assert!(tight.total_violations > loose.total_violations);
+        assert_eq!(loose.outages_with_voltage_issues, 0);
+    }
+}

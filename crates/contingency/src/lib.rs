@@ -1,0 +1,40 @@
+//! # gm-contingency
+//!
+//! N-1 contingency analysis for GridMind-RS — the engine behind the
+//! paper's CA agent.
+//!
+//! - [`engine`] — the rayon-parallel T-1 sweep: outage enumeration,
+//!   island screening, warm-started post-contingency power flows with a
+//!   flat-start recovery path, and violation scanning.
+//! - [`ranking`] — composite criticality scoring with auditable
+//!   justifications (§3.2.3), plus the alternative ranking strategies
+//!   used to model per-LLM analytical differences (Table 1).
+//! - [`cache`] — the `(case + outage + diff hash)` result cache of §3.4.
+//! - [`gen_outage`] — generator T-1 outages (the paper's §2 defines T-1
+//!   over "system assets"; units are assets too).
+//!
+//! ```
+//! use gm_contingency::{run_n1, CaOptions};
+//! use gm_network::{cases, CaseId};
+//!
+//! let net = cases::load(CaseId::Ieee14);
+//! let report = run_n1(&net, &CaOptions::default(), None).unwrap();
+//! assert_eq!(report.n_contingencies, 20); // 17 lines + 3 transformers
+//! assert!(!report.ranking.is_empty());
+//! ```
+//! - [`types`] — `ContingencyOutcome` / `ContingencyReport`, mirroring
+//!   the paper's `ContingencyAnalysisResult` schema.
+
+pub mod cache;
+pub mod engine;
+pub mod gen_outage;
+pub mod ranking;
+pub mod types;
+
+pub use cache::{CacheKey, ContingencyCache};
+pub use gen_outage::{run_gen_n1, GenOutageOutcome};
+pub use engine::{evaluate_outage, run_n1, run_n1_cached, run_n1_screened, solve_base, CaOptions};
+pub use ranking::{rank, score};
+pub use types::{
+    ContingencyOutcome, ContingencyReport, Outage, RankedContingency, RankingStrategy, Violation,
+};

@@ -1,0 +1,333 @@
+//! The GridMind system: planner agent, coordinator, and instrumentation.
+//!
+//! The planner agent (§3, component 4) classifies each user request and
+//! assigns it to the right domain agent; the coordinator (component 3)
+//! manages the shared session context, splits compound requests ("solve
+//! IEEE 118, then run contingency analysis…") into sequential agent
+//! steps, keeps every agent's memory synchronized with the session, and
+//! records the instrumentation the paper's evaluation is built on (model
+//! latency, token usage, tool metrics).
+
+use crate::agents::{build_acopf_agent, build_ca_agent};
+use crate::session::{SessionContext, SharedSession};
+use gm_agents::{classify, Agent, AgentResponse, IntentRule, ModelProfile, TokenUsage, VirtualClock};
+use serde::{Deserialize, Serialize};
+use serde_json::json;
+
+/// Which domain agent a request (segment) is routed to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AgentKind {
+    /// Economic scheduling / power flow analysis.
+    Acopf,
+    /// Reliability / N-1 assessment.
+    Contingency,
+}
+
+/// One step of a routed workflow.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkflowStep {
+    /// Target agent.
+    pub agent: AgentKind,
+    /// The request segment handed to it.
+    pub request: String,
+    /// Completion state (the paper's `WorkflowState` tracks plan
+    /// progress).
+    pub completed: bool,
+}
+
+/// Telemetry for one agent turn (the paper's "instrumentation bench").
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TurnMetric {
+    /// Agent name.
+    pub agent: String,
+    /// Backend model name.
+    pub model: String,
+    /// The request segment.
+    pub request: String,
+    /// Virtual end-to-end latency (s).
+    pub elapsed_s: f64,
+    /// Token usage.
+    pub tokens: TokenUsage,
+    /// Tool calls made.
+    pub tool_calls: usize,
+    /// Whether any tool call failed.
+    pub had_tool_failures: bool,
+    /// Validation warnings/errors surfaced.
+    pub validation_findings: usize,
+    /// Whether the turn produced a narrated answer.
+    pub completed: bool,
+}
+
+/// A coordinated (possibly multi-agent) reply.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CoordinatedResponse {
+    /// Narrated answers, one per workflow step, joined for display.
+    pub text: String,
+    /// The executed workflow.
+    pub steps: Vec<WorkflowStep>,
+    /// Per-step agent responses.
+    pub responses: Vec<AgentResponse>,
+    /// Total virtual latency (s).
+    pub elapsed_s: f64,
+    /// Total token usage.
+    pub tokens: TokenUsage,
+}
+
+/// The assembled multi-agent system.
+pub struct GridMind {
+    /// Shared session context.
+    pub session: SharedSession,
+    clock: VirtualClock,
+    acopf: Agent,
+    ca: Agent,
+    profile: ModelProfile,
+    metrics: Vec<TurnMetric>,
+}
+
+impl GridMind {
+    /// Builds the system with a model profile shared by every agent.
+    pub fn new(profile: ModelProfile) -> GridMind {
+        let session = SessionContext::new();
+        let clock = VirtualClock::new();
+        let acopf = build_acopf_agent(profile.clone(), session.clone(), clock.clone());
+        let ca = build_ca_agent(profile.clone(), session.clone(), clock.clone());
+        GridMind {
+            session,
+            clock,
+            acopf,
+            ca,
+            profile,
+            metrics: Vec::new(),
+        }
+    }
+
+    /// The model profile in use.
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    /// The session's virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Instrumentation records collected so far.
+    pub fn metrics(&self) -> &[TurnMetric] {
+        &self.metrics
+    }
+
+    /// The planner agent's routing rules.
+    fn routing_rules() -> Vec<IntentRule> {
+        vec![
+            IntentRule::new(
+                "acopf",
+                &["solve", "opf", "dispatch", "cost", "load", "modify", "increase",
+                  "decrease", "economic", "optimal", "status", "set", "limit"],
+                &["acopf"],
+                0.05,
+            ),
+            IntentRule::new(
+                "contingency",
+                &["n-1", "t-1", "outage", "reliability", "critical",
+                  "vulnerab", "reinforce", "violation", "lose", "losing", "trip",
+                  "unit", "generator"],
+                &["contingency", "contingencies"],
+                0.0,
+            ),
+        ]
+    }
+
+    /// Routes one request segment (the planner agent's decision).
+    pub fn route(request: &str) -> AgentKind {
+        match classify(request, &Self::routing_rules()) {
+            Some(m) if m.intent == "contingency" => AgentKind::Contingency,
+            _ => AgentKind::Acopf,
+        }
+    }
+
+    /// Splits a compound request into sequential segments ("solve IEEE
+    /// 118, then run contingency analysis and identify critical
+    /// elements" → two steps).
+    pub fn split_compound(request: &str) -> Vec<String> {
+        let lowered = request.to_ascii_lowercase();
+        // Split on explicit sequencing markers only: "then" after a comma
+        // or semicolon, or the word "then" itself.
+        let mut segments = Vec::new();
+        let mut rest = lowered.as_str();
+        let mut original_rest = request;
+        while let Some(pos) = rest.find(" then ") {
+            let (head, tail) = original_rest.split_at(pos);
+            segments.push(head.trim_matches([' ', ',', ';']).to_string());
+            original_rest = &tail[" then ".len()..];
+            rest = &rest[pos + " then ".len()..];
+        }
+        let last = original_rest.trim_matches([' ', ',', ';']).to_string();
+        if !last.is_empty() {
+            segments.push(last);
+        }
+        segments.retain(|s| !s.is_empty());
+        if segments.is_empty() {
+            segments.push(request.to_string());
+        }
+        segments
+    }
+
+    /// Synchronizes the shared session into an agent's memory context so
+    /// its planner can ground references ("solve it again", "this
+    /// network").
+    fn sync_context(session: &SharedSession, agent: &mut Agent) {
+        if let Some(case) = session.active_case() {
+            agent.memory.put_context("active_case", json!(case));
+        }
+        agent
+            .memory
+            .put_context("diff_count", json!(session.diff_count()));
+        if let Some((sol, stale)) = session.any_acopf() {
+            agent.memory.put_context(
+                "acopf_summary",
+                json!({
+                    "objective_cost": sol.objective_cost,
+                    "stale": stale,
+                }),
+            );
+        }
+    }
+
+    /// Handles a user request end-to-end: plan, route, execute, narrate.
+    pub fn ask(&mut self, request: &str) -> CoordinatedResponse {
+        let t0 = self.clock.now();
+        let segments = Self::split_compound(request);
+        let mut steps = Vec::new();
+        let mut responses = Vec::new();
+        let mut texts = Vec::new();
+        let mut tokens = TokenUsage::default();
+
+        for segment in segments {
+            let kind = Self::route(&segment);
+            let (agent, name): (&mut Agent, &str) = match kind {
+                AgentKind::Acopf => (&mut self.acopf, "ACOPF Agent"),
+                AgentKind::Contingency => (&mut self.ca, "Contingency Analysis Agent"),
+            };
+            Self::sync_context(&self.session, agent);
+            let resp = agent.handle(&segment);
+            tokens.add(resp.tokens);
+            self.metrics.push(TurnMetric {
+                agent: name.to_string(),
+                model: self.profile.name.clone(),
+                request: segment.clone(),
+                elapsed_s: resp.elapsed_s,
+                tokens: resp.tokens,
+                tool_calls: resp.tool_calls.len(),
+                had_tool_failures: resp.tool_calls.iter().any(|c| !c.ok),
+                validation_findings: resp.validation.len(),
+                completed: resp.completed,
+            });
+            steps.push(WorkflowStep {
+                agent: kind,
+                request: segment,
+                completed: resp.completed,
+            });
+            texts.push(format!("[{name}] {}", resp.text));
+            responses.push(resp);
+        }
+
+        CoordinatedResponse {
+            text: texts.join("\n\n"),
+            steps,
+            responses,
+            elapsed_s: self.clock.now() - t0,
+            tokens,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mind() -> GridMind {
+        GridMind::new(ModelProfile::by_name("GPT-o3").unwrap())
+    }
+
+    #[test]
+    fn routing_decisions() {
+        assert_eq!(GridMind::route("solve IEEE 118"), AgentKind::Acopf);
+        assert_eq!(
+            GridMind::route("what's the most critical contingencies in this network"),
+            AgentKind::Contingency
+        );
+        assert_eq!(
+            GridMind::route("run n-1 reliability assessment"),
+            AgentKind::Contingency
+        );
+        assert_eq!(
+            GridMind::route("increase the load at bus 10"),
+            AgentKind::Acopf
+        );
+    }
+
+    #[test]
+    fn compound_split() {
+        let segs = GridMind::split_compound(
+            "Solve IEEE 118 case, then run contingency analysis and identify critical elements",
+        );
+        assert_eq!(segs.len(), 2);
+        assert!(segs[0].to_lowercase().contains("solve"));
+        assert!(segs[1].to_lowercase().contains("contingency"));
+        assert_eq!(GridMind::split_compound("solve case14").len(), 1);
+    }
+
+    #[test]
+    fn single_domain_request() {
+        let mut gm = mind();
+        let resp = gm.ask("solve case14");
+        assert_eq!(resp.steps.len(), 1);
+        assert!(resp.steps[0].completed);
+        assert!(resp.text.contains("Solved ACOPF"));
+        assert!(resp.elapsed_s > 0.0);
+        assert_eq!(gm.metrics().len(), 1);
+        assert!(!gm.metrics()[0].had_tool_failures);
+    }
+
+    #[test]
+    fn cross_domain_workflow_shares_context() {
+        // The paper's Fig. 9 workflow: ACOPF → CA with shared context.
+        let mut gm = mind();
+        let resp = gm.ask(
+            "Solve IEEE 14 case, then run contingency analysis and identify critical elements",
+        );
+        assert_eq!(resp.steps.len(), 2);
+        assert_eq!(resp.steps[0].agent, AgentKind::Acopf);
+        assert_eq!(resp.steps[1].agent, AgentKind::Contingency);
+        assert!(resp.steps.iter().all(|s| s.completed), "{}", resp.text);
+        // Both agents worked the same session.
+        assert!(gm.session.fresh_acopf().is_some());
+        assert!(gm.session.fresh_contingency().is_some());
+        assert!(resp.text.contains("Most critical elements"));
+        // The CA step must not have had to name the case again.
+        assert!(gm.metrics()[1].tool_calls >= 2);
+    }
+
+    #[test]
+    fn what_if_iteration_accumulates() {
+        let mut gm = mind();
+        gm.ask("solve case14");
+        let r1 = gm.ask("increase the load at bus 10 to 50 MW");
+        assert!(r1.steps[0].completed, "{}", r1.text);
+        let r2 = gm.ask("now set the load at bus 14 to 30 MW");
+        assert!(r2.steps[0].completed, "{}", r2.text);
+        assert_eq!(gm.session.diff_count(), 2);
+        assert_eq!(gm.metrics().len(), 3);
+    }
+
+    #[test]
+    fn metrics_capture_latency_and_tokens() {
+        let mut gm = mind();
+        gm.ask("solve case30");
+        let m = &gm.metrics()[0];
+        assert!(m.elapsed_s > 1.0, "simulated latency should be seconds");
+        assert!(m.tokens.total() > 50);
+        assert_eq!(m.model, "GPT-o3");
+        assert!(m.completed);
+    }
+}

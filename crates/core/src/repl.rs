@@ -1,0 +1,154 @@
+//! Minimal conversational CLI front end (paper §3.1 / Appendix D.1).
+//!
+//! The interface is deliberately a thin front door: read a line, hand it
+//! to [`GridMind::ask`], print the narrated reply with timing/token
+//! telemetry. Used by the `repl` example binary.
+
+use crate::coordinator::GridMind;
+use gm_agents::AgentResponse;
+use std::io::{BufRead, Write};
+
+/// Renders an agent turn in the paper's Appendix D trace format:
+/// numbered reasoning steps annotated with their evidence source
+/// (`-> reasoning`, `-> function tools`, `-> response`).
+pub fn render_trace(resp: &AgentResponse) -> String {
+    let mut out = String::new();
+    let mut step = 1usize;
+    for r in &resp.reasoning {
+        out.push_str(&format!("  {step}. {r} -> reasoning
+"));
+        step += 1;
+    }
+    for c in &resp.tool_calls {
+        let status = if c.ok {
+            "ok".to_string()
+        } else {
+            format!("error: {}", c.error.as_deref().unwrap_or("?"))
+        };
+        out.push_str(&format!(
+            "  {step}. (invoke {}) -> function tools [{status}]
+",
+            c.tool
+        ));
+        step += 1;
+    }
+    for (tool, issue) in &resp.validation {
+        out.push_str(&format!(
+            "  {step}. (validate {tool}: {}) -> function tools
+",
+            issue.message
+        ));
+        step += 1;
+    }
+    out.push_str(&format!("  {step}. (narrate findings) -> response
+"));
+    out
+}
+
+/// Runs a read-eval-print loop over the given streams until EOF or an
+/// `exit` / `quit` line. Returns the number of handled requests.
+pub fn run_repl(
+    gm: &mut GridMind,
+    input: &mut dyn BufRead,
+    output: &mut dyn Write,
+) -> std::io::Result<usize> {
+    let mut handled = 0usize;
+    writeln!(
+        output,
+        "GridMind ({} backend). Ask about IEEE cases — e.g. \"solve 118\" or \"what are the most critical contingencies\". Type 'exit' to leave.",
+        gm.profile().name
+    )?;
+    let mut line = String::new();
+    loop {
+        write!(output, "\nYou: ")?;
+        output.flush()?;
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            break;
+        }
+        let request = line.trim();
+        if request.is_empty() {
+            continue;
+        }
+        if request.eq_ignore_ascii_case("exit") || request.eq_ignore_ascii_case("quit") {
+            break;
+        }
+        let reply = gm.ask(request);
+        for resp in &reply.responses {
+            write!(output, "\n{}", render_trace(resp))?;
+        }
+        writeln!(output, "\n{}", reply.text)?;
+        writeln!(
+            output,
+            "\n  [virtual latency {:.1}s | {} tokens | {} step(s)]",
+            reply.elapsed_s,
+            reply.tokens.total(),
+            reply.steps.len()
+        )?;
+        handled += 1;
+    }
+    Ok(handled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_agents::ModelProfile;
+
+    #[test]
+    fn trace_renders_failures_and_validation() {
+        use gm_agents::{Severity, TokenUsage, TurnToolCall, ValidationIssue};
+        let resp = AgentResponse {
+            text: "done".into(),
+            reasoning: vec!["(understand)".into()],
+            tool_calls: vec![TurnToolCall {
+                tool: "solve_acopf_case".into(),
+                ok: false,
+                error: Some("solver diverged".into()),
+            }],
+            validation: vec![(
+                "solve_acopf_case".into(),
+                ValidationIssue {
+                    severity: Severity::Warning,
+                    check: "power_balance".into(),
+                    message: "mismatch 374 MW".into(),
+                },
+            )],
+            elapsed_s: 1.0,
+            tokens: TokenUsage::default(),
+            rounds: 2,
+            completed: true,
+        };
+        let t = render_trace(&resp);
+        assert!(t.contains("1. (understand) -> reasoning"));
+        assert!(t.contains("error: solver diverged"));
+        assert!(t.contains("mismatch 374 MW"));
+        assert!(t.trim_end().ends_with("-> response"));
+    }
+
+    #[test]
+    fn scripted_session() {
+        let mut gm = GridMind::new(ModelProfile::by_name("GPT-o4 Mini").unwrap());
+        let script = b"solve case14\nexit\n";
+        let mut input: &[u8] = script;
+        let mut output = Vec::new();
+        let handled = run_repl(&mut gm, &mut input, &mut output).unwrap();
+        assert_eq!(handled, 1);
+        let text = String::from_utf8(output).unwrap();
+        assert!(text.contains("Solved ACOPF"));
+        assert!(text.contains("virtual latency"));
+        // Appendix D trace format.
+        assert!(text.contains("-> reasoning"), "{text}");
+        assert!(text.contains("(invoke solve_acopf_case) -> function tools"), "{text}");
+        assert!(text.contains("-> response"));
+    }
+
+    #[test]
+    fn eof_terminates() {
+        let mut gm = GridMind::new(ModelProfile::by_name("GPT-o4 Mini").unwrap());
+        let mut input: &[u8] = b"";
+        let mut output = Vec::new();
+        let handled = run_repl(&mut gm, &mut input, &mut output).unwrap();
+        assert_eq!(handled, 0);
+    }
+}

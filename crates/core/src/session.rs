@@ -1,0 +1,357 @@
+//! Shared, versioned session state (§3.4 "Cross-Agent Context
+//! Management").
+//!
+//! All agents collaborate through one [`SessionContext`]: the active
+//! network plus incremental diffs, validated numerical artifacts (latest
+//! ACOPF solution, base power flow, contingency report), the per-outage
+//! cache, and provenance. Freshness is tracked by the diff-log hash: an
+//! artifact deposited at hash `h` is reusable only while the log still
+//! hashes to `h`.
+
+use gm_acopf::AcopfSolution;
+use gm_contingency::{ContingencyCache, ContingencyReport};
+use gm_network::{cases, DiffLog, Modification, Network};
+use gm_powerflow::PfReport;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// An artifact stamped with the diff hash it was computed at.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Stamped<T> {
+    /// The artifact.
+    pub value: T,
+    /// Diff-log hash at computation time.
+    pub diff_hash: u64,
+    /// Virtual timestamp (seconds) at computation time.
+    pub at_s: f64,
+}
+
+/// The shared session.
+#[derive(Debug, Default)]
+pub struct SessionContext {
+    inner: RwLock<SessionState>,
+    /// Per-outage contingency cache (keyed by case + outage + diff hash).
+    pub cache: ContingencyCache,
+}
+
+/// Serializable core of the session.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SessionState {
+    /// Canonical name of the active case ("case118").
+    pub active_case: Option<String>,
+    /// Pristine base network of the active case.
+    pub base: Option<Network>,
+    /// Network with all modifications applied.
+    pub current: Option<Network>,
+    /// Chronological modification log.
+    pub diffs: DiffLog,
+    /// Latest ACOPF solution (stamped).
+    pub acopf: Option<Stamped<AcopfSolution>>,
+    /// Latest base power flow (stamped).
+    pub base_pf: Option<Stamped<PfReport>>,
+    /// Latest contingency report (stamped).
+    pub contingency: Option<Stamped<ContingencyReport>>,
+}
+
+/// Shared handle used by tools and the coordinator.
+pub type SharedSession = Arc<SessionContext>;
+
+/// Session-level errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionError {
+    /// No case has been loaded yet.
+    NoActiveCase,
+    /// The requested case could not be identified.
+    UnknownCase(String),
+    /// A modification failed.
+    BadModification(String),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::NoActiveCase => {
+                write!(f, "no case loaded; ask to solve a case first")
+            }
+            SessionError::UnknownCase(c) => write!(f, "unknown case {c:?}"),
+            SessionError::BadModification(m) => write!(f, "modification failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl SessionContext {
+    /// Fresh empty session.
+    pub fn new() -> SharedSession {
+        Arc::new(SessionContext::default())
+    }
+
+    /// Loads (or switches to) a case by fuzzy name, returning the
+    /// canonical network and the identification confidence. Resets diffs
+    /// and stale artifacts when the case changes.
+    pub fn load_case(&self, name: &str) -> Result<(Network, f64), SessionError> {
+        let (net, confidence) =
+            cases::load_case(name).map_err(|e| SessionError::UnknownCase(e.input))?;
+        let mut s = self.inner.write();
+        let canonical = gm_network::identify_case(name)
+            .map(|(id, _)| id.short_name().to_string())
+            .unwrap_or_else(|| name.to_string());
+        if s.active_case.as_deref() != Some(canonical.as_str()) {
+            self.cache.invalidate_case(&net.name);
+            *s = SessionState {
+                active_case: Some(canonical),
+                base: Some(net.clone()),
+                current: Some(net.clone()),
+                ..Default::default()
+            };
+        }
+        Ok((s.current.clone().expect("just set"), confidence))
+    }
+
+    /// The current (modified) network.
+    pub fn current_network(&self) -> Result<Network, SessionError> {
+        self.inner
+            .read()
+            .current
+            .clone()
+            .ok_or(SessionError::NoActiveCase)
+    }
+
+    /// Canonical active case name.
+    pub fn active_case(&self) -> Option<String> {
+        self.inner.read().active_case.clone()
+    }
+
+    /// Applies and records a modification (invalidates nothing by itself:
+    /// freshness is hash-based).
+    pub fn apply(&self, m: Modification) -> Result<(), SessionError> {
+        let mut s = self.inner.write();
+        let mut net = match &s.current {
+            Some(n) => n.clone(),
+            None => return Err(SessionError::NoActiveCase),
+        };
+        s.diffs
+            .apply(&mut net, m)
+            .map_err(|e| SessionError::BadModification(e.to_string()))?;
+        s.current = Some(net);
+        Ok(())
+    }
+
+    /// Current diff-log hash (the freshness stamp).
+    pub fn diff_hash(&self) -> u64 {
+        self.inner.read().diffs.hash()
+    }
+
+    /// Number of recorded modifications.
+    pub fn diff_count(&self) -> usize {
+        self.inner.read().diffs.len()
+    }
+
+    /// Human-readable diff descriptions, chronological.
+    pub fn diff_descriptions(&self) -> Vec<String> {
+        self.inner
+            .read()
+            .diffs
+            .entries()
+            .iter()
+            .map(|m| m.describe())
+            .collect()
+    }
+
+    /// Deposits a solved ACOPF (stamped at the current hash).
+    pub fn put_acopf(&self, sol: AcopfSolution, at_s: f64) {
+        let hash = self.diff_hash();
+        self.inner.write().acopf = Some(Stamped {
+            value: sol,
+            diff_hash: hash,
+            at_s,
+        });
+    }
+
+    /// The latest ACOPF solution *if still fresh* (computed at the
+    /// current diff hash).
+    pub fn fresh_acopf(&self) -> Option<AcopfSolution> {
+        let s = self.inner.read();
+        let hash = s.diffs.hash();
+        s.acopf
+            .as_ref()
+            .filter(|st| st.diff_hash == hash)
+            .map(|st| st.value.clone())
+    }
+
+    /// The latest ACOPF solution regardless of freshness, with staleness
+    /// flag.
+    pub fn any_acopf(&self) -> Option<(AcopfSolution, bool)> {
+        let s = self.inner.read();
+        let hash = s.diffs.hash();
+        s.acopf
+            .as_ref()
+            .map(|st| (st.value.clone(), st.diff_hash != hash))
+    }
+
+    /// Deposits a base power flow report.
+    pub fn put_base_pf(&self, rep: PfReport, at_s: f64) {
+        let hash = self.diff_hash();
+        self.inner.write().base_pf = Some(Stamped {
+            value: rep,
+            diff_hash: hash,
+            at_s,
+        });
+    }
+
+    /// Fresh base power flow, if any.
+    pub fn fresh_base_pf(&self) -> Option<PfReport> {
+        let s = self.inner.read();
+        let hash = s.diffs.hash();
+        s.base_pf
+            .as_ref()
+            .filter(|st| st.diff_hash == hash)
+            .map(|st| st.value.clone())
+    }
+
+    /// Deposits a contingency report.
+    pub fn put_contingency(&self, rep: ContingencyReport, at_s: f64) {
+        let hash = self.diff_hash();
+        self.inner.write().contingency = Some(Stamped {
+            value: rep,
+            diff_hash: hash,
+            at_s,
+        });
+    }
+
+    /// Fresh contingency report, if any.
+    pub fn fresh_contingency(&self) -> Option<ContingencyReport> {
+        let s = self.inner.read();
+        let hash = s.diffs.hash();
+        s.contingency
+            .as_ref()
+            .filter(|st| st.diff_hash == hash)
+            .map(|st| st.value.clone())
+    }
+
+    /// Serializes the session for persistence (§3.4 "Session persistence
+    /// serializes baseline, diffs, artifacts…").
+    pub fn save(&self) -> serde_json::Value {
+        serde_json::to_value(&*self.inner.read()).expect("session serializes")
+    }
+
+    /// Restores a persisted session.
+    pub fn restore(blob: &serde_json::Value) -> Result<SharedSession, serde_json::Error> {
+        let state: SessionState = serde_json::from_value(blob.clone())?;
+        Ok(Arc::new(SessionContext {
+            inner: RwLock::new(state),
+            cache: ContingencyCache::new(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_acopf::{solve_acopf, AcopfOptions};
+
+    #[test]
+    fn load_and_switch_cases() {
+        let s = SessionContext::new();
+        let (net, conf) = s.load_case("ieee 14").unwrap();
+        assert_eq!(net.n_bus(), 14);
+        assert!(conf > 0.9);
+        assert_eq!(s.active_case().as_deref(), Some("case14"));
+        // Switching resets diffs.
+        s.apply(Modification::ScaleAllLoads { factor: 1.1 }).unwrap();
+        assert_eq!(s.diff_count(), 1);
+        s.load_case("case30").unwrap();
+        assert_eq!(s.diff_count(), 0);
+        assert_eq!(s.active_case().as_deref(), Some("case30"));
+    }
+
+    #[test]
+    fn reload_same_case_preserves_state() {
+        let s = SessionContext::new();
+        s.load_case("case14").unwrap();
+        s.apply(Modification::ScaleAllLoads { factor: 1.2 }).unwrap();
+        s.load_case("14").unwrap(); // same case, fuzzy name
+        assert_eq!(s.diff_count(), 1, "same-case reload must not reset");
+    }
+
+    #[test]
+    fn unknown_case_rejected() {
+        let s = SessionContext::new();
+        assert!(matches!(
+            s.load_case("case9999"),
+            Err(SessionError::UnknownCase(_))
+        ));
+        assert!(matches!(
+            s.current_network(),
+            Err(SessionError::NoActiveCase)
+        ));
+    }
+
+    #[test]
+    fn freshness_tracks_diff_hash() {
+        let s = SessionContext::new();
+        s.load_case("case14").unwrap();
+        let net = s.current_network().unwrap();
+        let sol = solve_acopf(&net, &AcopfOptions::default()).unwrap();
+        s.put_acopf(sol, 1.0);
+        assert!(s.fresh_acopf().is_some());
+        // A modification stales the artifact…
+        s.apply(Modification::SetBusLoad {
+            bus_id: 10,
+            p_mw: 20.0,
+            q_mvar: None,
+        })
+        .unwrap();
+        assert!(s.fresh_acopf().is_none());
+        // …but it is still retrievable as stale.
+        let (stale, is_stale) = s.any_acopf().unwrap();
+        assert!(is_stale);
+        assert!(stale.solved);
+    }
+
+    #[test]
+    fn modifications_accumulate_on_current() {
+        let s = SessionContext::new();
+        s.load_case("case14").unwrap();
+        let before = s.current_network().unwrap().total_load_mw();
+        s.apply(Modification::SetBusLoad {
+            bus_id: 10,
+            p_mw: 50.0,
+            q_mvar: None,
+        })
+        .unwrap();
+        let after = s.current_network().unwrap().total_load_mw();
+        assert!((after - before - 41.0).abs() < 1e-9); // 9 MW → 50 MW
+        assert_eq!(s.diff_descriptions(), vec!["set load at bus 10 to 50 MW"]);
+    }
+
+    #[test]
+    fn bad_modification_not_recorded() {
+        let s = SessionContext::new();
+        s.load_case("case14").unwrap();
+        let err = s
+            .apply(Modification::SetBusLoad {
+                bus_id: 999,
+                p_mw: 1.0,
+                q_mvar: None,
+            })
+            .unwrap_err();
+        assert!(matches!(err, SessionError::BadModification(_)));
+        assert_eq!(s.diff_count(), 0);
+    }
+
+    #[test]
+    fn session_persistence_round_trip() {
+        let s = SessionContext::new();
+        s.load_case("case30").unwrap();
+        s.apply(Modification::ScaleAllLoads { factor: 0.9 }).unwrap();
+        let blob = s.save();
+        let restored = SessionContext::restore(&blob).unwrap();
+        assert_eq!(restored.active_case().as_deref(), Some("case30"));
+        assert_eq!(restored.diff_count(), 1);
+        let net = restored.current_network().unwrap();
+        assert!((net.total_load_mw() - 283.4 * 0.9).abs() < 1e-6);
+    }
+}

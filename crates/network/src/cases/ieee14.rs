@@ -1,0 +1,64 @@
+//! IEEE 14-bus test case data (PSTCA / MATPOWER `case14` distribution).
+//!
+//! Authentic parameter set: bus voltages and loads, generator limits and
+//! polynomial costs, branch impedances, off-nominal taps on the three
+//! transformers, and the 19 MVAr shunt at bus 9. MATPOWER ships this case
+//! with unrated branches (`rateA = 0`), preserved here: a `rating_mva` of
+//! zero means "unrated" throughout GridMind-RS.
+
+/// Case text in the `gm-network` case format.
+pub const IEEE14: &str = "\
+case IEEE 14-bus system
+basemva 100
+bus 1 slack 1.060 0.0 135 0.94 1.06 1
+bus 2 pv 1.045 -4.98 135 0.94 1.06 1
+bus 3 pv 1.010 -12.72 135 0.94 1.06 1
+bus 4 pq 1.019 -10.33 135 0.94 1.06 1
+bus 5 pq 1.020 -8.78 135 0.94 1.06 1
+bus 6 pv 1.070 -14.22 135 0.94 1.06 1
+bus 7 pq 1.062 -13.37 135 0.94 1.06 1
+bus 8 pv 1.090 -13.36 135 0.94 1.06 1
+bus 9 pq 1.056 -14.94 135 0.94 1.06 1
+bus 10 pq 1.051 -15.10 135 0.94 1.06 1
+bus 11 pq 1.057 -14.79 135 0.94 1.06 1
+bus 12 pq 1.055 -15.07 135 0.94 1.06 1
+bus 13 pq 1.050 -15.16 135 0.94 1.06 1
+bus 14 pq 1.036 -16.04 135 0.94 1.06 1
+load 2 21.7 12.7
+load 3 94.2 19.0
+load 4 47.8 -3.9
+load 5 7.6 1.6
+load 6 11.2 7.5
+load 9 29.5 16.6
+load 10 9.0 5.8
+load 11 3.5 1.8
+load 12 6.1 1.6
+load 13 13.5 5.8
+load 14 14.9 5.0
+gen 1 232.4 -16.9 1.060 0 332.4 0 10 0.0430293 20 0
+gen 2 40.0 42.4 1.045 0 140 -40 50 0.25 20 0
+gen 3 0.0 23.4 1.010 0 100 0 40 0.01 40 0
+gen 6 0.0 12.2 1.070 0 100 -6 24 0.01 40 0
+gen 8 0.0 17.4 1.090 0 100 -6 24 0.01 40 0
+branch 1 2 0.01938 0.05917 0.0528 0 1 0 line
+branch 1 5 0.05403 0.22304 0.0492 0 1 0 line
+branch 2 3 0.04699 0.19797 0.0438 0 1 0 line
+branch 2 4 0.05811 0.17632 0.0340 0 1 0 line
+branch 2 5 0.05695 0.17388 0.0346 0 1 0 line
+branch 3 4 0.06701 0.17103 0.0128 0 1 0 line
+branch 4 5 0.01335 0.04211 0.0 0 1 0 line
+branch 4 7 0.0 0.20912 0.0 0 0.978 0 trafo
+branch 4 9 0.0 0.55618 0.0 0 0.969 0 trafo
+branch 5 6 0.0 0.25202 0.0 0 0.932 0 trafo
+branch 6 11 0.09498 0.19890 0.0 0 1 0 line
+branch 6 12 0.12291 0.25581 0.0 0 1 0 line
+branch 6 13 0.06615 0.13027 0.0 0 1 0 line
+branch 7 8 0.0 0.17615 0.0 0 1 0 line
+branch 7 9 0.0 0.11001 0.0 0 1 0 line
+branch 9 10 0.03181 0.08450 0.0 0 1 0 line
+branch 9 14 0.12711 0.27038 0.0 0 1 0 line
+branch 10 11 0.08205 0.19207 0.0 0 1 0 line
+branch 12 13 0.22092 0.19988 0.0 0 1 0 line
+branch 13 14 0.17093 0.34802 0.0 0 1 0 line
+shunt 9 0 19
+";

@@ -1,0 +1,116 @@
+//! IEEE 30-bus test case data.
+//!
+//! Classic IEEE 30-bus system (generators at buses 1, 2, 5, 8, 11, 13):
+//! topology, impedances, loads, shunts, and the standard quadratic cost
+//! coefficients. Parameters follow the PSTCA distribution as reconstructed
+//! for this project; thermal ratings follow the MATPOWER `case30` corridor
+//! pattern (130 MVA backbone, 65/32 MVA intermediate, 16 MVA distribution
+//! ends). Minor deviations from the archival file are possible and are
+//! documented in DESIGN.md — the case validates and solves both power flow
+//! and ACOPF.
+
+/// Case text in the `gm-network` case format.
+pub const IEEE30: &str = "\
+case IEEE 30-bus system
+basemva 100
+bus 1 slack 1.060 0.0 132 0.95 1.10 1
+bus 2 pv 1.043 -5.48 132 0.95 1.10 1
+bus 3 pq 1.021 -7.96 132 0.95 1.10 1
+bus 4 pq 1.012 -9.62 132 0.95 1.10 1
+bus 5 pv 1.010 -14.37 132 0.95 1.10 1
+bus 6 pq 1.010 -11.34 132 0.95 1.10 1
+bus 7 pq 1.002 -13.12 132 0.95 1.10 1
+bus 8 pv 1.010 -12.10 132 0.95 1.10 1
+bus 9 pq 1.051 -14.38 33 0.95 1.10 1
+bus 10 pq 1.045 -15.97 33 0.95 1.10 1
+bus 11 pv 1.082 -14.39 11 0.95 1.10 1
+bus 12 pq 1.057 -15.24 33 0.95 1.10 2
+bus 13 pv 1.071 -15.24 11 0.95 1.10 2
+bus 14 pq 1.042 -16.13 33 0.95 1.10 2
+bus 15 pq 1.038 -16.22 33 0.95 1.10 2
+bus 16 pq 1.045 -15.83 33 0.95 1.10 2
+bus 17 pq 1.040 -16.14 33 0.95 1.10 2
+bus 18 pq 1.028 -16.82 33 0.95 1.10 2
+bus 19 pq 1.026 -17.00 33 0.95 1.10 2
+bus 20 pq 1.030 -16.80 33 0.95 1.10 2
+bus 21 pq 1.033 -16.42 33 0.95 1.10 3
+bus 22 pq 1.033 -16.41 33 0.95 1.10 3
+bus 23 pq 1.027 -16.61 33 0.95 1.10 2
+bus 24 pq 1.021 -16.78 33 0.95 1.10 3
+bus 25 pq 1.017 -16.35 33 0.95 1.10 3
+bus 26 pq 1.000 -16.77 33 0.95 1.10 3
+bus 27 pq 1.023 -15.82 33 0.95 1.10 3
+bus 28 pq 1.007 -11.97 132 0.95 1.10 1
+bus 29 pq 1.003 -17.06 33 0.95 1.10 3
+bus 30 pq 0.992 -17.94 33 0.95 1.10 3
+load 2 21.7 12.7
+load 3 2.4 1.2
+load 4 7.6 1.6
+load 5 94.2 19.0
+load 7 22.8 10.9
+load 8 30.0 30.0
+load 10 5.8 2.0
+load 12 11.2 7.5
+load 14 6.2 1.6
+load 15 8.2 2.5
+load 16 3.5 1.8
+load 17 9.0 5.8
+load 18 3.2 0.9
+load 19 9.5 3.4
+load 20 2.2 0.7
+load 21 17.5 11.2
+load 23 3.2 1.6
+load 24 8.7 6.7
+load 26 3.5 2.3
+load 29 2.4 0.9
+load 30 10.6 1.9
+gen 1 138.6 -2.8 1.060 0 200 -20 200 0.00375 2.0 0
+gen 2 57.6 2.5 1.043 0 80 -20 100 0.0175 1.75 0
+gen 5 24.6 22.6 1.010 0 50 -15 80 0.0625 1.0 0
+gen 8 35.0 34.8 1.010 0 35 -15 60 0.00834 3.25 0
+gen 11 17.9 30.0 1.082 0 30 -10 50 0.025 3.0 0
+gen 13 16.9 37.0 1.071 0 40 -15 60 0.025 3.0 0
+branch 1 2 0.0192 0.0575 0.0528 130 1 0 line
+branch 1 3 0.0452 0.1652 0.0408 130 1 0 line
+branch 2 4 0.0570 0.1737 0.0368 65 1 0 line
+branch 3 4 0.0132 0.0379 0.0084 130 1 0 line
+branch 2 5 0.0472 0.1983 0.0418 130 1 0 line
+branch 2 6 0.0581 0.1763 0.0374 65 1 0 line
+branch 4 6 0.0119 0.0414 0.0090 90 1 0 line
+branch 5 7 0.0460 0.1160 0.0204 70 1 0 line
+branch 6 7 0.0267 0.0820 0.0170 130 1 0 line
+branch 6 8 0.0120 0.0420 0.0090 32 1 0 line
+branch 6 9 0.0 0.2080 0.0 65 0.978 0 trafo
+branch 6 10 0.0 0.5560 0.0 32 0.969 0 trafo
+branch 9 11 0.0 0.2080 0.0 65 1 0 line
+branch 9 10 0.0 0.1100 0.0 65 1 0 line
+branch 4 12 0.0 0.2560 0.0 65 0.932 0 trafo
+branch 12 13 0.0 0.1400 0.0 65 1 0 line
+branch 12 14 0.1231 0.2559 0.0 32 1 0 line
+branch 12 15 0.0662 0.1304 0.0 32 1 0 line
+branch 12 16 0.0945 0.1987 0.0 32 1 0 line
+branch 14 15 0.2210 0.1997 0.0 16 1 0 line
+branch 16 17 0.0524 0.1923 0.0 16 1 0 line
+branch 15 18 0.1073 0.2185 0.0 16 1 0 line
+branch 18 19 0.0639 0.1292 0.0 16 1 0 line
+branch 19 20 0.0340 0.0680 0.0 32 1 0 line
+branch 10 20 0.0936 0.2090 0.0 32 1 0 line
+branch 10 17 0.0324 0.0845 0.0 32 1 0 line
+branch 10 21 0.0348 0.0749 0.0 32 1 0 line
+branch 10 22 0.0727 0.1499 0.0 32 1 0 line
+branch 21 22 0.0116 0.0236 0.0 32 1 0 line
+branch 15 23 0.1000 0.2020 0.0 16 1 0 line
+branch 22 24 0.1150 0.1790 0.0 16 1 0 line
+branch 23 24 0.1320 0.2700 0.0 16 1 0 line
+branch 24 25 0.1885 0.3292 0.0 16 1 0 line
+branch 25 26 0.2544 0.3800 0.0 16 1 0 line
+branch 25 27 0.1093 0.2087 0.0 16 1 0 line
+branch 28 27 0.0 0.3960 0.0 65 0.968 0 trafo
+branch 27 29 0.2198 0.4153 0.0 16 1 0 line
+branch 27 30 0.3202 0.6027 0.0 16 1 0 line
+branch 29 30 0.2399 0.4533 0.0 16 1 0 line
+branch 8 28 0.0636 0.2000 0.0428 32 1 0 line
+branch 6 28 0.0169 0.0599 0.0130 32 1 0 line
+shunt 10 0 19
+shunt 24 0 4.3
+";

@@ -1,0 +1,297 @@
+//! IEEE test case library and fuzzy case identification.
+//!
+//! Five cases are available, matching the paper's Table 2. IEEE 14 and 30
+//! are embedded authentic data; IEEE 57, 118, and 300 are deterministic
+//! synthetic reconstructions (see [`crate::synth`] and DESIGN.md §1).
+//!
+//! The paper's agent logs show fuzzy case identification with a confidence
+//! score ("Identified case: IEEE 118-bus system (confidence 1.0)");
+//! [`identify_case`] reproduces that behaviour: exact canonical names score
+//! 1.0, recognisable variants ("ieee 118", "118-bus", "118") score lower
+//! but still resolve.
+
+mod ieee14;
+mod ieee30;
+mod ratings;
+
+use crate::model::Network;
+use crate::synth::{generate, SynthSpec};
+
+/// Canonical identifiers for the supported cases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum CaseId {
+    /// IEEE 14-bus system (authentic data).
+    Ieee14,
+    /// IEEE 30-bus system (authentic data).
+    Ieee30,
+    /// IEEE 57-bus system (synthetic reconstruction).
+    Ieee57,
+    /// IEEE 118-bus system (synthetic reconstruction).
+    Ieee118,
+    /// IEEE 300-bus system (synthetic reconstruction).
+    Ieee300,
+}
+
+impl CaseId {
+    /// All supported cases, smallest first.
+    pub const ALL: [CaseId; 5] = [
+        CaseId::Ieee14,
+        CaseId::Ieee30,
+        CaseId::Ieee57,
+        CaseId::Ieee118,
+        CaseId::Ieee300,
+    ];
+
+    /// Canonical short name ("case118").
+    pub fn short_name(self) -> &'static str {
+        match self {
+            CaseId::Ieee14 => "case14",
+            CaseId::Ieee30 => "case30",
+            CaseId::Ieee57 => "case57",
+            CaseId::Ieee118 => "case118",
+            CaseId::Ieee300 => "case300",
+        }
+    }
+
+    /// Display name ("IEEE 118-bus system").
+    pub fn display_name(self) -> &'static str {
+        match self {
+            CaseId::Ieee14 => "IEEE 14-bus system",
+            CaseId::Ieee30 => "IEEE 30-bus system",
+            CaseId::Ieee57 => "IEEE 57-bus system",
+            CaseId::Ieee118 => "IEEE 118-bus system",
+            CaseId::Ieee300 => "IEEE 300-bus system",
+        }
+    }
+
+    /// Bus count (the number in the case name).
+    pub fn size(self) -> usize {
+        match self {
+            CaseId::Ieee14 => 14,
+            CaseId::Ieee30 => 30,
+            CaseId::Ieee57 => 57,
+            CaseId::Ieee118 => 118,
+            CaseId::Ieee300 => 300,
+        }
+    }
+}
+
+/// Case lookup failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnknownCase {
+    /// The input that could not be resolved.
+    pub input: String,
+}
+
+impl std::fmt::Display for UnknownCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown case {:?}; supported: case14, case30, case57, case118, case300",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for UnknownCase {}
+
+/// Fuzzy case identification with a confidence score in `(0, 1]`.
+///
+/// Accepts canonical names (`case118`, confidence 1.0), display names
+/// (`IEEE 118-bus system`), spaced variants (`ieee 118`, `118 bus`), and
+/// bare sizes (`118`, confidence 0.8).
+pub fn identify_case(input: &str) -> Option<(CaseId, f64)> {
+    let norm: String = input
+        .trim()
+        .to_ascii_lowercase()
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect();
+    if norm.is_empty() {
+        return None;
+    }
+    for id in CaseId::ALL {
+        if norm == id.short_name() {
+            return Some((id, 1.0));
+        }
+    }
+    let digits: String = norm.chars().filter(|c| c.is_ascii_digit()).collect();
+    let size: usize = digits.parse().ok()?;
+    let id = CaseId::ALL.into_iter().find(|c| c.size() == size)?;
+    let conf = if norm.contains("ieee") || norm.contains("case") || norm.contains("bus") {
+        0.95
+    } else if norm == digits {
+        0.8
+    } else {
+        0.6
+    };
+    Some((id, conf))
+}
+
+/// Applies the embedded AC-calibrated ratings to a synthetic case (see
+/// `ratings.rs` and `gm-bench/src/bin/calibrate_ratings.rs`).
+fn apply_ratings(mut net: Network, ratings: &[f64]) -> Network {
+    assert_eq!(
+        net.branches.len(),
+        ratings.len(),
+        "embedded ratings out of sync with the generator — re-run calibrate_ratings"
+    );
+    for (br, &r) in net.branches.iter_mut().zip(ratings) {
+        br.rating_mva = r;
+    }
+    net
+}
+
+/// Loads a case by [`CaseId`].
+pub fn load(id: CaseId) -> Network {
+    match id {
+        CaseId::Ieee14 => crate::caseformat::parse(ieee14::IEEE14)
+            .expect("embedded IEEE 14 case data must parse"),
+        CaseId::Ieee30 => crate::caseformat::parse(ieee30::IEEE30)
+            .expect("embedded IEEE 30 case data must parse"),
+        CaseId::Ieee57 => apply_ratings(generate(&SynthSpec {
+            name: "IEEE 57-bus system".into(),
+            n_bus: 57,
+            n_gen: 7,
+            n_load: 42,
+            n_line: 63,
+            n_trafo: 17,
+            total_load_mw: 1250.8,
+            total_gen_capacity_mw: 2800.0,
+            seed: 0x57,
+            rating_margin: 1.0,
+        }), ratings::RATINGS_57),
+        CaseId::Ieee118 => apply_ratings(generate(&SynthSpec {
+            name: "IEEE 118-bus system".into(),
+            n_bus: 118,
+            n_gen: 54,
+            n_load: 99,
+            n_line: 175,
+            n_trafo: 11,
+            total_load_mw: 4242.0,
+            total_gen_capacity_mw: 9161.0,
+            seed: 0x118,
+            rating_margin: 1.0,
+        }), ratings::RATINGS_118),
+        CaseId::Ieee300 => apply_ratings(generate(&SynthSpec {
+            name: "IEEE 300-bus system".into(),
+            n_bus: 300,
+            n_gen: 68,
+            n_load: 193,
+            n_line: 283,
+            n_trafo: 128,
+            total_load_mw: 23525.8,
+            total_gen_capacity_mw: 43000.0,
+            seed: 0x300,
+            rating_margin: 1.45,
+        }), ratings::RATINGS_300),
+    }
+}
+
+/// Loads a case by fuzzy name, returning the network and the identification
+/// confidence (the paper's log line).
+pub fn load_case(input: &str) -> Result<(Network, f64), UnknownCase> {
+    let (id, conf) = identify_case(input).ok_or_else(|| UnknownCase {
+        input: input.to_string(),
+    })?;
+    Ok((load(id), conf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identify_canonical() {
+        assert_eq!(identify_case("case118"), Some((CaseId::Ieee118, 1.0)));
+        assert_eq!(identify_case("case14"), Some((CaseId::Ieee14, 1.0)));
+    }
+
+    #[test]
+    fn identify_variants() {
+        let (id, conf) = identify_case("IEEE 118-bus system").unwrap();
+        assert_eq!(id, CaseId::Ieee118);
+        assert!(conf >= 0.95);
+        let (id, conf) = identify_case("118").unwrap();
+        assert_eq!(id, CaseId::Ieee118);
+        assert!((0.5..1.0).contains(&conf));
+        assert_eq!(identify_case("ieee 30").unwrap().0, CaseId::Ieee30);
+        assert_eq!(identify_case("300 bus").unwrap().0, CaseId::Ieee300);
+    }
+
+    #[test]
+    fn identify_rejects_unknown() {
+        assert_eq!(identify_case("case999"), None);
+        assert_eq!(identify_case(""), None);
+        assert_eq!(identify_case("hello"), None);
+    }
+
+    #[test]
+    fn ieee14_inventory_matches_table2() {
+        let net = load(CaseId::Ieee14);
+        let s = net.summary();
+        assert_eq!(s.buses, 14);
+        assert_eq!(s.generators, 5);
+        assert_eq!(s.loads, 11);
+        assert_eq!(s.lines, 17);
+        assert_eq!(s.transformers, 3);
+        assert!((s.total_load_mw - 259.0).abs() < 1e-6);
+        net.validate().expect("IEEE 14 must validate");
+    }
+
+    #[test]
+    fn ieee30_inventory_matches_table2() {
+        let net = load(CaseId::Ieee30);
+        let s = net.summary();
+        assert_eq!(s.buses, 30);
+        assert_eq!(s.generators, 6);
+        assert_eq!(s.loads, 21);
+        assert_eq!(s.lines, 37);
+        assert_eq!(s.transformers, 4);
+        assert!((s.total_load_mw - 283.4).abs() < 1e-6);
+        net.validate().expect("IEEE 30 must validate");
+    }
+
+    #[test]
+    fn synthetic_inventories_match_table2() {
+        for (id, bus, gen, load_n, line, trafo) in [
+            (CaseId::Ieee57, 57, 7, 42, 63, 17),
+            (CaseId::Ieee118, 118, 54, 99, 175, 11),
+            (CaseId::Ieee300, 300, 68, 193, 283, 128),
+        ] {
+            let net = load(id);
+            let s = net.summary();
+            assert_eq!(s.buses, bus, "{id:?}");
+            assert_eq!(s.generators, gen, "{id:?}");
+            assert_eq!(s.loads, load_n, "{id:?}");
+            assert_eq!(s.lines, line, "{id:?}");
+            assert_eq!(s.transformers, trafo, "{id:?}");
+            net.validate().unwrap_or_else(|e| panic!("{id:?}: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn ieee118_paper_totals() {
+        let net = load(CaseId::Ieee118);
+        assert!((net.total_load_mw() - 4242.0).abs() < 1e-6);
+        assert!((net.total_gen_capacity_mw() - 9161.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn load_case_reports_confidence() {
+        let (net, conf) = load_case("ieee 57").unwrap();
+        assert_eq!(net.n_bus(), 57);
+        assert!(conf > 0.9);
+        assert!(load_case("case1234").is_err());
+    }
+
+    #[test]
+    fn deterministic_synthetic_loads() {
+        let a = load(CaseId::Ieee118);
+        let b = load(CaseId::Ieee118);
+        assert_eq!(a.branches.len(), b.branches.len());
+        for (x, y) in a.branches.iter().zip(&b.branches) {
+            assert_eq!(x.rating_mva, y.rating_mva);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # gm-network
+//!
+//! Power system network modeling for GridMind-RS — the role PandaPower's
+//! data layer plays for the paper.
+//!
+//! - [`model`] — the typed `PowerSystem` data model: buses, loads,
+//!   generators with polynomial costs, branches (lines / transformers),
+//!   shunts, and validation.
+//! - [`ybus`] — complex bus admittance matrix assembly and branch-flow
+//!   evaluation (pi-model with off-nominal taps and phase shift).
+//! - [`topology`] — connectivity, island detection, bridge analysis.
+//! - [`diff`] — incremental, auditable network modifications with a
+//!   replayable, hashable diff log (paper §3.4).
+//! - [`caseformat`] — plain-text case format with parser and serializer.
+//! - [`matpower`] — MATPOWER `.m` case file importer (format version 2),
+//!   so authentic archive data can be loaded directly.
+//! - [`cases`] — the IEEE test case library (Table 2 of the paper) with
+//!   fuzzy case identification; IEEE 14/30 are embedded authentic data,
+//!   IEEE 57/118/300 are deterministic synthetic reconstructions.
+//! - [`synth`] — the synthetic case generator with DC-calibrated
+//!   impedances and N-1-aware thermal ratings.
+//!
+//! ```
+//! use gm_network::{cases, CaseId, YBus};
+//!
+//! let net = cases::load(CaseId::Ieee14);
+//! assert_eq!(net.n_bus(), 14);
+//! assert!((net.total_load_mw() - 259.0).abs() < 1e-9);
+//! let ybus = YBus::assemble(&net);
+//! assert_eq!(ybus.matrix.shape(), (14, 14));
+//! ```
+
+pub mod caseformat;
+pub mod cases;
+pub mod matpower;
+pub mod diff;
+pub mod model;
+pub mod synth;
+pub mod topology;
+pub mod ybus;
+
+pub use cases::{identify_case, load_case, CaseId};
+pub use matpower::{parse_matpower, SAMPLE_CASE9};
+pub use diff::{DiffLog, Modification};
+pub use model::{
+    Branch, BranchKind, Bus, BusKind, GenCost, Generator, Load, ModelError, Network,
+    NetworkSummary, Shunt,
+};
+pub use ybus::YBus;

@@ -1,0 +1,154 @@
+//! Graph utilities over the in-service branch topology.
+
+use crate::model::Network;
+
+/// Adjacency lists over in-service branches (undirected).
+pub fn adjacency(net: &Network) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); net.n_bus()];
+    for br in net.branches.iter().filter(|b| b.in_service) {
+        adj[br.from_bus].push(br.to_bus);
+        adj[br.to_bus].push(br.from_bus);
+    }
+    adj
+}
+
+/// Number of connected components of the in-service network.
+pub fn connected_components(net: &Network) -> usize {
+    component_labels(net)
+        .iter()
+        .copied()
+        .max()
+        .map(|m| m + 1)
+        .unwrap_or(0)
+}
+
+/// Per-bus component label (0-based), assigned by BFS in bus order.
+pub fn component_labels(net: &Network) -> Vec<usize> {
+    let n = net.n_bus();
+    let adj = adjacency(net);
+    let mut label = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        label[start] = next;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                if label[v] == usize::MAX {
+                    label[v] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    label
+}
+
+/// Returns `true` when taking branch `idx` out of service would split the
+/// network (i.e. the branch is a bridge) or isolate a bus.
+pub fn outage_islands(net: &Network, idx: usize) -> bool {
+    let mut copy = net.clone();
+    copy.branches[idx].in_service = false;
+    connected_components(&copy) > connected_components(net)
+}
+
+/// Buses that would be disconnected from the slack if branch `idx` were
+/// outaged. Empty when the outage is safe.
+pub fn stranded_buses(net: &Network, idx: usize) -> Vec<usize> {
+    let Some(slack) = net.slack() else {
+        return Vec::new();
+    };
+    let mut copy = net.clone();
+    copy.branches[idx].in_service = false;
+    let labels = component_labels(&copy);
+    let slack_label = labels[slack];
+    labels
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l != slack_label)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Degree (number of incident in-service branches) per bus.
+pub fn degrees(net: &Network) -> Vec<usize> {
+    adjacency(net).iter().map(|a| a.len()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Branch, Bus, BusKind, Network};
+
+    fn chain(n: usize) -> Network {
+        let mut net = Network::new("chain");
+        for i in 0..n {
+            let mut b = Bus::pq(i as u32 + 1, 138.0);
+            if i == 0 {
+                b.kind = BusKind::Slack;
+            }
+            net.buses.push(b);
+        }
+        for i in 0..n.saturating_sub(1) {
+            net.branches
+                .push(Branch::line(i, i + 1, 0.01, 0.1, 0.0, 100.0));
+        }
+        net
+    }
+
+    #[test]
+    fn chain_is_connected() {
+        assert_eq!(connected_components(&chain(5)), 1);
+    }
+
+    #[test]
+    fn out_of_service_branch_splits() {
+        let mut net = chain(4);
+        net.branches[1].in_service = false;
+        assert_eq!(connected_components(&net), 2);
+        let labels = component_labels(&net);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn every_chain_edge_is_a_bridge() {
+        let net = chain(4);
+        for i in 0..net.branches.len() {
+            assert!(outage_islands(&net, i), "edge {i} should be a bridge");
+        }
+    }
+
+    #[test]
+    fn ring_edges_are_not_bridges() {
+        let mut net = chain(4);
+        net.branches.push(Branch::line(3, 0, 0.01, 0.1, 0.0, 100.0));
+        for i in 0..net.branches.len() {
+            assert!(!outage_islands(&net, i), "ring edge {i} is not a bridge");
+        }
+    }
+
+    #[test]
+    fn stranded_buses_downstream_of_bridge() {
+        let net = chain(4);
+        assert_eq!(stranded_buses(&net, 1), vec![2, 3]);
+        assert_eq!(stranded_buses(&net, 0), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn degrees_of_chain() {
+        assert_eq!(degrees(&chain(4)), vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn empty_network() {
+        let net = Network::new("empty");
+        assert_eq!(connected_components(&net), 0);
+        assert!(component_labels(&net).is_empty());
+    }
+}

@@ -1,0 +1,327 @@
+//! A minimal, `Copy` complex number type.
+//!
+//! Power system analysis is complex arithmetic end to end: bus admittance
+//! matrices, branch flows, and voltage phasors are all `C^n` objects. This
+//! module provides the single complex type used across the workspace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number `re + j·im`.
+///
+/// Uses the electrical-engineering convention `j` for the imaginary unit in
+/// its `Display` output.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity `0 + j0`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + j0`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + j1`.
+    pub const J: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates (magnitude, angle in
+    /// radians). This is the natural constructor for voltage phasors
+    /// `V = |V|·e^{jθ}`.
+    #[inline]
+    pub fn from_polar(mag: f64, ang: f64) -> Self {
+        Complex {
+            re: mag * ang.cos(),
+            im: mag * ang.sin(),
+        }
+    }
+
+    /// Magnitude `|z| = sqrt(re² + im²)`, computed with `hypot` for
+    /// robustness against overflow.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `re² + im²` (avoids the square root when comparing
+    /// magnitudes, e.g. in apparent-power limit checks).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (angle) in radians in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate `re - j·im`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Multiplicative inverse `1/z`. Returns non-finite components when `z`
+    /// is zero, mirroring IEEE float semantics.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        Complex::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+j{}", self.re, self.im)
+        } else {
+            write!(f, "{}-j{}", self.re, -self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w computed as z·w⁻¹
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z.re, 3.0);
+        assert_eq!(z.im, -4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_3);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - std::f64::consts::FRAC_PI_3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(1.5, -2.5);
+        let b = Complex::new(-0.25, 4.0);
+        assert!(close(a + b - b, a, 1e-12));
+        assert!(close(a * b / b, a, 1e-12));
+        assert!(close(a * a.inv(), Complex::ONE, 1e-12));
+        assert!(close(-(-a), a, 0.0));
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let a = Complex::new(2.0, 3.0);
+        let b = Complex::new(-1.0, 0.5);
+        assert!(close((a * b).conj(), a.conj() * b.conj(), 1e-12));
+        assert_eq!((a * a.conj()).im, 0.0);
+        assert!((a * a.conj()).re - a.norm_sqr() == 0.0);
+    }
+
+    #[test]
+    fn division_by_real_matches_scale() {
+        let a = Complex::new(4.0, -6.0);
+        assert!(close(a / 2.0, Complex::new(2.0, -3.0), 1e-15));
+        assert!(close(2.0 * a, a * 2.0, 0.0));
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_unit_circle() {
+        let z = Complex::new(0.0, std::f64::consts::PI).exp();
+        assert!(close(z, Complex::new(-1.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = Complex::new(-3.0, 4.0);
+        let r = z.sqrt();
+        assert!(close(r * r, z, 1e-12));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Complex = (0..4).map(|k| Complex::new(k as f64, 1.0)).sum();
+        assert_eq!(total, Complex::new(6.0, 4.0));
+    }
+
+    #[test]
+    fn display_formats_j_notation() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+j2");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-j2");
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = Complex::new(1.0, 1.0);
+        z += Complex::ONE;
+        z -= Complex::J;
+        z *= Complex::new(2.0, 0.0);
+        z /= Complex::new(2.0, 0.0);
+        assert!(close(z, Complex::new(2.0, 0.0), 1e-12));
+    }
+}

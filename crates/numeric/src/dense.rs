@@ -1,0 +1,268 @@
+//! Column-major dense matrix.
+//!
+//! Dense storage is used where problems are small and dense by nature: the
+//! reduced KKT systems of the interior-point ACOPF on small cases, unit
+//! tests cross-checking the sparse kernels, and the fast-decoupled B' / B''
+//! factor setup. Storage is column-major so that column operations (the hot
+//! loop of LU factorization) are contiguous.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense `rows × cols` matrix of `f64` in column-major layout.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct DMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DMat {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DMat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major slice of slices (test-friendly).
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        let mut m = DMat::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged row {i}");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` at every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = DMat::zeros(rows, cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of column `j` as a contiguous slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Mutable view of column `j` as a contiguous slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Raw column-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix-vector product `y = A·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
+        let mut y = vec![0.0; self.rows];
+        for (j, &xj) in x.iter().enumerate() {
+            if xj == 0.0 {
+                continue;
+            }
+            let col = self.col(j);
+            for (yi, &aij) in y.iter_mut().zip(col) {
+                *yi += aij * xj;
+            }
+        }
+        y
+    }
+
+    /// Transposed matrix-vector product `y = Aᵀ·x`.
+    pub fn mul_vec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "dimension mismatch in mul_vec_t");
+        (0..self.cols)
+            .map(|j| self.col(j).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Matrix-matrix product `C = A·B`.
+    pub fn mul_mat(&self, b: &DMat) -> DMat {
+        assert_eq!(self.cols, b.rows, "dimension mismatch in mul_mat");
+        let mut c = DMat::zeros(self.rows, b.cols);
+        for j in 0..b.cols {
+            let bcol = b.col(j);
+            let ccol = c.col_mut(j);
+            for (k, &bkj) in bcol.iter().enumerate() {
+                if bkj == 0.0 {
+                    continue;
+                }
+                let acol = self.col(k);
+                for (ci, &aik) in ccol.iter_mut().zip(acol) {
+                    *ci += aik * bkj;
+                }
+            }
+        }
+        c
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> DMat {
+        DMat::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Adds `k · I` to a square matrix in place (diagonal regularization).
+    pub fn add_diag(&mut self, k: f64) {
+        assert_eq!(self.rows, self.cols, "add_diag requires a square matrix");
+        for i in 0..self.rows {
+            self[(i, i)] += k;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry (∞-norm over entries).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+}
+
+impl Index<(usize, usize)> for DMat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[j * self.rows + i]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DMat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[j * self.rows + i]
+    }
+}
+
+impl fmt::Debug for DMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DMat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:>12.5} ", self[(i, j)])?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = DMat::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = DMat::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn from_rows_and_index() {
+        let m = DMat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m.col(0), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn mat_vec_product() {
+        let m = DMat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        assert_eq!(m.mul_vec_t(&[1.0, 1.0]), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn mat_mat_product_against_identity() {
+        let m = DMat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let p = m.mul_mat(&DMat::identity(2));
+        assert_eq!(p, m);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = DMat::from_rows(&[&[1.0, 2.0, 5.0], &[3.0, 4.0, 6.0]]);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn norms() {
+        let m = DMat::from_rows(&[&[3.0, 0.0], &[0.0, -4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-15);
+        assert_eq!(m.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn add_diag_regularizes() {
+        let mut m = DMat::zeros(2, 2);
+        m.add_diag(0.5);
+        assert_eq!(m[(0, 0)], 0.5);
+        assert_eq!(m[(1, 1)], 0.5);
+        assert_eq!(m[(0, 1)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_vec_shape_checked() {
+        DMat::zeros(2, 2).mul_vec(&[1.0]);
+    }
+}

@@ -1,0 +1,123 @@
+//! BLAS-1 style vector helpers on `f64` and [`Complex`] slices.
+//!
+//! Mismatch norms, dot products, and axpy updates are the innermost loops of
+//! Newton iterations and interior-point steps; keeping them in one audited
+//! place avoids subtly different convergence checks across solvers.
+
+use crate::complex::Complex;
+
+/// Infinity norm `max |xᵢ|`. Returns 0 for an empty slice.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+}
+
+/// Euclidean norm.
+pub fn norm2(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// 1-norm `Σ|xᵢ|`.
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Dot product.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// `y ← y + alpha·x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Element-wise subtraction `x - y` into a new vector.
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "sub length mismatch");
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// Index and value of the entry with the largest magnitude; `None` if empty.
+pub fn argmax_abs(x: &[f64]) -> Option<(usize, f64)> {
+    x.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+        .map(|(i, &v)| (i, v))
+}
+
+/// Infinity norm of a complex vector (max phasor magnitude).
+pub fn cnorm_inf(x: &[Complex]) -> f64 {
+    x.iter().fold(0.0f64, |m, z| m.max(z.abs()))
+}
+
+/// Hermitian dot product `Σ xᵢ · conj(yᵢ)`.
+pub fn cdot(x: &[Complex], y: &[Complex]) -> Complex {
+    assert_eq!(x.len(), y.len(), "cdot length mismatch");
+    x.iter().zip(y).map(|(a, b)| *a * b.conj()).sum()
+}
+
+/// Linear interpolation `a + t·(b - a)` over slices (used by continuation /
+/// Iwamoto-style damped updates).
+pub fn lerp(a: &[f64], b: &[f64], t: f64) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "lerp length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + t * (y - x)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms() {
+        let x = [3.0, -4.0];
+        assert_eq!(norm_inf(&x), 4.0);
+        assert!((norm2(&x) - 5.0).abs() < 1e-15);
+        assert_eq!(norm1(&x), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn dot_and_axpy() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [4.0, 5.0, 6.0];
+        assert_eq!(dot(&x, &y), 32.0);
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [6.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn argmax_abs_finds_peak() {
+        assert_eq!(argmax_abs(&[1.0, -9.0, 3.0]), Some((1, -9.0)));
+        assert_eq!(argmax_abs(&[]), None);
+    }
+
+    #[test]
+    fn complex_helpers() {
+        let x = [Complex::new(3.0, 4.0), Complex::ONE];
+        assert_eq!(cnorm_inf(&x), 5.0);
+        let d = cdot(&x, &x);
+        assert!((d.re - 26.0).abs() < 1e-15);
+        assert!(d.im.abs() < 1e-15);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = [0.0, 1.0];
+        let b = [2.0, 3.0];
+        assert_eq!(lerp(&a, &b, 0.0), a.to_vec());
+        assert_eq!(lerp(&a, &b, 1.0), b.to_vec());
+        assert_eq!(lerp(&a, &b, 0.5), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn sub_elementwise() {
+        assert_eq!(sub(&[3.0, 2.0], &[1.0, 5.0]), vec![2.0, -3.0]);
+    }
+}

@@ -1,0 +1,156 @@
+//! DC (linearized) power flow.
+//!
+//! Lossless active-power-only approximation: `P = B·θ` with unit voltage
+//! magnitudes. Used for warm starts, the synthetic case calibration, and
+//! as the fast screening stage of contingency analysis.
+
+use gm_network::Network;
+use gm_sparse::{SparseLu, Triplets};
+
+/// DC power flow result.
+#[derive(Clone, Debug)]
+pub struct DcReport {
+    /// Bus voltage angles (radians), slack pinned at zero.
+    pub theta_rad: Vec<f64>,
+    /// Active flow per branch, from → to (MW). Out-of-service branches
+    /// carry zero.
+    pub flow_mw: Vec<f64>,
+    /// Active power supplied at the slack bus (MW).
+    pub slack_p_mw: f64,
+}
+
+/// Solves the DC power flow. Panics if the network has no slack (call
+/// `validate` first) or the B matrix is singular (islanded network).
+pub fn solve_dc(net: &Network) -> DcReport {
+    let n = net.n_bus();
+    let slack = net.slack().expect("network must have a slack bus");
+    let (p_mw, _) = net.scheduled_injections();
+    let mut p: Vec<f64> = p_mw.iter().map(|v| v / net.base_mva).collect();
+    let total: f64 = p.iter().sum();
+    // Slack absorbs the imbalance (loads + losses are not represented).
+    let slack_p_sched = p[slack];
+    p[slack] = 0.0;
+
+    let mut t = Triplets::new(n, n);
+    for br in net.branches.iter().filter(|b| b.in_service) {
+        let b = 1.0 / br.x_pu;
+        let (i, j) = (br.from_bus, br.to_bus);
+        if i != slack && j != slack {
+            t.push(i, i, b);
+            t.push(j, j, b);
+            t.push(i, j, -b);
+            t.push(j, i, -b);
+        } else if i != slack {
+            t.push(i, i, b);
+        } else if j != slack {
+            t.push(j, j, b);
+        }
+    }
+    t.push(slack, slack, 1.0);
+    let bmat = t.to_csr();
+    let lu = SparseLu::factor(&bmat).expect("DC B matrix must be nonsingular");
+    let theta = lu.solve(&p);
+
+    let flow_mw: Vec<f64> = net
+        .branches
+        .iter()
+        .map(|br| {
+            if br.in_service {
+                (theta[br.from_bus] - theta[br.to_bus]) / br.x_pu * net.base_mva
+            } else {
+                0.0
+            }
+        })
+        .collect();
+
+    let _ = (slack_p_sched, total);
+    // Net flow leaving the slack bus equals the power it injects; add the
+    // local load back to get the slack *generation*.
+    let mut slack_injection = 0.0;
+    for (idx, br) in net.branches.iter().enumerate() {
+        if !br.in_service {
+            continue;
+        }
+        if br.from_bus == slack {
+            slack_injection += flow_mw[idx];
+        } else if br.to_bus == slack {
+            slack_injection -= flow_mw[idx];
+        }
+    }
+    let slack_load: f64 = net
+        .loads
+        .iter()
+        .filter(|l| l.in_service && l.bus == slack)
+        .map(|l| l.p_mw)
+        .sum();
+
+    DcReport {
+        theta_rad: theta,
+        flow_mw,
+        slack_p_mw: slack_injection + slack_load,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_network::{cases, CaseId};
+
+    #[test]
+    fn slack_angle_zero() {
+        let net = cases::load(CaseId::Ieee14);
+        let dc = solve_dc(&net);
+        let slack = net.slack().unwrap();
+        assert_eq!(dc.theta_rad[slack], 0.0);
+    }
+
+    #[test]
+    fn flow_balance_at_non_slack_buses() {
+        let net = cases::load(CaseId::Ieee14);
+        let dc = solve_dc(&net);
+        let slack = net.slack().unwrap();
+        let (p_mw, _) = net.scheduled_injections();
+        let mut residual = p_mw.clone();
+        for (idx, br) in net.branches.iter().enumerate() {
+            residual[br.from_bus] -= dc.flow_mw[idx];
+            residual[br.to_bus] += dc.flow_mw[idx];
+        }
+        for (i, r) in residual.iter().enumerate() {
+            if i != slack {
+                assert!(r.abs() < 1e-6, "bus {i} residual {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn slack_covers_system_balance() {
+        let net = cases::load(CaseId::Ieee14);
+        let dc = solve_dc(&net);
+        // DC is lossless: slack generation = total load − other generation.
+        let other_gen: f64 = net
+            .gens
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.in_service && g.bus != net.slack().unwrap())
+            .map(|(_, g)| g.p_mw)
+            .sum();
+        let expect = net.total_load_mw() - other_gen;
+        assert!(
+            (dc.slack_p_mw - expect).abs() < 1e-6,
+            "slack {} vs expected {}",
+            dc.slack_p_mw,
+            expect
+        );
+    }
+
+    #[test]
+    fn outage_redistributes_flow() {
+        let mut net = cases::load(CaseId::Ieee14);
+        let base = solve_dc(&net);
+        net.branches[0].in_service = false;
+        let out = solve_dc(&net);
+        assert_eq!(out.flow_mw[0], 0.0);
+        // The parallel path 1-5 must pick up flow.
+        assert!(out.flow_mw[1].abs() > base.flow_mw[1].abs());
+    }
+}

@@ -1,0 +1,254 @@
+//! Fast-decoupled power flow (XB scheme).
+//!
+//! Constant B′ / B″ matrices factored once, alternating P-θ and Q-V half
+//! iterations. Cheaper per iteration than Newton but linearly convergent;
+//! GridMind uses it as a recovery fallback when Newton struggles and as a
+//! cross-check in the validation layer.
+
+use crate::types::{PfError, PfOptions, PfReport};
+use gm_network::{BusKind, Network, YBus};
+use gm_numeric::Complex;
+use gm_sparse::{SparseLu, Triplets};
+
+/// Solves the power flow with the fast-decoupled XB scheme.
+///
+/// Reuses [`crate::newton`]'s reporting by polishing the decoupled solution
+/// with a final report build; convergence control follows `opts.tol_pu` and
+/// `opts.max_iter` (each P or Q half-sweep counts as one iteration of the
+/// pair).
+pub fn solve_fast_decoupled(net: &Network, opts: &PfOptions) -> Result<PfReport, PfError> {
+    if let Err(problems) = net.validate() {
+        return Err(PfError::InvalidNetwork {
+            problems: problems.iter().map(|p| p.to_string()).collect(),
+        });
+    }
+    let n = net.n_bus();
+    let slack = net.slack().expect("validated network has a slack");
+    let ybus = YBus::assemble(net);
+
+    // Roles (no Q-limit handling in the decoupled solver: it is a fallback
+    // / screening method; use Newton for limit-accurate solutions).
+    let mut is_pv = vec![false; n];
+    for (i, b) in net.buses.iter().enumerate() {
+        if b.kind == BusKind::Pv && net.gens_at(i).next().is_some() {
+            is_pv[i] = true;
+        }
+    }
+
+    let mut col_th = vec![usize::MAX; n];
+    let mut n_th = 0;
+    for i in 0..n {
+        if i != slack {
+            col_th[i] = n_th;
+            n_th += 1;
+        }
+    }
+    let mut col_vm = vec![usize::MAX; n];
+    let mut n_vm = 0;
+    for i in 0..n {
+        if i != slack && !is_pv[i] {
+            col_vm[i] = n_vm;
+            n_vm += 1;
+        }
+    }
+
+    // B′: series susceptance 1/x, taps and shunts ignored, over θ vars.
+    let mut tp = Triplets::new(n_th, n_th);
+    for br in net.branches.iter().filter(|b| b.in_service) {
+        let b = 1.0 / br.x_pu;
+        let (i, j) = (br.from_bus, br.to_bus);
+        let (ci, cj) = (col_th[i], col_th[j]);
+        if ci != usize::MAX {
+            tp.push(ci, ci, b);
+        }
+        if cj != usize::MAX {
+            tp.push(cj, cj, b);
+        }
+        if ci != usize::MAX && cj != usize::MAX {
+            tp.push(ci, cj, -b);
+            tp.push(cj, ci, -b);
+        }
+    }
+    let bp = tp.to_csr();
+
+    // B″: negative imaginary part of Ybus over Vm vars.
+    let mut tpp = Triplets::new(n_vm, n_vm);
+    for i in 0..n {
+        if col_vm[i] == usize::MAX {
+            continue;
+        }
+        let (cols, vals) = ybus.matrix.row(i);
+        for (&j, &y) in cols.iter().zip(vals) {
+            if col_vm[j] != usize::MAX {
+                tpp.push(col_vm[i], col_vm[j], -y.im);
+            }
+        }
+    }
+    let bpp = tpp.to_csr();
+
+    let lup = SparseLu::factor(&bp).map_err(|_| PfError::SingularJacobian { iteration: 0 })?;
+    let lupp = if n_vm > 0 {
+        Some(SparseLu::factor(&bpp).map_err(|_| PfError::SingularJacobian { iteration: 0 })?)
+    } else {
+        None
+    };
+
+    // Scheduled injections (p.u.).
+    let (p_mw, q_mvar) = net.scheduled_injections();
+    let p_spec: Vec<f64> = p_mw.iter().map(|v| v / net.base_mva).collect();
+    let q_spec: Vec<f64> = q_mvar.iter().map(|v| v / net.base_mva).collect();
+
+    // Flat start with setpoint magnitudes.
+    let mut vm: Vec<f64> = (0..n)
+        .map(|i| {
+            if i == slack || is_pv[i] {
+                net.gens_at(i)
+                    .next()
+                    .map(|(_, g)| g.vm_setpoint_pu)
+                    .unwrap_or(net.buses[i].vm_pu)
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let mut th = vec![0.0f64; n];
+
+    let mut history = Vec::new();
+    let mut iterations = 0usize;
+    let mut converged = false;
+    for _ in 0..(2 * opts.max_iter) {
+        let v: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_polar(vm[i], th[i]))
+            .collect();
+        let s = ybus.injections(&v);
+        let mut norm = 0.0f64;
+        for i in 0..n {
+            if col_th[i] != usize::MAX {
+                norm = norm.max((s[i].re - p_spec[i]).abs());
+            }
+            if col_vm[i] != usize::MAX {
+                norm = norm.max((s[i].im - q_spec[i]).abs());
+            }
+        }
+        history.push(norm);
+        if norm < opts.tol_pu {
+            converged = true;
+            break;
+        }
+        iterations += 1;
+
+        // P-θ half step.
+        let mut rhs = vec![0.0f64; n_th];
+        for i in 0..n {
+            if col_th[i] != usize::MAX {
+                rhs[col_th[i]] = (s[i].re - p_spec[i]) / vm[i];
+            }
+        }
+        let dth = lup.solve(&rhs);
+        for i in 0..n {
+            if col_th[i] != usize::MAX {
+                th[i] -= dth[col_th[i]];
+            }
+        }
+
+        // Q-V half step.
+        if let Some(lupp) = &lupp {
+            let v2: Vec<Complex> = (0..n)
+                .map(|i| Complex::from_polar(vm[i], th[i]))
+                .collect();
+            let s2 = ybus.injections(&v2);
+            let mut rhs = vec![0.0f64; n_vm];
+            for i in 0..n {
+                if col_vm[i] != usize::MAX {
+                    rhs[col_vm[i]] = (s2[i].im - q_spec[i]) / vm[i];
+                }
+            }
+            let dvm = lupp.solve(&rhs);
+            for i in 0..n {
+                if col_vm[i] != usize::MAX {
+                    vm[i] = (vm[i] - dvm[col_vm[i]]).max(0.1);
+                }
+            }
+        }
+    }
+
+    if !converged {
+        return Err(PfError::Diverged {
+            iterations,
+            mismatch_pu: history.last().copied().unwrap_or(f64::INFINITY),
+        });
+    }
+
+    // Hand the converged state to the Newton report builder by doing a
+    // zero-iteration Newton polish from this voltage.
+    let v: Vec<Complex> = (0..n)
+        .map(|i| Complex::from_polar(vm[i], th[i]))
+        .collect();
+    let polish = PfOptions {
+        enforce_q_limits: false,
+        iwamoto_damping: false,
+        max_iter: 2,
+        ..opts.clone()
+    };
+    let mut report = crate::newton::solve_from(net, &polish, Some(&v))?;
+    report.iterations += iterations;
+    let mut full_history = history;
+    full_history.append(&mut report.mismatch_history);
+    report.mismatch_history = full_history;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_network::{cases, CaseId};
+
+    #[test]
+    fn matches_newton_on_ieee14() {
+        let net = cases::load(CaseId::Ieee14);
+        let opts = PfOptions {
+            enforce_q_limits: false,
+            ..Default::default()
+        };
+        let fd = solve_fast_decoupled(&net, &opts).unwrap();
+        let nr = crate::newton::solve(&net, &opts).unwrap();
+        assert!(fd.converged);
+        for (a, b) in fd.buses.iter().zip(&nr.buses) {
+            assert!(
+                (a.vm_pu - b.vm_pu).abs() < 1e-6,
+                "bus {}: {} vs {}",
+                a.id,
+                a.vm_pu,
+                b.vm_pu
+            );
+            assert!((a.va_deg - b.va_deg).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn converges_on_ieee30() {
+        let net = cases::load(CaseId::Ieee30);
+        let opts = PfOptions {
+            enforce_q_limits: false,
+            max_iter: 60,
+            ..Default::default()
+        };
+        let fd = solve_fast_decoupled(&net, &opts).unwrap();
+        assert!(fd.converged);
+        assert!(fd.losses_mw > 0.0);
+    }
+
+    #[test]
+    fn needs_more_iterations_than_newton() {
+        // Linear vs quadratic convergence: FD should take more sweeps.
+        let net = cases::load(CaseId::Ieee14);
+        let opts = PfOptions {
+            enforce_q_limits: false,
+            max_iter: 60,
+            ..Default::default()
+        };
+        let fd = solve_fast_decoupled(&net, &opts).unwrap();
+        let nr = crate::newton::solve(&net, &opts).unwrap();
+        assert!(fd.iterations > nr.iterations);
+    }
+}

@@ -1,0 +1,515 @@
+//! Newton–Raphson AC power flow in polar coordinates.
+//!
+//! The reference solver behind GridMind's tools (the role `pandapower.runpp`
+//! plays in the paper). Sparse Jacobian assembly over the Ybus pattern,
+//! sparse LU solves, optional Iwamoto-style optimal step multipliers (the
+//! `iwamoto muliplier:` lines visible in the paper's Fig. 8 logs), and
+//! generator reactive-limit enforcement by PV→PQ switching.
+
+use crate::types::{
+    BranchFlow, BusResult, GenResult, InitStrategy, PfError, PfOptions, PfReport,
+};
+use gm_network::{BusKind, Network, YBus};
+use gm_numeric::Complex;
+use gm_sparse::{SparseLu, Triplets};
+
+/// Effective bus role during the solve (PV buses can be demoted to PQ when
+/// their units hit reactive limits).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Role {
+    Slack,
+    Pv,
+    Pq,
+}
+
+/// Solves the AC power flow for a network.
+pub fn solve(net: &Network, opts: &PfOptions) -> Result<PfReport, PfError> {
+    solve_from(net, opts, None)
+}
+
+/// Solves with an explicit starting voltage (warm start), overriding
+/// `opts.init`. The slice must have one entry per bus.
+pub fn solve_from(
+    net: &Network,
+    opts: &PfOptions,
+    start: Option<&[Complex]>,
+) -> Result<PfReport, PfError> {
+    if let Err(problems) = net.validate() {
+        return Err(PfError::InvalidNetwork {
+            problems: problems.iter().map(|p| p.to_string()).collect(),
+        });
+    }
+    let n = net.n_bus();
+    let ybus = YBus::assemble(net);
+    let slack = net.slack().expect("validated network has a slack");
+
+    // Effective roles: a PV bus without an in-service generator is just PQ.
+    let mut role = vec![Role::Pq; n];
+    role[slack] = Role::Slack;
+    for (i, bus) in net.buses.iter().enumerate() {
+        if bus.kind == BusKind::Pv && net.gens_at(i).next().is_some() {
+            role[i] = Role::Pv;
+        }
+    }
+    role[slack] = Role::Slack;
+
+    // Scheduled injections in p.u.
+    let (p_mw, q_mvar) = net.scheduled_injections();
+    let p_spec: Vec<f64> = p_mw.iter().map(|v| v / net.base_mva).collect();
+    let mut q_spec: Vec<f64> = q_mvar.iter().map(|v| v / net.base_mva).collect();
+    // At PQ buses the scheduled Q excludes any (switched-off-PV) generator
+    // contribution — handled below during Q-limit rounds.
+
+    // Setpoint magnitudes for PV/slack buses.
+    let mut vm_set = vec![1.0f64; n];
+    for (i, bus) in net.buses.iter().enumerate() {
+        vm_set[i] = bus.vm_pu.max(0.5);
+        if let Some((_, g)) = net.gens_at(i).next() {
+            if role[i] != Role::Pq {
+                vm_set[i] = g.vm_setpoint_pu;
+            }
+        }
+    }
+
+    // Initial voltages.
+    let mut v: Vec<Complex> = match start {
+        Some(v0) => {
+            assert_eq!(v0.len(), n, "warm start length mismatch");
+            v0.to_vec()
+        }
+        None => match opts.init {
+            InitStrategy::Flat => (0..n)
+                .map(|i| {
+                    Complex::from_polar(
+                        if role[i] == Role::Pq { 1.0 } else { vm_set[i] },
+                        0.0,
+                    )
+                })
+                .collect(),
+            InitStrategy::CaseValues => net
+                .buses
+                .iter()
+                .map(|b| Complex::from_polar(b.vm_pu, b.va_deg.to_radians()))
+                .collect(),
+            InitStrategy::DcWarmStart => {
+                let dc = crate::dc::solve_dc(net);
+                (0..n)
+                    .map(|i| {
+                        Complex::from_polar(
+                            if role[i] == Role::Pq { 1.0 } else { vm_set[i] },
+                            dc.theta_rad[i],
+                        )
+                    })
+                    .collect()
+            }
+        },
+    };
+    // Pin PV/slack magnitudes to setpoints regardless of the start.
+    for i in 0..n {
+        if role[i] != Role::Pq {
+            v[i] = Complex::from_polar(vm_set[i], v[i].arg());
+        }
+    }
+
+    let mut iterations = 0usize;
+    let mut q_rounds = 0usize;
+    let mut mismatch_history = Vec::new();
+    let mut multipliers = Vec::new();
+    let mut at_limit: Vec<bool> = vec![false; net.gens.len()];
+
+    loop {
+        let converged = newton_inner(
+            net,
+            &ybus,
+            &role,
+            &p_spec,
+            &q_spec,
+            slack,
+            opts,
+            &mut v,
+            &mut iterations,
+            &mut mismatch_history,
+            &mut multipliers,
+        )?;
+        if !converged {
+            return Err(PfError::Diverged {
+                iterations,
+                mismatch_pu: mismatch_history.last().copied().unwrap_or(f64::INFINITY),
+            });
+        }
+        if !opts.enforce_q_limits || q_rounds >= opts.max_q_rounds {
+            break;
+        }
+        // Reactive limit check at PV buses; demote violators to PQ with Q
+        // pinned at the limit and resolve from the current voltages.
+        let s_calc = ybus.injections(&v);
+        let mut switched = false;
+        for i in 0..n {
+            if role[i] != Role::Pv {
+                continue;
+            }
+            // Total generator Q needed at the bus = injection + load Q.
+            let load_q: f64 = net
+                .loads
+                .iter()
+                .filter(|l| l.in_service && l.bus == i)
+                .map(|l| l.q_mvar)
+                .sum::<f64>()
+                / net.base_mva;
+            let q_gen = s_calc[i].im + load_q;
+            let (q_min, q_max) = gen_q_range(net, i);
+            if q_gen > q_max + 1e-9 || q_gen < q_min - 1e-9 {
+                let pinned = q_gen.clamp(q_min, q_max);
+                role[i] = Role::Pq;
+                q_spec[i] = pinned - load_q;
+                for (gi, _) in net.gens_at(i) {
+                    at_limit[gi] = true;
+                }
+                switched = true;
+            }
+        }
+        if !switched {
+            break;
+        }
+        q_rounds += 1;
+    }
+
+    Ok(build_report(
+        net,
+        &ybus,
+        &v,
+        slack,
+        iterations,
+        q_rounds,
+        mismatch_history,
+        multipliers,
+        &at_limit,
+    ))
+}
+
+/// Total generator reactive range at a bus (p.u.).
+fn gen_q_range(net: &Network, bus: usize) -> (f64, f64) {
+    let mut lo = 0.0;
+    let mut hi = 0.0;
+    for (_, g) in net.gens_at(bus) {
+        lo += g.q_min_mvar;
+        hi += g.q_max_mvar;
+    }
+    (lo / net.base_mva, hi / net.base_mva)
+}
+
+/// Runs Newton iterations until convergence or the iteration budget is
+/// spent. Returns `Ok(true)` on convergence.
+#[allow(clippy::too_many_arguments)]
+fn newton_inner(
+    net: &Network,
+    ybus: &YBus,
+    role: &[Role],
+    p_spec: &[f64],
+    q_spec: &[f64],
+    _slack: usize,
+    opts: &PfOptions,
+    v: &mut [Complex],
+    iterations: &mut usize,
+    mismatch_history: &mut Vec<f64>,
+    multipliers: &mut Vec<f64>,
+) -> Result<bool, PfError> {
+    let n = net.n_bus();
+
+    // Variable maps.
+    let mut col_th = vec![usize::MAX; n];
+    let mut col_vm = vec![usize::MAX; n];
+    let mut n_th = 0usize;
+    for i in 0..n {
+        if role[i] != Role::Slack {
+            col_th[i] = n_th;
+            n_th += 1;
+        }
+    }
+    let mut n_vm = 0usize;
+    for i in 0..n {
+        if role[i] == Role::Pq {
+            col_vm[i] = n_th + n_vm;
+            n_vm += 1;
+        }
+    }
+    let nvar = n_th + n_vm;
+    if nvar == 0 {
+        mismatch_history.push(0.0);
+        return Ok(true);
+    }
+
+    let mismatch = |v: &[Complex]| -> (Vec<f64>, f64) {
+        let s = ybus.injections(v);
+        let mut f = vec![0.0f64; nvar];
+        let mut norm = 0.0f64;
+        for i in 0..n {
+            if col_th[i] != usize::MAX {
+                let m = s[i].re - p_spec[i];
+                f[col_th[i]] = m;
+                norm = norm.max(m.abs());
+            }
+            if col_vm[i] != usize::MAX {
+                let m = s[i].im - q_spec[i];
+                f[col_vm[i]] = m;
+                norm = norm.max(m.abs());
+            }
+        }
+        (f, norm)
+    };
+
+    let (mut f, mut norm) = mismatch(v);
+    for local_iter in 0..=opts.max_iter {
+        mismatch_history.push(norm);
+        if norm < opts.tol_pu {
+            return Ok(true);
+        }
+        if local_iter == opts.max_iter {
+            break;
+        }
+        *iterations += 1;
+
+        // ---- Jacobian assembly over the Ybus sparsity pattern.
+        let s_calc = ybus.injections(v);
+        let mut tj = Triplets::with_capacity(nvar, nvar, 4 * ybus.matrix.nnz());
+        for i in 0..n {
+            let (cols, vals) = ybus.matrix.row(i);
+            let vi = v[i].abs();
+            let thi = v[i].arg();
+            let row_p = col_th[i]; // P-mismatch row shares the θ index
+            let row_q = col_vm[i]; // Q-mismatch row shares the Vm index
+            for (&j, &y) in cols.iter().zip(vals) {
+                let (g, b) = (y.re, y.im);
+                if i == j {
+                    let (pi, qi) = (s_calc[i].re, s_calc[i].im);
+                    if row_p != usize::MAX {
+                        tj.push(row_p, col_th[i], -qi - b * vi * vi);
+                        if col_vm[i] != usize::MAX {
+                            tj.push(row_p, col_vm[i], pi / vi + g * vi);
+                        }
+                    }
+                    if row_q != usize::MAX {
+                        tj.push(row_q, col_th[i], pi - g * vi * vi);
+                        tj.push(row_q, col_vm[i], qi / vi - b * vi);
+                    }
+                } else {
+                    let vj = v[j].abs();
+                    let thij = thi - v[j].arg();
+                    let (sin, cos) = thij.sin_cos();
+                    if row_p != usize::MAX {
+                        if col_th[j] != usize::MAX {
+                            tj.push(row_p, col_th[j], vi * vj * (g * sin - b * cos));
+                        }
+                        if col_vm[j] != usize::MAX {
+                            tj.push(row_p, col_vm[j], vi * (g * cos + b * sin));
+                        }
+                    }
+                    if row_q != usize::MAX {
+                        if col_th[j] != usize::MAX {
+                            tj.push(row_q, col_th[j], -vi * vj * (g * cos + b * sin));
+                        }
+                        if col_vm[j] != usize::MAX {
+                            tj.push(row_q, col_vm[j], vi * (g * sin - b * cos));
+                        }
+                    }
+                }
+            }
+        }
+        let jac = tj.to_csr();
+        let lu = SparseLu::factor(&jac).map_err(|_| PfError::SingularJacobian {
+            iteration: *iterations,
+        })?;
+        let dx = lu.solve(&f);
+
+        // ---- Step with optional Iwamoto-style optimal multiplier.
+        let apply = |v: &[Complex], mu: f64| -> Vec<Complex> {
+            let mut out = v.to_vec();
+            for i in 0..n {
+                let mut vm = v[i].abs();
+                let mut th = v[i].arg();
+                if col_th[i] != usize::MAX {
+                    th -= mu * dx[col_th[i]];
+                }
+                if col_vm[i] != usize::MAX {
+                    vm -= mu * dx[col_vm[i]];
+                    vm = vm.max(0.1); // keep magnitudes physical
+                }
+                out[i] = Complex::from_polar(vm, th);
+            }
+            out
+        };
+
+        let full = apply(v, 1.0);
+        let (f_full, norm_full) = mismatch(&full);
+        let (chosen_v, chosen_f, chosen_norm, mu_used) =
+            if !opts.iwamoto_damping || norm_full <= norm {
+                (full, f_full, norm_full, 1.0)
+            } else {
+                // The full step overshoots: search the step length that
+                // minimizes the mismatch norm (Iwamoto's optimal multiplier,
+                // evaluated numerically).
+                let mut best = (full, f_full, norm_full, 1.0);
+                for &mu in &[0.9, 0.75, 0.5, 0.35, 0.2, 0.1, 0.05] {
+                    let cand = apply(v, mu);
+                    let (fc, nc) = mismatch(&cand);
+                    if nc < best.2 {
+                        best = (cand, fc, nc, mu);
+                    }
+                }
+                best
+            };
+        multipliers.push(mu_used);
+        v.copy_from_slice(&chosen_v);
+        f = chosen_f;
+        norm = chosen_norm;
+        if !norm.is_finite() {
+            return Ok(false);
+        }
+    }
+    Ok(false)
+}
+
+/// Assembles the final report from a solved voltage vector.
+#[allow(clippy::too_many_arguments)]
+fn build_report(
+    net: &Network,
+    ybus: &YBus,
+    v: &[Complex],
+    slack: usize,
+    iterations: usize,
+    q_limit_rounds: usize,
+    mismatch_history: Vec<f64>,
+    multipliers: Vec<f64>,
+    at_limit: &[bool],
+) -> PfReport {
+    let n = net.n_bus();
+    let base = net.base_mva;
+    let s_calc = ybus.injections(v);
+
+    let buses: Vec<BusResult> = (0..n)
+        .map(|i| BusResult {
+            id: net.buses[i].id,
+            vm_pu: v[i].abs(),
+            va_deg: v[i].arg().to_degrees(),
+            p_mw: s_calc[i].re * base,
+            q_mvar: s_calc[i].im * base,
+        })
+        .collect();
+
+    let mut branches = Vec::with_capacity(net.branches.len());
+    let mut losses = 0.0f64;
+    let mut max_loading = (0.0f64, usize::MAX);
+    for (idx, br) in net.branches.iter().enumerate() {
+        if !br.in_service {
+            branches.push(BranchFlow {
+                index: idx,
+                p_from_mw: 0.0,
+                q_from_mvar: 0.0,
+                p_to_mw: 0.0,
+                q_to_mvar: 0.0,
+                loading_pct: 0.0,
+            });
+            continue;
+        }
+        let sf = ybus.flow_from(idx, v, net) * base;
+        let st = ybus.flow_to(idx, v, net) * base;
+        losses += sf.re + st.re;
+        let smax = sf.abs().max(st.abs());
+        let loading = if br.rating_mva > 0.0 {
+            100.0 * smax / br.rating_mva
+        } else {
+            0.0
+        };
+        if loading > max_loading.0 {
+            max_loading = (loading, idx);
+        }
+        branches.push(BranchFlow {
+            index: idx,
+            p_from_mw: sf.re,
+            q_from_mvar: sf.im,
+            p_to_mw: st.re,
+            q_to_mvar: st.im,
+            loading_pct: loading,
+        });
+    }
+
+    // Allocate bus-level injections back to generators.
+    let mut gens = Vec::with_capacity(net.gens.len());
+    for (gi, g) in net.gens.iter().enumerate() {
+        if !g.in_service {
+            gens.push(GenResult {
+                index: gi,
+                p_mw: 0.0,
+                q_mvar: 0.0,
+                at_q_limit: false,
+            });
+            continue;
+        }
+        let bus = g.bus;
+        let load_p: f64 = net
+            .loads
+            .iter()
+            .filter(|l| l.in_service && l.bus == bus)
+            .map(|l| l.p_mw)
+            .sum();
+        let load_q: f64 = net
+            .loads
+            .iter()
+            .filter(|l| l.in_service && l.bus == bus)
+            .map(|l| l.q_mvar)
+            .sum();
+        let p_bus = s_calc[bus].re * base + load_p;
+        let q_bus = s_calc[bus].im * base + load_q;
+        // Share among co-located units proportionally to capacity/range.
+        let units: Vec<&gm_network::Generator> =
+            net.gens_at(bus).map(|(_, u)| u).collect();
+        let p_cap: f64 = units.iter().map(|u| u.p_max_mw.max(1e-6)).sum();
+        let q_rng: f64 = units
+            .iter()
+            .map(|u| (u.q_max_mvar - u.q_min_mvar).max(1e-6))
+            .sum();
+        let p_share = if bus == slack {
+            p_bus * g.p_max_mw.max(1e-6) / p_cap
+        } else {
+            g.p_mw
+        };
+        let q_share = q_bus * (g.q_max_mvar - g.q_min_mvar).max(1e-6) / q_rng;
+        gens.push(GenResult {
+            index: gi,
+            p_mw: p_share,
+            q_mvar: q_share,
+            at_q_limit: at_limit.get(gi).copied().unwrap_or(false),
+        });
+    }
+
+    let (mut min_vm, mut max_vm) = ((f64::INFINITY, 0u32), (0.0f64, 0u32));
+    for b in &buses {
+        if b.vm_pu < min_vm.0 {
+            min_vm = (b.vm_pu, b.id);
+        }
+        if b.vm_pu > max_vm.0 {
+            max_vm = (b.vm_pu, b.id);
+        }
+    }
+
+    let converged = mismatch_history
+        .last()
+        .map(|m| m.is_finite())
+        .unwrap_or(false);
+    let max_mismatch_pu = mismatch_history.last().copied().unwrap_or(f64::NAN);
+    PfReport {
+        converged,
+        iterations,
+        q_limit_rounds,
+        max_mismatch_pu,
+        mismatch_history,
+        multipliers,
+        buses,
+        branches,
+        gens,
+        losses_mw: losses,
+        min_vm,
+        max_vm,
+        max_loading,
+    }
+}

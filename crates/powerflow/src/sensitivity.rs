@@ -1,0 +1,274 @@
+//! Linear network sensitivities: PTDF and LODF.
+//!
+//! Power Transfer Distribution Factors map nodal injections to branch
+//! flows under the DC approximation; Line Outage Distribution Factors map
+//! a branch's pre-outage flow to the post-outage flow changes on every
+//! other branch. Together they support the fast N-1 screening mode of the
+//! contingency engine (Appendix B.4's "sensitivity analysis" capability)
+//! and the security constraints of the SCOPF extension.
+
+use gm_network::Network;
+use gm_numeric::DMat;
+use gm_sparse::{SparseLu, Triplets};
+
+/// PTDF/LODF matrices for a network snapshot (in-service branches only;
+/// out-of-service rows are zero).
+#[derive(Clone, Debug)]
+pub struct Sensitivities {
+    /// `ptdf[(l, i)]`: MW flow change on branch `l` per MW injected at
+    /// bus `i` (withdrawn at the slack).
+    pub ptdf: DMat,
+    /// `lodf[(l, k)]`: MW flow change on branch `l` per MW of pre-outage
+    /// flow on branch `k`, when `k` is outaged. `NaN` on columns whose
+    /// outage islands the network (radial branches).
+    pub lodf: DMat,
+    /// Slack bus (reference for the PTDF).
+    pub slack: usize,
+}
+
+/// Computes PTDF and LODF matrices.
+///
+/// Factorizes the reduced DC susceptance matrix once, then performs one
+/// solve per bus. O(n · nnz-factor) — comfortably fast for the case
+/// library sizes.
+pub fn sensitivities(net: &Network) -> Sensitivities {
+    let n = net.n_bus();
+    let nb = net.branches.len();
+    let slack = net.slack().expect("network must have a slack bus");
+
+    // Reduced B with the slack pinned, as in the DC power flow.
+    let mut t = Triplets::new(n, n);
+    for br in net.branches.iter().filter(|b| b.in_service) {
+        let b = 1.0 / br.x_pu;
+        let (i, j) = (br.from_bus, br.to_bus);
+        if i != slack && j != slack {
+            t.push(i, i, b);
+            t.push(j, j, b);
+            t.push(i, j, -b);
+            t.push(j, i, -b);
+        } else if i != slack {
+            t.push(i, i, b);
+        } else if j != slack {
+            t.push(j, j, b);
+        }
+    }
+    t.push(slack, slack, 1.0);
+    let lu = SparseLu::factor(&t.to_csr()).expect("DC matrix factorizable");
+
+    // θ response per unit injection at each bus.
+    let mut theta = DMat::zeros(n, n); // column i = θ for e_i
+    for i in 0..n {
+        if i == slack {
+            continue; // zero column: injecting at the slack moves nothing
+        }
+        let mut rhs = vec![0.0; n];
+        rhs[i] = 1.0;
+        let x = lu.solve(&rhs);
+        for (r, v) in x.iter().enumerate() {
+            theta[(r, i)] = *v;
+        }
+    }
+
+    let mut ptdf = DMat::zeros(nb, n);
+    for (l, br) in net.branches.iter().enumerate() {
+        if !br.in_service {
+            continue;
+        }
+        let b = 1.0 / br.x_pu;
+        for i in 0..n {
+            ptdf[(l, i)] = (theta[(br.from_bus, i)] - theta[(br.to_bus, i)]) * b;
+        }
+    }
+
+    // LODF from PTDF: LODF(l,k) = PTDF(l, f_k→t_k) / (1 − PTDF(k, f_k→t_k)).
+    let mut lodf = DMat::zeros(nb, nb);
+    for (k, brk) in net.branches.iter().enumerate() {
+        if !brk.in_service {
+            continue;
+        }
+        let denom = 1.0 - (ptdf[(k, brk.from_bus)] - ptdf[(k, brk.to_bus)]);
+        let islanding = denom.abs() < 1e-7;
+        for (l, brl) in net.branches.iter().enumerate() {
+            if l == k || !brl.in_service {
+                continue;
+            }
+            let num = ptdf[(l, brk.from_bus)] - ptdf[(l, brk.to_bus)];
+            lodf[(l, k)] = if islanding { f64::NAN } else { num / denom };
+        }
+        if islanding {
+            lodf[(k, k)] = f64::NAN;
+        }
+    }
+
+    Sensitivities { ptdf, lodf, slack }
+}
+
+impl Sensitivities {
+    /// Estimated post-outage flows (MW) on every branch when branch `k`
+    /// is outaged, given the pre-outage flows. Returns `None` when the
+    /// outage islands the network.
+    pub fn post_outage_flows(&self, base_flow_mw: &[f64], k: usize) -> Option<Vec<f64>> {
+        if self.lodf[(k, k)].is_nan() {
+            return None;
+        }
+        let fk = base_flow_mw[k];
+        Some(
+            base_flow_mw
+                .iter()
+                .enumerate()
+                .map(|(l, &f)| {
+                    if l == k {
+                        0.0
+                    } else {
+                        let d = self.lodf[(l, k)];
+                        if d.is_nan() {
+                            f
+                        } else {
+                            f + d * fk
+                        }
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Worst estimated post-outage |flow|/rating over all branches for
+    /// outage `k` (fraction; 1.0 = at rating). Unrated branches are
+    /// skipped. `None` for islanding outages.
+    pub fn worst_post_outage_loading(
+        &self,
+        net: &Network,
+        base_flow_mw: &[f64],
+        k: usize,
+    ) -> Option<f64> {
+        let flows = self.post_outage_flows(base_flow_mw, k)?;
+        let mut worst = 0.0f64;
+        for (l, br) in net.branches.iter().enumerate() {
+            if l != k && br.in_service && br.rating_mva > 0.0 {
+                worst = worst.max(flows[l].abs() / br.rating_mva);
+            }
+        }
+        Some(worst)
+    }
+
+    /// Reactive-aware variant of [`Self::worst_post_outage_loading`]:
+    /// estimates post-outage MVA as `sqrt(P_est² + Q_base²)` — the LODF
+    /// redistributes active power only, and branch reactive flows are
+    /// approximately preserved to first order. This closes most of the
+    /// MW-vs-MVA gap that makes pure-P screening unsafe on reactive-heavy
+    /// systems.
+    pub fn worst_post_outage_loading_mva(
+        &self,
+        net: &Network,
+        base_p_mw: &[f64],
+        base_q_mvar: &[f64],
+        k: usize,
+    ) -> Option<f64> {
+        let flows = self.post_outage_flows(base_p_mw, k)?;
+        let mut worst = 0.0f64;
+        for (l, br) in net.branches.iter().enumerate() {
+            if l != k && br.in_service && br.rating_mva > 0.0 {
+                let s = (flows[l] * flows[l] + base_q_mvar[l] * base_q_mvar[l]).sqrt();
+                worst = worst.max(s / br.rating_mva);
+            }
+        }
+        Some(worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::solve_dc;
+    use gm_network::{cases, topology, CaseId};
+
+    #[test]
+    fn ptdf_rows_sum_consistency() {
+        // Injecting 1 MW at a bus must flow out through its incident
+        // branches: column sums of signed incident PTDFs equal 1 (for
+        // non-slack buses).
+        let net = cases::load(CaseId::Ieee14);
+        let s = sensitivities(&net);
+        let slack = net.slack().unwrap();
+        for i in 0..net.n_bus() {
+            if i == slack {
+                continue;
+            }
+            let mut net_out = 0.0;
+            for (l, br) in net.branches.iter().enumerate() {
+                if br.from_bus == i {
+                    net_out += s.ptdf[(l, i)];
+                } else if br.to_bus == i {
+                    net_out -= s.ptdf[(l, i)];
+                }
+            }
+            assert!(
+                (net_out - 1.0).abs() < 1e-9,
+                "bus {i}: injected power not conserved ({net_out})"
+            );
+        }
+    }
+
+    #[test]
+    fn lodf_predicts_dc_outage_flows() {
+        let net = cases::load(CaseId::Ieee14);
+        let s = sensitivities(&net);
+        let base = solve_dc(&net);
+        // Pick a non-radial branch and compare against a real DC re-solve.
+        for k in [0usize, 2, 4, 6] {
+            if topology::outage_islands(&net, k) {
+                continue;
+            }
+            let est = s.post_outage_flows(&base.flow_mw, k).unwrap();
+            let mut out_net = net.clone();
+            out_net.branches[k].in_service = false;
+            let exact = solve_dc(&out_net);
+            for l in 0..net.branches.len() {
+                assert!(
+                    (est[l] - exact.flow_mw[l]).abs() < 1e-6,
+                    "outage {k}, branch {l}: LODF {} vs DC {}",
+                    est[l],
+                    exact.flow_mw[l]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn radial_outage_flagged_as_islanding() {
+        let net = cases::load(CaseId::Ieee14);
+        let s = sensitivities(&net);
+        // Line 7-8 is radial in case14.
+        let radial = net
+            .branches
+            .iter()
+            .position(|b| {
+                let f = net.buses[b.from_bus].id;
+                let t = net.buses[b.to_bus].id;
+                (f, t) == (7, 8) || (t, f) == (7, 8)
+            })
+            .unwrap();
+        assert!(s.lodf[(radial, radial)].is_nan());
+        let base = solve_dc(&net);
+        assert!(s.post_outage_flows(&base.flow_mw, radial).is_none());
+    }
+
+    #[test]
+    fn worst_loading_screen_matches_dc_on_case118() {
+        let net = cases::load(CaseId::Ieee118);
+        let s = sensitivities(&net);
+        let base = solve_dc(&net);
+        let mut screened = 0;
+        for k in 0..net.branches.len() {
+            if let Some(w) = s.worst_post_outage_loading(&net, &base.flow_mw, k) {
+                assert!(w.is_finite());
+                if w > 0.9 {
+                    screened += 1;
+                }
+            }
+        }
+        // The stressed-minority construction guarantees some hot outages.
+        assert!(screened > 0, "screening found nothing on case118");
+        assert!(screened < net.branches.len(), "screening flags everything");
+    }
+}

@@ -1,0 +1,52 @@
+//! # gm-sparse
+//!
+//! Sparse matrix storage and factorization for GridMind-RS.
+//!
+//! Power system matrices are famously sparse: a bus admittance matrix has a
+//! handful of nonzeros per row regardless of system size, and the Newton
+//! power-flow Jacobian inherits that structure. This crate provides:
+//!
+//! - [`Triplets`] — coordinate-format assembly with duplicate summing, the
+//!   natural target for Ybus/Jacobian stamping;
+//! - [`CsMat`] — compressed sparse row storage, generic over [`Scalar`]
+//!   (real `f64` or [`gm_numeric::Complex`]), with mat-vec products,
+//!   transposition, and structural queries;
+//! - [`SparseLu`] — a left-looking Gilbert–Peierls LU factorization with
+//!   partial pivoting and an optional greedy minimum-degree column
+//!   preordering ([`order`]), property-tested against the dense
+//!   factorization in `gm-numeric`.
+//!
+//! Everything here is deterministic: given the same matrix, assembly,
+//! ordering, and factorization produce bit-identical results, which the
+//! agent layer relies on for reproducible audits.
+//!
+//! ```
+//! use gm_sparse::{SparseLu, Triplets};
+//!
+//! // Assemble [[4, 1], [1, 3]] and solve A·x = [1, 2].
+//! let mut t = Triplets::new(2, 2);
+//! t.push(0, 0, 4.0);
+//! t.push(0, 1, 1.0);
+//! t.push(1, 0, 1.0);
+//! t.push(1, 1, 3.0);
+//! let lu = SparseLu::factor(&t.to_csr()).unwrap();
+//! let x = lu.solve(&[1.0, 2.0]);
+//! assert!((x[0] - 1.0 / 11.0).abs() < 1e-12);
+//! assert!((x[1] - 7.0 / 11.0).abs() < 1e-12);
+//! ```
+
+// Numeric kernels iterate several parallel arrays by index; the
+// index-based loops are the clearer form here.
+#![allow(clippy::needless_range_loop)]
+
+pub mod csmat;
+pub mod lu;
+pub mod order;
+pub mod scalar;
+pub mod triplets;
+
+pub use csmat::CsMat;
+pub use lu::{SparseLu, SparseLuError};
+pub use order::Ordering;
+pub use scalar::Scalar;
+pub use triplets::Triplets;

@@ -1,0 +1,488 @@
+//! Sparse LU factorization (left-looking Gilbert–Peierls with partial
+//! pivoting).
+//!
+//! The algorithm follows the structure of Davis' CSparse `cs_lu`: for each
+//! column (in a fill-reducing order) a sparse triangular solve
+//! `x = L \ A(:,q[k])` is performed, where the nonzero pattern of `x` is
+//! discovered by depth-first search over the graph of the partially built
+//! `L`. The pivot row is chosen by threshold partial pivoting: the diagonal
+//! candidate is kept when it is within `pivot_tol` of the largest-magnitude
+//! candidate, preserving sparsity on the diagonally dominant matrices power
+//! systems produce.
+
+use crate::csmat::CsMat;
+use crate::order::Ordering;
+
+/// Failure modes of the sparse factorization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseLuError {
+    /// No usable pivot in some column: the matrix is singular to working
+    /// precision.
+    Singular {
+        /// Elimination step at which factorization failed.
+        step: usize,
+    },
+    /// The matrix is not square.
+    NotSquare {
+        /// Actual shape.
+        shape: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for SparseLuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SparseLuError::Singular { step } => {
+                write!(f, "sparse matrix numerically singular at step {step}")
+            }
+            SparseLuError::NotSquare { shape } => {
+                write!(f, "sparse LU requires a square matrix, got {shape:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseLuError {}
+
+/// Column-compressed factor storage (diagonal-first for `L`,
+/// diagonal-last for `U`).
+#[derive(Clone, Debug)]
+struct CscFactor {
+    colptr: Vec<usize>,
+    rows: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CscFactor {
+    fn with_capacity(n: usize, cap: usize) -> Self {
+        let mut colptr = Vec::with_capacity(n + 1);
+        colptr.push(0);
+        CscFactor {
+            colptr,
+            rows: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    fn close_col(&mut self) {
+        self.colptr.push(self.rows.len());
+    }
+
+    fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        let span = self.colptr[j]..self.colptr[j + 1];
+        (&self.rows[span.clone()], &self.vals[span])
+    }
+}
+
+/// A sparse LU factorization `A[:, q] = P⁻¹ L U` usable for repeated solves.
+#[derive(Clone, Debug)]
+pub struct SparseLu {
+    n: usize,
+    l: CscFactor,
+    u: CscFactor,
+    /// `pinv[original_row] = pivot position`.
+    pinv: Vec<usize>,
+    /// Column order: column `q[k]` eliminated at step `k`.
+    q: Vec<usize>,
+}
+
+impl SparseLu {
+    /// Factors with the default ordering ([`Ordering::MinDegree`]) and
+    /// pivot threshold 0.1.
+    pub fn factor(a: &CsMat<f64>) -> Result<Self, SparseLuError> {
+        Self::factor_with(a, Ordering::default(), 0.1)
+    }
+
+    /// Factors with explicit ordering and threshold-partial-pivoting
+    /// tolerance in `(0, 1]` (1.0 = strict partial pivoting).
+    pub fn factor_with(
+        a: &CsMat<f64>,
+        ordering: Ordering,
+        pivot_tol: f64,
+    ) -> Result<Self, SparseLuError> {
+        if a.rows() != a.cols() {
+            return Err(SparseLuError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let q = ordering.permutation(a);
+        // Column access: CSC of A == CSR of Aᵀ.
+        let at = a.transpose();
+
+        let mut l = CscFactor::with_capacity(n, 4 * a.nnz().max(n));
+        let mut u = CscFactor::with_capacity(n, 4 * a.nnz().max(n));
+        let mut pinv = vec![usize::MAX; n];
+
+        // Workspaces.
+        let mut x = vec![0.0f64; n];
+        let mut marked = vec![false; n];
+        let mut pattern: Vec<usize> = Vec::with_capacity(n); // topological order (reverse)
+        let mut dfs_stack: Vec<(usize, usize)> = Vec::with_capacity(n);
+
+        for k in 0..n {
+            let col = q[k];
+            let (bcols, bvals) = at.row(col); // A(:, col)
+
+            // --- Symbolic: pattern of x = L \ A(:,col) via DFS. ---
+            pattern.clear();
+            for &i in bcols {
+                if !marked[i] {
+                    dfs_stack.push((i, 0));
+                    marked[i] = true;
+                    while let Some(top) = dfs_stack.last_mut() {
+                        let node = top.0;
+                        let jcol = pinv[node];
+                        let mut next_child = None;
+                        if jcol != usize::MAX {
+                            let (lrows, _) = l.col(jcol);
+                            while top.1 < lrows.len() {
+                                let r = lrows[top.1];
+                                top.1 += 1;
+                                if !marked[r] {
+                                    next_child = Some(r);
+                                    break;
+                                }
+                            }
+                        }
+                        match next_child {
+                            Some(r) => {
+                                marked[r] = true;
+                                dfs_stack.push((r, 0));
+                            }
+                            None => {
+                                // Leaf or children exhausted: emit postorder.
+                                dfs_stack.pop();
+                                pattern.push(node);
+                            }
+                        }
+                    }
+                }
+            }
+            // `pattern` is now in topological order for the numeric solve
+            // when traversed in reverse.
+
+            // --- Numeric: scatter b, then eliminate. ---
+            for &i in &pattern {
+                x[i] = 0.0;
+            }
+            for (&i, &v) in bcols.iter().zip(bvals) {
+                x[i] = v;
+            }
+            for idx in (0..pattern.len()).rev() {
+                let i = pattern[idx];
+                let jcol = pinv[i];
+                if jcol == usize::MAX {
+                    continue;
+                }
+                // L column jcol is diagonal-first with unit diagonal.
+                let (lrows, lvals) = l.col(jcol);
+                let xi = x[i]; // already fully updated (topological order)
+                if xi != 0.0 {
+                    for (&r, &lv) in lrows.iter().zip(lvals).skip(1) {
+                        x[r] -= lv * xi;
+                    }
+                }
+            }
+
+            // --- Pivot selection (threshold partial pivoting). ---
+            let mut ipiv = usize::MAX;
+            let mut amax = 0.0f64;
+            for &i in &pattern {
+                if pinv[i] == usize::MAX {
+                    let t = x[i].abs();
+                    if t > amax {
+                        amax = t;
+                        ipiv = i;
+                    }
+                }
+            }
+            if ipiv == usize::MAX || amax <= 0.0 {
+                // Clean up marks before returning.
+                for &i in &pattern {
+                    marked[i] = false;
+                }
+                return Err(SparseLuError::Singular { step: k });
+            }
+            // Prefer the diagonal candidate when acceptable.
+            if pinv[col] == usize::MAX && x[col].abs() >= pivot_tol * amax && x[col] != 0.0 {
+                ipiv = col;
+            }
+            let pivot = x[ipiv];
+
+            // --- Store U column k (rows already pivoted), diagonal last. ---
+            for &i in &pattern {
+                if pinv[i] != usize::MAX && x[i] != 0.0 {
+                    u.rows.push(pinv[i]);
+                    u.vals.push(x[i]);
+                }
+            }
+            u.rows.push(k);
+            u.vals.push(pivot);
+            u.close_col();
+
+            // --- Store L column k (unpivoted rows), unit diagonal first. ---
+            pinv[ipiv] = k;
+            l.rows.push(ipiv);
+            l.vals.push(1.0);
+            for &i in &pattern {
+                if pinv[i] == usize::MAX && x[i] != 0.0 {
+                    l.rows.push(i);
+                    l.vals.push(x[i] / pivot);
+                }
+            }
+            l.close_col();
+
+            for &i in &pattern {
+                marked[i] = false;
+            }
+        }
+
+        // Rewrite L's row indices into pivot order so solves are plain
+        // triangular sweeps.
+        for r in &mut l.rows {
+            *r = pinv[*r];
+        }
+        Ok(SparseLu { n, l, u, pinv, q })
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of nonzeros in `L` plus `U` (fill metric).
+    pub fn factor_nnz(&self) -> usize {
+        self.l.rows.len() + self.u.rows.len()
+    }
+
+    /// Solves `A·x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        // x = P b
+        let mut x = vec![0.0f64; self.n];
+        for (orig, &pk) in self.pinv.iter().enumerate() {
+            x[pk] = b[orig];
+        }
+        // L solve (unit diagonal first entry per column).
+        for j in 0..self.n {
+            let (rows, vals) = self.l.col(j);
+            let xj = x[j];
+            if xj != 0.0 {
+                for (&r, &v) in rows.iter().zip(vals).skip(1) {
+                    x[r] -= v * xj;
+                }
+            }
+        }
+        // U solve (diagonal last entry per column).
+        for j in (0..self.n).rev() {
+            let (rows, vals) = self.u.col(j);
+            let last = rows.len() - 1;
+            debug_assert_eq!(rows[last], j);
+            x[j] /= vals[last];
+            let xj = x[j];
+            if xj != 0.0 {
+                for (&r, &v) in rows[..last].iter().zip(&vals[..last]) {
+                    x[r] -= v * xj;
+                }
+            }
+        }
+        // Undo the column permutation: out[q[k]] = x[k].
+        let mut out = vec![0.0f64; self.n];
+        for (k, &qk) in self.q.iter().enumerate() {
+            out[qk] = x[k];
+        }
+        out
+    }
+
+    /// Solves in place, reusing the caller's buffer (hot path for Newton
+    /// iterations).
+    pub fn solve_in_place(&self, b: &mut Vec<f64>) {
+        let x = self.solve(b);
+        *b = x;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triplets::Triplets;
+    use gm_numeric::{DMat, DenseLu};
+
+    fn residual_inf(a: &CsMat<f64>, x: &[f64], b: &[f64]) -> f64 {
+        let ax = a.mul_vec(x);
+        ax.iter()
+            .zip(b)
+            .fold(0.0f64, |m, (axi, bi)| m.max((axi - bi).abs()))
+    }
+
+    fn dense_random(n: usize, density: f64, seed: u64) -> CsMat<f64> {
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64, s)
+        };
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let (u, _) = next();
+                if i == j {
+                    t.push(i, j, 10.0 + u);
+                } else if u < density {
+                    let (v, _) = next();
+                    t.push(i, j, v - 0.5);
+                }
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn identity_solve() {
+        let a: CsMat<f64> = CsMat::identity(5);
+        let lu = SparseLu::factor(&a).unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(lu.solve(&b), b);
+    }
+
+    #[test]
+    fn small_known_system() {
+        // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 2.0);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 1.0);
+        t.push(1, 1, 3.0);
+        let a = t.to_csr();
+        let lu = SparseLu::factor(&a).unwrap();
+        let x = lu.solve(&[5.0, 10.0]);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permutation_required_zero_diagonal() {
+        // Anti-diagonal matrix forces row pivoting.
+        let mut t = Triplets::new(3, 3);
+        t.push(0, 2, 1.0);
+        t.push(1, 1, 2.0);
+        t.push(2, 0, 3.0);
+        let a = t.to_csr();
+        let lu = SparseLu::factor_with(&a, Ordering::Natural, 1.0).unwrap();
+        let x = lu.solve(&[3.0, 4.0, 6.0]);
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert!((x[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 1, 2.0);
+        t.push(1, 0, 2.0);
+        t.push(1, 1, 4.0);
+        let a = t.to_csr();
+        assert!(matches!(
+            SparseLu::factor(&a),
+            Err(SparseLuError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn structurally_singular_detected() {
+        let mut t = Triplets::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1.0);
+        // Row/col 2 empty.
+        let a = t.to_csr();
+        assert!(SparseLu::factor(&a).is_err());
+    }
+
+    #[test]
+    fn not_square_rejected() {
+        let t: Triplets<f64> = Triplets::new(2, 3);
+        assert!(matches!(
+            SparseLu::factor(&t.to_csr()),
+            Err(SparseLuError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn matches_dense_lu_on_random_matrices() {
+        for seed in 1..6u64 {
+            let n = 30;
+            let a = dense_random(n, 0.2, seed * 7919);
+            let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+            let xs = SparseLu::factor(&a).unwrap().solve(&b);
+            let mut d = DMat::zeros(n, n);
+            a.to_dense_with(|i, j, v| d[(i, j)] = v);
+            let xd = DenseLu::factor(&d).unwrap().solve(&b);
+            for (s, dv) in xs.iter().zip(&xd) {
+                assert!((s - dv).abs() < 1e-9, "seed {seed}: {s} vs {dv}");
+            }
+            assert!(residual_inf(&a, &xs, &b) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn orderings_agree() {
+        let a = dense_random(40, 0.15, 42);
+        let b: Vec<f64> = (0..40).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let x_nat = SparseLu::factor_with(&a, Ordering::Natural, 0.1)
+            .unwrap()
+            .solve(&b);
+        let x_md = SparseLu::factor_with(&a, Ordering::MinDegree, 0.1)
+            .unwrap()
+            .solve(&b);
+        for (u, v) in x_nat.iter().zip(&x_md) {
+            assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn min_degree_reduces_fill_on_grid_like_matrix() {
+        // 2D 9-point-ish mesh gives meaningful fill differences.
+        let m = 12usize;
+        let n = m * m;
+        let mut t = Triplets::new(n, n);
+        for r in 0..m {
+            for c in 0..m {
+                let i = r * m + c;
+                t.push(i, i, 8.0);
+                if c + 1 < m {
+                    t.push(i, i + 1, -1.0);
+                    t.push(i + 1, i, -1.0);
+                }
+                if r + 1 < m {
+                    t.push(i, i + m, -1.0);
+                    t.push(i + m, i, -1.0);
+                }
+            }
+        }
+        let a = t.to_csr();
+        let nat = SparseLu::factor_with(&a, Ordering::Natural, 0.1).unwrap();
+        let md = SparseLu::factor_with(&a, Ordering::MinDegree, 0.1).unwrap();
+        assert!(
+            md.factor_nnz() < nat.factor_nnz(),
+            "min-degree fill {} !< natural fill {}",
+            md.factor_nnz(),
+            nat.factor_nnz()
+        );
+        // Both must still solve correctly.
+        let b = vec![1.0; n];
+        assert!(residual_inf(&a, &md.solve(&b), &b) < 1e-9);
+        assert!(residual_inf(&a, &nat.solve(&b), &b) < 1e-9);
+    }
+
+    #[test]
+    fn repeated_solves_reuse_factorization() {
+        let a = dense_random(20, 0.3, 99);
+        let lu = SparseLu::factor(&a).unwrap();
+        for k in 0..5 {
+            let b: Vec<f64> = (0..20).map(|i| ((i + k) as f64).cos()).collect();
+            let x = lu.solve(&b);
+            assert!(residual_inf(&a, &x, &b) < 1e-9);
+        }
+    }
+}

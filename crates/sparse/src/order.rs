@@ -1,0 +1,148 @@
+//! Fill-reducing orderings.
+//!
+//! A greedy minimum-degree ordering on the symmetrized pattern `A + Aᵀ`
+//! dramatically reduces fill-in for power system matrices, whose graphs are
+//! near-planar meshes. The implementation is the textbook greedy algorithm
+//! (eliminate the minimum-degree vertex, form the clique of its neighbours)
+//! — quadratic worst case but fast at the sizes GridMind handles (≤ a few
+//! thousand buses), and fully deterministic (ties break on vertex index).
+
+use crate::csmat::CsMat;
+use crate::scalar::Scalar;
+
+/// Column-ordering strategy for [`crate::SparseLu`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Ordering {
+    /// Factor in natural column order.
+    Natural,
+    /// Greedy minimum-degree on the pattern of `A + Aᵀ`.
+    #[default]
+    MinDegree,
+}
+
+impl Ordering {
+    /// Computes the column permutation `q` for a square matrix: column
+    /// `q[k]` of `A` is eliminated at step `k`.
+    pub fn permutation<T: Scalar>(self, a: &CsMat<T>) -> Vec<usize> {
+        match self {
+            Ordering::Natural => (0..a.rows()).collect(),
+            Ordering::MinDegree => min_degree(a),
+        }
+    }
+}
+
+fn min_degree<T: Scalar>(a: &CsMat<T>) -> Vec<usize> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "ordering requires a square matrix");
+    // Build symmetric adjacency (sorted vecs per node, no self loops).
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        let (cols, _) = a.row(i);
+        for &j in cols {
+            if i != j {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    for nbrs in &mut adj {
+        nbrs.sort_unstable();
+        nbrs.dedup();
+    }
+
+    let mut eliminated = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Select the live vertex of minimum degree.
+        let mut best = usize::MAX;
+        let mut best_deg = usize::MAX;
+        for v in 0..n {
+            if !eliminated[v] && adj[v].len() < best_deg {
+                best_deg = adj[v].len();
+                best = v;
+            }
+        }
+        let v = best;
+        eliminated[v] = true;
+        order.push(v);
+        // Form the elimination clique among v's live neighbours.
+        let nbrs: Vec<usize> = adj[v].iter().copied().filter(|&u| !eliminated[u]).collect();
+        for &u in &nbrs {
+            // Remove v from u's list, then merge the clique.
+            let au = &mut adj[u];
+            if let Ok(p) = au.binary_search(&v) {
+                au.remove(p);
+            }
+            for &w in &nbrs {
+                if w != u {
+                    if let Err(p) = adj[u].binary_search(&w) {
+                        adj[u].insert(p, w);
+                    }
+                }
+            }
+        }
+        adj[v].clear();
+        adj[v].shrink_to_fit();
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triplets::Triplets;
+
+    fn arrow_matrix(n: usize) -> CsMat<f64> {
+        // Dense first row/column + diagonal: natural order fills completely,
+        // min-degree should eliminate the dense hub last.
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 4.0);
+            if i > 0 {
+                t.push(0, i, 1.0);
+                t.push(i, 0, 1.0);
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn natural_is_identity() {
+        let a = arrow_matrix(5);
+        assert_eq!(Ordering::Natural.permutation(&a), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn min_degree_defers_hub() {
+        let a = arrow_matrix(6);
+        let q = Ordering::MinDegree.permutation(&a);
+        assert_eq!(q.len(), 6);
+        // The hub (vertex 0, degree 5) must be deferred until only it and at
+        // most one leaf remain (it ties at degree 1 with the final leaf).
+        let hub_pos = q.iter().position(|&v| v == 0).unwrap();
+        assert!(hub_pos >= 4, "hub eliminated too early: order {q:?}");
+        // Permutation property.
+        let mut sorted = q.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn min_degree_handles_diagonal_matrix() {
+        let mut t = Triplets::new(4, 4);
+        for i in 0..4 {
+            t.push(i, i, 1.0);
+        }
+        let q = Ordering::MinDegree.permutation(&t.to_csr());
+        assert_eq!(q, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = arrow_matrix(8);
+        assert_eq!(
+            Ordering::MinDegree.permutation(&a),
+            Ordering::MinDegree.permutation(&a)
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Scalar abstraction so sparse containers work for both real Jacobians and
+//! complex admittance matrices.
+
+use gm_numeric::Complex;
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// Field-like scalar usable as a sparse matrix entry.
+///
+/// Implemented for `f64` (Jacobians, KKT systems) and [`Complex`]
+/// (admittance matrices, phasor vectors).
+pub trait Scalar:
+    Copy
+    + Debug
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Magnitude, used for pivot selection and norm computations.
+    fn modulus(self) -> f64;
+    /// True when the value equals the additive identity exactly.
+    fn is_zero(self) -> bool {
+        self == Self::zero()
+    }
+}
+
+impl Scalar for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+}
+
+impl Scalar for Complex {
+    #[inline]
+    fn zero() -> Self {
+        Complex::ZERO
+    }
+    #[inline]
+    fn one() -> Self {
+        Complex::ONE
+    }
+    #[inline]
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_scalar_contract() {
+        assert_eq!(<f64 as Scalar>::zero(), 0.0);
+        assert_eq!(<f64 as Scalar>::one(), 1.0);
+        assert_eq!((-3.0f64).modulus(), 3.0);
+        assert!(0.0f64.is_zero());
+        assert!(!1.0f64.is_zero());
+    }
+
+    #[test]
+    fn complex_scalar_contract() {
+        assert_eq!(Complex::zero(), Complex::ZERO);
+        assert_eq!(Complex::one(), Complex::ONE);
+        assert_eq!(Complex::new(3.0, 4.0).modulus(), 5.0);
+        assert!(Complex::ZERO.is_zero());
+    }
+}

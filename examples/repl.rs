@@ -1,0 +1,27 @@
+//! Interactive conversational CLI (paper §3.1, Appendix D.1).
+//!
+//! ```text
+//! cargo run --release --example repl [model-name]
+//! ```
+//!
+//! `model-name` is one of the paper's backends (default "GPT-5"):
+//! GPT-5, GPT-5 Mini, GPT-5 Nano, GPT-o3, GPT-o4 Mini, Claude 4 Sonnet.
+
+use gridmind_core::{repl::run_repl, GridMind, ModelProfile};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "GPT-5".to_string());
+    let profile = ModelProfile::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown model {name:?}; falling back to GPT-5");
+        ModelProfile::by_name("GPT-5").unwrap()
+    });
+    let mut gm = GridMind::new(profile);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = stdin.lock();
+    let mut output = stdout.lock();
+    match run_repl(&mut gm, &mut input, &mut output) {
+        Ok(n) => eprintln!("\nsession ended after {n} request(s)"),
+        Err(e) => eprintln!("i/o error: {e}"),
+    }
+}

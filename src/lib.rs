@@ -1,0 +1,15 @@
+//! # gridmind-suite
+//!
+//! Umbrella crate for GridMind-RS. Re-exports every workspace crate so that
+//! the repository-level examples and integration tests have a single import
+//! root. Library users should depend on the individual crates (most likely
+//! [`gridmind_core`]) directly.
+
+pub use gm_acopf as acopf;
+pub use gm_agents as agents;
+pub use gm_contingency as contingency;
+pub use gm_network as network;
+pub use gm_numeric as numeric;
+pub use gm_powerflow as powerflow;
+pub use gm_sparse as sparse;
+pub use gridmind_core as core;

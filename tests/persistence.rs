@@ -1,0 +1,111 @@
+//! Session persistence and schema-layer integration tests (§3.4
+//! "Session persistence serializes baseline, diffs, artifacts,
+//! contingency cache, and rankings for seamless resumption").
+
+use gridmind_core::{GridMind, ModelProfile, SessionContext};
+use serde_json::json;
+
+#[test]
+fn full_session_survives_save_restore() {
+    let mut gm = GridMind::new(ModelProfile::by_name("GPT-o4 Mini").unwrap());
+    gm.ask("solve case30");
+    gm.ask("set the load at bus 7 to 45 MW");
+    gm.ask("run the contingency analysis");
+    let blob = gm.session.save();
+
+    // "Resume" in a fresh process.
+    let restored = SessionContext::restore(&blob).unwrap();
+    assert_eq!(restored.active_case().as_deref(), Some("case30"));
+    assert_eq!(restored.diff_count(), 1);
+    // Artifacts restored and still fresh (same diff hash).
+    let sol = restored.fresh_acopf().expect("ACOPF artifact restored");
+    assert!(sol.solved);
+    let rep = restored
+        .fresh_contingency()
+        .expect("contingency artifact restored");
+    assert_eq!(rep.n_contingencies, 41);
+    // The restored network carries the modification.
+    let net = restored.current_network().unwrap();
+    let bus7 = net.bus_index(7).unwrap();
+    let p: f64 = net
+        .loads
+        .iter()
+        .filter(|l| l.bus == bus7)
+        .map(|l| l.p_mw)
+        .sum();
+    assert!((p - 45.0).abs() < 1e-9);
+}
+
+#[test]
+fn restored_session_continues_conversationally() {
+    let mut gm = GridMind::new(ModelProfile::by_name("GPT-o3").unwrap());
+    gm.ask("solve case14");
+    let blob = gm.session.save();
+
+    // New system instance with the restored session requires rebuilding
+    // agents around it; verify at the session level that stamped state is
+    // coherent enough to continue.
+    let restored = SessionContext::restore(&blob).unwrap();
+    let hash_before = restored.diff_hash();
+    restored
+        .apply(gm_network::Modification::ScaleAllLoads { factor: 1.1 })
+        .unwrap();
+    assert_ne!(restored.diff_hash(), hash_before);
+    assert!(restored.fresh_acopf().is_none(), "artifact must go stale");
+    // And the modified network still solves.
+    let net = restored.current_network().unwrap();
+    let sol = gm_acopf::solve_acopf(&net, &gm_acopf::AcopfOptions::default()).unwrap();
+    assert!(sol.solved);
+}
+
+#[test]
+fn memory_blob_round_trips_through_json_text() {
+    // The whole session must survive serialization to *text* (file/disk).
+    let mut gm = GridMind::new(ModelProfile::by_name("GPT-5 Nano").unwrap());
+    gm.ask("solve case57");
+    let blob = gm.session.save();
+    let text = serde_json::to_string(&blob).unwrap();
+    assert!(text.len() > 1000, "non-trivial serialized session");
+    let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let restored = SessionContext::restore(&parsed).unwrap();
+    assert_eq!(restored.active_case().as_deref(), Some("case57"));
+    assert_eq!(restored.current_network().unwrap().n_bus(), 57);
+}
+
+#[test]
+fn schema_layer_rejects_malformed_session() {
+    assert!(SessionContext::restore(&json!({"bogus": true})).is_err());
+    assert!(SessionContext::restore(&json!(42)).is_err());
+}
+
+#[test]
+fn tool_provenance_is_auditable_json() {
+    // §3.2.1 "Trust and auditability": every narrated number must trace
+    // to a stored tool output object.
+    let session = SessionContext::new();
+    let clock = gm_agents::VirtualClock::new();
+    let mut agent = gridmind_core::build_acopf_agent(
+        ModelProfile::by_name("GPT-5").unwrap(),
+        session,
+        clock,
+    );
+    let resp = agent.handle("solve case14");
+    assert!(resp.completed);
+    let provenance = agent.tools.provenance();
+    assert_eq!(provenance.len(), 1);
+    let record = &provenance[0];
+    assert_eq!(record.tool, "solve_acopf_case");
+    assert!(record.result.is_some());
+    let cost = record.result.as_ref().unwrap()["objective_cost"]
+        .as_f64()
+        .unwrap();
+    // The narrated cost is exactly the stored tool output's cost.
+    assert!(
+        resp.text.contains(&format!("{cost:.2}")),
+        "narration must quote the stored value {cost:.2}: {}",
+        resp.text
+    );
+    // Records serialize for the audit log.
+    let blob = serde_json::to_string(&provenance).unwrap();
+    assert!(blob.contains("solve_acopf_case"));
+}

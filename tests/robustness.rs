@@ -1,0 +1,125 @@
+//! Robustness tests: adversarial and degenerate inputs through the whole
+//! conversational stack must never panic and must always produce a
+//! grounded response (the paper's reliability claim depends on this).
+
+use gm_agents::{classify, extract_entities, IntentRule, Schema};
+use gridmind_core::{GridMind, ModelProfile};
+use proptest::prelude::*;
+
+#[test]
+fn degenerate_inputs_never_break_the_coordinator() {
+    let mut gm = GridMind::new(ModelProfile::by_name("GPT-o4 Mini").unwrap());
+    for input in [
+        "",
+        "   ",
+        "?",
+        "!!!",
+        "solve",                          // intent without entities
+        "solve case -1",                  // nonsense case
+        "solve case99999",                // unknown case
+        "set the load at bus 99999 to 10 MW", // bus out of range (needs case)
+        "ステーション を 解決",              // non-ASCII
+        "solve case14 then then then",    // pathological sequencing
+        "SOLVE CASE14",                   // shouting
+        "solve\tcase14\n",                // whitespace soup
+    ] {
+        let reply = gm.ask(input);
+        assert!(
+            !reply.text.is_empty(),
+            "empty reply for {input:?}"
+        );
+        // Every step ends with a narrated answer, even on failure paths.
+        for r in &reply.responses {
+            assert!(r.rounds >= 1);
+        }
+    }
+}
+
+#[test]
+fn very_long_input_is_handled() {
+    let mut gm = GridMind::new(ModelProfile::by_name("GPT-5 Nano").unwrap());
+    let long = format!("please {} solve case14", "really ".repeat(5000));
+    let reply = gm.ask(&long);
+    assert!(reply.steps[0].completed, "{}", reply.text);
+    assert!(reply.text.contains("Solved ACOPF"));
+}
+
+#[test]
+fn contradictory_compound_request_executes_sequentially() {
+    let mut gm = GridMind::new(ModelProfile::by_name("GPT-o3").unwrap());
+    // Both segments are valid; the second overrides the first's case.
+    let reply = gm.ask("solve case14 then solve case30");
+    assert_eq!(reply.steps.len(), 2);
+    assert!(reply.steps.iter().all(|s| s.completed));
+    assert_eq!(gm.session.active_case().as_deref(), Some("case30"));
+}
+
+#[test]
+fn bus_that_does_not_exist_fails_transparently() {
+    let mut gm = GridMind::new(ModelProfile::by_name("GPT-o3").unwrap());
+    gm.ask("solve case14");
+    let reply = gm.ask("set the load at bus 999 to 10 MW");
+    // The tool creates loads at *existing* buses only; bus 999 fails.
+    assert!(
+        reply.text.contains("failed") || reply.text.contains("does not exist"),
+        "failure must be narrated transparently: {}",
+        reply.text
+    );
+    // The diff log must not record the failed modification.
+    assert_eq!(gm.session.diff_count(), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn nlu_never_panics_on_arbitrary_text(input in ".{0,200}") {
+        let _ = extract_entities(&input);
+        let rules = [
+            IntentRule::new("a", &["solve", "case"], &["acopf"], 0.1),
+            IntentRule::new("b", &["contingency"], &["critical"], 0.0),
+        ];
+        let _ = classify(&input, &rules);
+    }
+
+    #[test]
+    fn schema_validation_never_panics_on_arbitrary_json(
+        n in prop::num::f64::ANY,
+        s in ".{0,40}",
+        flag in any::<bool>(),
+    ) {
+        let schema = Schema::object(vec![
+            gm_agents::Field::required("x", Schema::number_range(0.0, 10.0), ""),
+            gm_agents::Field::optional("tag", Schema::string_enum(&["a", "b"]), ""),
+        ]);
+        for v in [
+            serde_json::json!({"x": n, "tag": s}),
+            serde_json::json!([n, s, flag]),
+            serde_json::json!(null),
+            serde_json::json!({"x": {"nested": s}}),
+        ] {
+            let _ = schema.validate(&v);
+        }
+    }
+
+    #[test]
+    fn coordinator_survives_fragment_soup(
+        parts in prop::collection::vec(
+            prop::sample::select(vec![
+                "solve", "case14", "load", "bus", "7", "mw", "critical",
+                "contingency", "status", "then", "increase", "50", "the",
+                "analysis", "n-1", "line", "3",
+            ]),
+            1..10,
+        )
+    ) {
+        // Random word salads built from domain vocabulary: the system must
+        // respond to every one without panicking, and any solver work it
+        // does must stay on the small case (nothing here names a big one).
+        let mut gm = GridMind::new(ModelProfile::by_name("GPT-o4 Mini").unwrap());
+        let input = parts.join(" ");
+        let reply = gm.ask(&input);
+        prop_assert!(!reply.text.is_empty());
+        prop_assert!(reply.elapsed_s >= 0.0);
+    }
+}
