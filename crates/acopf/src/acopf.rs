@@ -45,6 +45,9 @@ pub(crate) struct Layout {
 impl Layout {
     fn build(net: &Network) -> Layout {
         let n = net.n_bus();
+        // Grandfathered panic (gm-audit allowlist): `solve_acopf`
+        // validates before building, so a missing slack is unreachable.
+        #[allow(clippy::expect_used)]
         let slack = net.slack().expect("validated network");
         let mut th = vec![usize::MAX; n];
         let mut k = 0;
@@ -70,7 +73,13 @@ impl Layout {
                 k += 1;
             }
         }
-        Layout { th, vm, pg, qg, nx: k }
+        Layout {
+            th,
+            vm,
+            pg,
+            qg,
+            nx: k,
+        }
     }
 }
 
@@ -238,7 +247,8 @@ impl Nlp for AcopfProblem<'_> {
             }
             let span = (g.p_max_mw - g.p_min_mw).max(1e-6);
             let p0 = if self.warm_start {
-                g.p_mw.clamp(g.p_min_mw + 0.02 * span, g.p_max_mw - 0.02 * span)
+                g.p_mw
+                    .clamp(g.p_min_mw + 0.02 * span, g.p_max_mw - 0.02 * span)
             } else {
                 0.5 * (g.p_min_mw + g.p_max_mw)
             };
@@ -330,7 +340,12 @@ impl Nlp for AcopfProblem<'_> {
         let mut t = Triplets::with_capacity(niq, self.layout.nx, 8 * self.limits.len() + niq);
 
         for (r, lim) in self.limits.iter().enumerate() {
-            let (from, to) = flows[lim.branch].as_ref().expect("rated branch in service");
+            let Some((from, to)) = flows[lim.branch].as_ref() else {
+                // Limits are built for in-service branches only; an
+                // out-of-service branch carries zero flow → h = -smax².
+                h[r] = -lim.smax2;
+                continue;
+            };
             let end = if lim.from_end { from } else { to };
             h[r] = end.p * end.p + end.q * end.q - lim.smax2;
             let cols = self.end_cols(lim.branch, lim.from_end);
@@ -405,7 +420,9 @@ impl Nlp for AcopfProblem<'_> {
             if m == 0.0 {
                 continue;
             }
-            let (from, to) = flows[lim.branch].as_ref().expect("rated branch in service");
+            let Some((from, to)) = flows[lim.branch].as_ref() else {
+                continue; // zero flow on an out-of-service branch
+            };
             let end = if lim.from_end { from } else { to };
             let cols = self.end_cols(lim.branch, lim.from_end);
             // ∇²(P²+Q²) = 2(∇P∇Pᵀ + P∇²P + ∇Q∇Qᵀ + Q∇²Q).
@@ -423,11 +440,7 @@ impl Nlp for AcopfProblem<'_> {
 
 /// Scatters a dense symmetric 4×4 block into the triplet buffer, skipping
 /// fixed (slack-θ) columns.
-fn scatter_4x4(
-    t: &mut Triplets<f64>,
-    cols: &[usize; 4],
-    val: impl Fn(usize, usize) -> f64,
-) {
+fn scatter_4x4(t: &mut Triplets<f64>, cols: &[usize; 4], val: impl Fn(usize, usize) -> f64) {
     for r in [THF, THT, VF, VT] {
         if cols[r] == usize::MAX {
             continue;

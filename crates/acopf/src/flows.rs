@@ -61,18 +61,8 @@ pub fn end_flow(thf: f64, tht: f64, vf: f64, vt: f64, y_self: Complex, y_mut: Co
     let q = -vf * vf * bs + vv * w;
 
     // du/dθf = −w, du/dθt = +w, dw/dθf = u, dw/dθt = −u.
-    let dp = [
-        -vv * w,
-        vv * w,
-        2.0 * vf * gs + vt * u,
-        vf * u,
-    ];
-    let dq = [
-        vv * u,
-        -vv * u,
-        -2.0 * vf * bs + vt * w,
-        vf * w,
-    ];
+    let dp = [-vv * w, vv * w, 2.0 * vf * gs + vt * u, vf * u];
+    let dq = [vv * u, -vv * u, -2.0 * vf * bs + vt * w, vf * w];
 
     let mut d2p = [[0.0; 4]; 4];
     let mut d2q = [[0.0; 4]; 4];
@@ -121,10 +111,7 @@ mod tests {
 
     fn sample_y() -> (Complex, Complex) {
         // A transformer-ish branch block pair.
-        (
-            Complex::new(1.2, -4.9),
-            Complex::new(-1.1, 4.6),
-        )
+        (Complex::new(1.2, -4.9), Complex::new(-1.1, 4.6))
     }
 
     fn eval(x: &[f64; 4]) -> (f64, f64) {

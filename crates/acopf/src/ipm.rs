@@ -160,11 +160,8 @@ pub fn solve<P: Nlp>(prob: &P, opts: &IpmOptions) -> IpmResult {
         // ---- Reduced KKT assembly.
         let hess = prob.lagrangian_hessian(&x, &lam, &mu);
         let n_kkt = nx + neq;
-        let mut t = Triplets::with_capacity(
-            n_kkt,
-            n_kkt,
-            hess.nnz() + 2 * jg.nnz() + jh.nnz() * 4 + nx,
-        );
+        let mut t =
+            Triplets::with_capacity(n_kkt, n_kkt, hess.nnz() + 2 * jg.nnz() + jh.nnz() * 4 + nx);
         for (i, j, v) in hess.iter() {
             t.push(i, j, v);
         }
@@ -200,9 +197,7 @@ pub fn solve<P: Nlp>(prob: &P, opts: &IpmOptions) -> IpmResult {
         let kkt = t.to_csr();
 
         // RHS: [−N; −g], N = Lx + Jhᵀ·Z⁻¹·(γe + M·h).
-        let zinv_term: Vec<f64> = (0..niq)
-            .map(|r| (gamma + mu[r] * h[r]) / z[r])
-            .collect();
+        let zinv_term: Vec<f64> = (0..niq).map(|r| (gamma + mu[r] * h[r]) / z[r]).collect();
         let jht_zt = jh.mul_vec_t(&zinv_term);
         // N = Lx + Jhᵀ·Z⁻¹(γe + M·h), exactly as in MIPS: eliminating Δz
         // and Δμ folds the current duals (Z⁻¹·M·z = μ) back into the

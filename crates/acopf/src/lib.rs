@@ -25,17 +25,23 @@
 //! let sol = solve_acopf(&net, &AcopfOptions::default()).unwrap();
 //! println!("case118 optimal cost: {:.2} $/h", sol.objective_cost);
 //! ```
-
+// Solver crates are panic-free outside tests: every fallible path
+// returns a typed error. Enforced by clippy here and by the regex
+// pass of `gm-audit lint-src` (with its allowlist) in CI.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 // Constraint assembly indexes parallel 4-element column/derivative
 // arrays; the index-based loops are the clearer form here.
 #![allow(clippy::needless_range_loop)]
 
 pub mod acopf;
 pub mod dcopf;
-pub mod scopf;
 pub mod dispatch;
 pub mod flows;
 pub mod ipm;
+pub mod scopf;
 pub mod types;
 
 pub use acopf::{solve_acopf, AcopfOptions};
@@ -191,7 +197,9 @@ mod tests {
         let mut net = base.clone();
         // Outage a mid-network line that is not a bridge.
         let idx = 40;
-        Modification::OutageBranch { index: idx }.apply(&mut net).unwrap();
+        Modification::OutageBranch { index: idx }
+            .apply(&mut net)
+            .unwrap();
         let s1 = solve_acopf(&net, &AcopfOptions::default()).unwrap();
         // Removing a line changes the equality constraints, so the optimal
         // cost may move in either direction (corrective transmission
@@ -237,7 +245,10 @@ mod tests {
         };
         match solve_acopf(&net, &opts) {
             Err(AcopfError::NotConverged { .. }) => {}
-            Ok(s) => panic!("10x load should be infeasible, got cost {}", s.objective_cost),
+            Ok(s) => panic!(
+                "10x load should be infeasible, got cost {}",
+                s.objective_cost
+            ),
             Err(e) => panic!("unexpected error {e}"),
         }
     }

@@ -132,12 +132,7 @@ impl Nlp for ScopfProblem<'_> {
             for (sign_idx, sign) in [1.0f64, -1.0].iter().enumerate() {
                 let row = 2 * r2 + sign_idx;
                 h.push(sign * flow - sc.limit_pu);
-                for (col, coef) in [
-                    (mf, mb),
-                    (mt, -mb),
-                    (of, sc.lodf * ob),
-                    (ot, -sc.lodf * ob),
-                ] {
+                for (col, coef) in [(mf, mb), (mt, -mb), (of, sc.lodf * ob), (ot, -sc.lodf * ob)] {
                     if col != usize::MAX {
                         t.push(row, col, sign * coef);
                     }
@@ -160,7 +155,9 @@ impl Nlp for ScopfProblem<'_> {
 /// round budget is spent.
 pub fn solve_scopf(net: &Network, opts: &ScopfOptions) -> Result<ScopfSolution, AcopfError> {
     let economic = crate::solve_acopf(net, &opts.acopf)?;
-    let sens = sensitivities(net);
+    let sens = sensitivities(net).map_err(|e| AcopfError::InvalidNetwork {
+        problems: vec![e.to_string()],
+    })?;
     let base = net.base_mva;
 
     let mut active: std::collections::BTreeMap<(usize, usize), SecurityConstraint> =

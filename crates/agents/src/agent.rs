@@ -186,11 +186,8 @@ impl Agent {
                                     }
                                 }
                                 let now = self.clock.now();
-                                self.memory.push(
-                                    Role::Tool,
-                                    format!("{} -> ok", call.tool),
-                                    now,
-                                );
+                                self.memory
+                                    .push(Role::Tool, format!("{} -> ok", call.tool), now);
                                 pending.push((call.tool.clone(), result));
                                 tool_calls.push(TurnToolCall {
                                     tool: call.tool,
@@ -308,11 +305,7 @@ mod tests {
                 name: "double".into(),
                 description: "doubles a number".into(),
                 input: Schema::object(vec![Field::required("x", Schema::number(), "value")]),
-                output: Schema::object(vec![Field::required(
-                    "doubled",
-                    Schema::number(),
-                    "2x",
-                )]),
+                output: Schema::object(vec![Field::required("doubled", Schema::number(), "2x")]),
             },
             |args| {
                 let x = args["x"].as_f64().unwrap();

@@ -45,8 +45,8 @@ pub mod tool;
 pub use agent::{Agent, AgentResponse, Severity, TurnToolCall, ValidationIssue, Validator};
 pub use clock::VirtualClock;
 pub use llm::{
-    estimate_tokens, AnalysisStyle, LanguageModel, ModelProfile, ModelTurn, Planner,
-    SimulatedLlm, TokenUsage, ToolCall, TurnAction,
+    estimate_tokens, AnalysisStyle, LanguageModel, ModelProfile, ModelTurn, Planner, SimulatedLlm,
+    TokenUsage, ToolCall, TurnAction,
 };
 pub use memory::{AgentMemory, ConversationView, Message, Role};
 pub use nlu::{classify, extract_entities, tokenize, Entities, IntentMatch, IntentRule};

@@ -262,18 +262,10 @@ impl LanguageModel for SimulatedLlm {
                 format!("{}{}", turn.reasoning.join(" "), call_text)
             }
         };
-        let completion =
-            (estimate_tokens(&completion_text) as f64 * self.profile.verbosity) as u64;
+        let completion = (estimate_tokens(&completion_text) as f64 * self.profile.verbosity) as u64;
         let prompt = estimate_tokens(&view.rendered_prompt());
         let latency = self.sample_latency(completion);
-        (
-            turn,
-            latency,
-            TokenUsage {
-                prompt,
-                completion,
-            },
-        )
+        (turn, latency, TokenUsage { prompt, completion })
     }
 
     fn analysis_style(&self) -> AnalysisStyle {
@@ -297,7 +289,10 @@ mod tests {
     }
 
     fn view_for(input: &str) -> (AgentMemory, String) {
-        (AgentMemory::new("test-agent", "system prompt"), input.to_string())
+        (
+            AgentMemory::new("test-agent", "system prompt"),
+            input.to_string(),
+        )
     }
 
     #[test]

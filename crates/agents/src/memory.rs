@@ -238,7 +238,10 @@ mod tests {
         let restored = AgentMemory::from_json(&blob).unwrap();
         assert_eq!(restored.agent, "ca");
         assert_eq!(restored.messages.len(), 1);
-        assert_eq!(restored.get_context("active_case").unwrap(), &json!("case118"));
+        assert_eq!(
+            restored.get_context("active_case").unwrap(),
+            &json!("case118")
+        );
     }
 
     #[test]
@@ -246,13 +249,21 @@ mod tests {
         let mut m = AgentMemory::new("a", "short system prompt");
         m.put_context("acopf_solution", json!({"objective_cost": 123.0}));
         for i in 0..200 {
-            m.push(Role::User, format!("message number {i} with some padding text"), i as f64);
+            m.push(
+                Role::User,
+                format!("message number {i} with some padding text"),
+                i as f64,
+            );
         }
         let before = m.prompt_tokens();
         assert!(before > 1500);
         let dropped = m.prune_to(500);
         assert!(dropped > 100, "only dropped {dropped}");
-        assert!(m.prompt_tokens() <= 520, "still {} tokens", m.prompt_tokens());
+        assert!(
+            m.prompt_tokens() <= 520,
+            "still {} tokens",
+            m.prompt_tokens()
+        );
         // The summary stub marks the elision…
         assert!(m.messages[0].content.contains("summarized away"));
         // …and the typed artifact survived.

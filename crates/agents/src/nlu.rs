@@ -264,9 +264,18 @@ mod tests {
 
     #[test]
     fn case_extraction_variants() {
-        assert_eq!(extract_entities("solve case118").case.as_deref(), Some("case118"));
-        assert_eq!(extract_entities("solve IEEE 30").case.as_deref(), Some("case30"));
-        assert_eq!(extract_entities("solve 118").case.as_deref(), Some("case118"));
+        assert_eq!(
+            extract_entities("solve case118").case.as_deref(),
+            Some("case118")
+        );
+        assert_eq!(
+            extract_entities("solve IEEE 30").case.as_deref(),
+            Some("case30")
+        );
+        assert_eq!(
+            extract_entities("solve 118").case.as_deref(),
+            Some("case118")
+        );
         assert_eq!(extract_entities("what now").case, None);
     }
 

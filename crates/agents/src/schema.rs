@@ -168,7 +168,12 @@ impl Schema {
                     }
                     if let Some(hi) = max {
                         if x > *hi {
-                            out.push(SchemaViolation::out_of_range(path, x, min.unwrap_or(f64::NEG_INFINITY), Some(*hi)));
+                            out.push(SchemaViolation::out_of_range(
+                                path,
+                                x,
+                                min.unwrap_or(f64::NEG_INFINITY),
+                                Some(*hi),
+                            ));
                         }
                     }
                 }
@@ -352,9 +357,7 @@ mod tests {
             Schema::number(),
             "",
         )]));
-        let errs = s
-            .validate(&json!([{"v": 1.0}, {"v": "x"}]))
-            .unwrap_err();
+        let errs = s.validate(&json!([{"v": 1.0}, {"v": "x"}])).unwrap_err();
         assert_eq!(errs[0].path, "$[1].v");
     }
 

@@ -109,7 +109,10 @@ impl FnTool {
         spec: ToolSpec,
         f: impl Fn(&Value) -> Result<Value, ToolError> + Send + Sync + 'static,
     ) -> FnTool {
-        FnTool { spec, f: Box::new(f) }
+        FnTool {
+            spec,
+            f: Box::new(f),
+        }
     }
 }
 

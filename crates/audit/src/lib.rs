@@ -1,0 +1,31 @@
+//! # gm-audit
+//!
+//! Two-level static analysis for GridMind-RS.
+//!
+//! **Level 1 — source lints** ([`source`], CLI `lint-src`): a line-based
+//! scanner over the workspace source tree enforcing repo invariants that
+//! `clippy` alone cannot gate offline:
+//!
+//! - no `unwrap()` / `expect()` / `panic!`-family macros in non-test
+//!   code of the solver crates (`gm-numeric`, `gm-sparse`,
+//!   `gm-powerflow`, `gm-acopf`, `gm-contingency`), with an explicit
+//!   allowlist of grandfathered sites that may only shrink;
+//! - no truncating float→int `as` casts in the numeric kernel crates;
+//! - every `pub fn *_tool` handler in `crates/core/src/tools_*.rs` must
+//!   be registered in `crates/core/src/agents.rs` (so every tool an
+//!   agent can call carries a `ToolSpec` schema).
+//!
+//! **Level 2 — model lints** (CLI `lint-case`): the [`GridLint`]
+//! invariant pass re-exported from `gm-network`, auditing any [`Network`]
+//! for connectivity, reference-bus, limit-ordering, impedance, per-unit
+//! base, and dispatch-feasibility problems as structured
+//! [`AuditFinding`]s.
+//!
+//! The crate is deliberately regex-free and `syn`-free (the build
+//! environment is offline); the source scanner is a small line-oriented
+//! state machine documented in [`source`].
+
+pub mod source;
+
+pub use gm_network::{AuditFinding, GridLint, Network, Severity};
+pub use source::{lint_sources, scan_file, SourceFinding, SourceLintReport};

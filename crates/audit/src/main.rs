@@ -1,0 +1,102 @@
+//! `gm-audit` CLI: workspace static analysis.
+//!
+//! ```text
+//! cargo run -p gm-audit -- lint-src            # source invariants
+//! cargo run -p gm-audit -- lint-case <case>    # model invariants
+//! ```
+//!
+//! Exits nonzero when any violation (or, for `lint-case`, any
+//! error-severity finding) is present — suitable as a CI gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gm_audit::{lint_sources, GridLint, Severity};
+
+fn repo_root() -> PathBuf {
+    // crates/audit → repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: gm-audit <lint-src | lint-case CASE>");
+    ExitCode::from(2)
+}
+
+fn lint_src() -> ExitCode {
+    let root = repo_root();
+    let rep = match lint_sources(&root) {
+        Ok(rep) => rep,
+        Err(e) => {
+            eprintln!("lint-src: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for f in &rep.findings {
+        println!("{f}");
+    }
+    for e in &rep.allowlist_errors {
+        println!("allowlist: {e}");
+    }
+    let grandfathered: usize = rep.grandfathered.values().sum();
+    if rep.is_clean() {
+        println!(
+            "lint-src clean: {} files scanned, {} grandfathered site(s)",
+            rep.files_scanned, grandfathered
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "lint-src: {} violation(s), {} allowlist error(s)",
+            rep.findings.len(),
+            rep.allowlist_errors.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn lint_case(name: &str) -> ExitCode {
+    let (net, conf) = match gm_network::cases::load_case(name) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("lint-case: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "auditing {} ({} buses, {} branches; matched with confidence {conf:.2})",
+        net.name,
+        net.n_bus(),
+        net.branches.len()
+    );
+    let findings = GridLint::default().audit(&net);
+    for f in &findings {
+        println!("{f}");
+    }
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+    if errors == 0 {
+        println!("lint-case clean: {} finding(s), no errors", findings.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("lint-case: {errors} error(s)");
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint-src") => lint_src(),
+        Some("lint-case") => match args.get(1) {
+            Some(case) => lint_case(case),
+            None => usage(),
+        },
+        _ => usage(),
+    }
+}

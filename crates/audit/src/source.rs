@@ -1,0 +1,409 @@
+//! Line-based source lints over the workspace tree.
+//!
+//! `syn` is unavailable offline, so the scanner is a deliberately simple
+//! state machine over source lines. Its known approximations:
+//!
+//! - `#[cfg(test)]` items are skipped by brace counting from the
+//!   attribute to the matching close brace;
+//! - text after `//` on a line is ignored (doc comments and line
+//!   comments never produce findings); a `//` inside a string literal
+//!   is mis-treated as a comment, which can only *hide* a finding on
+//!   an already-unusual line, never invent one;
+//! - pattern matches inside string literals are accepted as findings —
+//!   solver-crate code has no reason to spell `".unwrap()"` in a string.
+//!
+//! The rules (see the crate docs) and the grandfathered-site allowlist
+//! (`crates/audit/lint_allowlist.txt`) are enforced by [`lint_sources`].
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose non-test code must be panic-free.
+pub const SOLVER_CRATES: &[&str] = &["numeric", "sparse", "powerflow", "acopf", "contingency"];
+
+/// Crates whose non-test code must not contain truncating float→int
+/// `as` casts (silent data-loss hazard in numeric kernels).
+pub const KERNEL_CRATES: &[&str] = &["numeric", "sparse"];
+
+/// Relative path of the allowlist file (from the repo root).
+pub const ALLOWLIST_PATH: &str = "crates/audit/lint_allowlist.txt";
+
+/// One source-lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFinding {
+    /// Path relative to the repo root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (`no-panic`, `no-truncating-cast`,
+    /// `tool-registration`).
+    pub rule: &'static str,
+    /// The offending line (trimmed) or a description.
+    pub excerpt: String,
+}
+
+impl std::fmt::Display for SourceFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.excerpt
+        )
+    }
+}
+
+/// Outcome of a full `lint-src` run.
+#[derive(Debug, Default)]
+pub struct SourceLintReport {
+    /// Violations not covered by the allowlist.
+    pub findings: Vec<SourceFinding>,
+    /// Grandfathered `no-panic` sites per file (path → count), i.e.
+    /// matches absorbed by the allowlist.
+    pub grandfathered: BTreeMap<String, usize>,
+    /// Allowlist bookkeeping problems: stale entries (site was removed
+    /// but the allowlist still grants it — the ratchet must be
+    /// tightened) or entries for files that no longer exist.
+    pub allowlist_errors: Vec<String>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl SourceLintReport {
+    /// True when the tree is clean and the allowlist is exact.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.allowlist_errors.is_empty()
+    }
+}
+
+/// Strips the trailing `//` comment from a line. A `//` inside a string
+/// literal is treated as a comment start (see module docs).
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// True when `code` contains a panicking construct.
+fn has_panic_site(code: &str) -> bool {
+    code.contains(".unwrap()")
+        || code.contains(".expect(")
+        || code.contains("panic!(")
+        || code.contains("unreachable!(")
+        || code.contains("todo!(")
+        || code.contains("unimplemented!(")
+}
+
+/// True when `code` contains a float→int `as` cast, judged by an `as
+/// <int type>` cast on a line with float evidence (a float type, a
+/// float-producing method, or a float literal).
+fn has_truncating_cast(code: &str) -> bool {
+    const INT_TYPES: &[&str] = &[
+        "i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize",
+    ];
+    let mut has_int_cast = false;
+    let mut rest = code;
+    while let Some(i) = rest.find(" as ") {
+        let after = &rest[i + 4..];
+        let token: String = after
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if INT_TYPES.contains(&token.as_str()) {
+            has_int_cast = true;
+            break;
+        }
+        rest = &rest[i + 4..];
+    }
+    if !has_int_cast {
+        return false;
+    }
+    let float_method = [
+        ".sqrt()", ".floor()", ".ceil()", ".round()", ".abs()", ".powi(", ".powf(",
+    ]
+    .iter()
+    .any(|m| code.contains(m));
+    let float_literal = {
+        let bytes = code.as_bytes();
+        (1..bytes.len().saturating_sub(1)).any(|i| {
+            bytes[i] == b'.' && bytes[i - 1].is_ascii_digit() && bytes[i + 1].is_ascii_digit()
+        })
+    };
+    code.contains("f64") || code.contains("f32") || float_method || float_literal
+}
+
+/// Scans one file's text for `no-panic` (and optionally
+/// `no-truncating-cast`) violations, skipping `#[cfg(test)]` items and
+/// comments. Returns `(line_number, rule, excerpt)` triples.
+pub fn scan_file(text: &str, check_casts: bool) -> Vec<(usize, &'static str, String)> {
+    let mut out = Vec::new();
+    let mut skip_depth: i32 = 0; // >0: inside a #[cfg(test)] item
+    let mut pending_test_attr = false;
+    for (ln0, raw) in text.lines().enumerate() {
+        let code = code_part(raw);
+        let trimmed = code.trim();
+        if skip_depth > 0 {
+            skip_depth += braces(code);
+            continue;
+        }
+        if pending_test_attr {
+            // Attribute lines between #[cfg(test)] and the item keep
+            // the pending state; the item line opens the skip region.
+            if trimmed.is_empty() || trimmed.starts_with("#[") {
+                // stay pending
+            } else {
+                let d = braces(code);
+                if d > 0 {
+                    skip_depth = d;
+                    pending_test_attr = false;
+                    continue;
+                }
+                // Braceless item (e.g. `mod tests;`): nothing to skip.
+                pending_test_attr = false;
+            }
+        }
+        if trimmed.starts_with("#[cfg(test)]") {
+            pending_test_attr = true;
+            continue;
+        }
+        if has_panic_site(code) {
+            out.push((ln0 + 1, "no-panic", trimmed.to_string()));
+        }
+        if check_casts && has_truncating_cast(code) {
+            out.push((ln0 + 1, "no-truncating-cast", trimmed.to_string()));
+        }
+    }
+    out
+}
+
+/// Net brace depth change of a code line.
+#[allow(clippy::cast_possible_wrap)]
+fn braces(code: &str) -> i32 {
+    let open = code.matches('{').count() as i32;
+    let close = code.matches('}').count() as i32;
+    open - close
+}
+
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(())
+}
+
+/// Parses the allowlist: `<relative path> <count>` per line, `#`
+/// comments. Missing file → empty allowlist.
+fn read_allowlist(repo_root: &Path) -> BTreeMap<String, usize> {
+    let mut map = BTreeMap::new();
+    let Ok(text) = fs::read_to_string(repo_root.join(ALLOWLIST_PATH)) else {
+        return map;
+    };
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if let (Some(path), Some(count)) = (parts.next(), parts.next()) {
+            if let Ok(n) = count.parse::<usize>() {
+                map.insert(path.to_string(), n);
+            }
+        }
+    }
+    map
+}
+
+/// Runs every source lint over the workspace at `repo_root`.
+pub fn lint_sources(repo_root: &Path) -> io::Result<SourceLintReport> {
+    let mut rep = SourceLintReport::default();
+    let mut allow = read_allowlist(repo_root);
+
+    for krate in SOLVER_CRATES {
+        let src = repo_root.join("crates").join(krate).join("src");
+        let mut files = Vec::new();
+        rs_files(&src, &mut files)?;
+        let check_casts = KERNEL_CRATES.contains(krate);
+        for path in files {
+            rep.files_scanned += 1;
+            let rel = path
+                .strip_prefix(repo_root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let text = fs::read_to_string(&path)?;
+            let hits = scan_file(&text, check_casts);
+            let panics: Vec<_> = hits.iter().filter(|(_, r, _)| *r == "no-panic").collect();
+            let granted = allow.remove(&rel).unwrap_or(0);
+            match panics.len().cmp(&granted) {
+                std::cmp::Ordering::Greater => {
+                    // More sites than grandfathered: report them all so
+                    // the offender is visible regardless of which line
+                    // is "new".
+                    for (ln, rule, excerpt) in &hits {
+                        if *rule == "no-panic" {
+                            rep.findings.push(SourceFinding {
+                                file: rel.clone(),
+                                line: *ln,
+                                rule,
+                                excerpt: excerpt.clone(),
+                            });
+                        }
+                    }
+                }
+                std::cmp::Ordering::Less => rep.allowlist_errors.push(format!(
+                    "{rel}: allowlist grants {granted} panic site(s) but only {} remain — \
+                     tighten {ALLOWLIST_PATH} (the allowlist may only shrink)",
+                    panics.len()
+                )),
+                std::cmp::Ordering::Equal => {
+                    if granted > 0 {
+                        rep.grandfathered.insert(rel.clone(), granted);
+                    }
+                }
+            }
+            for (ln, rule, excerpt) in &hits {
+                if *rule == "no-truncating-cast" {
+                    rep.findings.push(SourceFinding {
+                        file: rel.clone(),
+                        line: *ln,
+                        rule,
+                        excerpt: excerpt.clone(),
+                    });
+                }
+            }
+        }
+    }
+    for (path, n) in allow {
+        rep.allowlist_errors.push(format!(
+            "{path}: allowlist grants {n} panic site(s) but the file was not scanned \
+             (moved or deleted?) — remove the entry from {ALLOWLIST_PATH}"
+        ));
+    }
+
+    registration_lint(repo_root, &mut rep)?;
+    Ok(rep)
+}
+
+/// Every `pub fn *_tool` in `crates/core/src/tools_*.rs` must appear in
+/// `crates/core/src/agents.rs` (the registration site that binds each
+/// handler to its `ToolSpec` schema).
+fn registration_lint(repo_root: &Path, rep: &mut SourceLintReport) -> io::Result<()> {
+    let core_src = repo_root.join("crates/core/src");
+    if !core_src.is_dir() {
+        return Ok(());
+    }
+    let registry = fs::read_to_string(core_src.join("agents.rs")).unwrap_or_default();
+    let mut files = Vec::new();
+    rs_files(&core_src, &mut files)?;
+    for path in files {
+        let name = path.file_name().map(|n| n.to_string_lossy().to_string());
+        let Some(name) = name else { continue };
+        if !name.starts_with("tools_") {
+            continue;
+        }
+        rep.files_scanned += 1;
+        let rel = format!("crates/core/src/{name}");
+        let text = fs::read_to_string(&path)?;
+        for (ln0, raw) in text.lines().enumerate() {
+            let code = code_part(raw).trim();
+            let Some(sig) = code.strip_prefix("pub fn ") else {
+                continue;
+            };
+            let fn_name: String = sig
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if fn_name.ends_with("_tool") && !registry.contains(fn_name.as_str()) {
+                rep.findings.push(SourceFinding {
+                    file: rel.clone(),
+                    line: ln0 + 1,
+                    rule: "tool-registration",
+                    excerpt: format!(
+                        "`{fn_name}` is not registered in crates/core/src/agents.rs \
+                         (every tool handler needs a ToolSpec schema binding)"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_unwrap_and_expect() {
+        let hits = scan_file(
+            "fn f() {\n    x.unwrap();\n    y.expect(\"m\");\n}\n",
+            false,
+        );
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, 2);
+        assert_eq!(hits[1].0, 3);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let text = "fn f() {\n    x.unwrap_or(0);\n    y.unwrap_or_else(|| 1);\n    z.unwrap_or_default();\n}\n";
+        assert!(scan_file(text, false).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_skipped() {
+        let text = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\nfn h() { y.unwrap(); }\n";
+        let hits = scan_file(text, false);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 6);
+    }
+
+    #[test]
+    fn comments_do_not_count() {
+        let text = "// x.unwrap() in a comment\n/// doc: panic!(\"no\")\nfn f() {}\n";
+        assert!(scan_file(text, false).is_empty());
+    }
+
+    #[test]
+    fn panic_macros_detected() {
+        let text = "fn f() {\n    panic!(\"boom\");\n    unreachable!();\n    todo!();\n}\n";
+        assert_eq!(scan_file(text, false).len(), 3);
+    }
+
+    #[test]
+    fn float_to_int_cast_flagged_in_kernel_mode() {
+        let text = "fn f(x: f64) -> usize {\n    (x * 2.0) as usize\n}\n";
+        let hits = scan_file(text, true);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1, "no-truncating-cast");
+        // Same text without cast checking: clean.
+        assert!(scan_file(text, false).is_empty());
+    }
+
+    #[test]
+    fn int_to_int_cast_is_fine() {
+        let text = "fn f(x: u32) -> usize {\n    x as usize\n}\n";
+        assert!(scan_file(text, true).is_empty());
+    }
+
+    #[test]
+    fn int_to_float_cast_is_fine() {
+        let text = "fn f(x: usize) -> f64 {\n    x as f64\n}\n";
+        assert!(scan_file(text, true).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_attr_with_following_attrs_skipped() {
+        let text =
+            "#[cfg(test)]\n#[allow(dead_code)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\n";
+        assert!(scan_file(text, false).is_empty());
+    }
+}

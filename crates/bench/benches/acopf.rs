@@ -9,7 +9,12 @@ use std::hint::black_box;
 fn bench_acopf(c: &mut Criterion) {
     let mut group = c.benchmark_group("acopf_ipm");
     group.sample_size(10);
-    for id in [CaseId::Ieee14, CaseId::Ieee30, CaseId::Ieee57, CaseId::Ieee118] {
+    for id in [
+        CaseId::Ieee14,
+        CaseId::Ieee30,
+        CaseId::Ieee57,
+        CaseId::Ieee118,
+    ] {
         let net = cases::load(id);
         group.bench_with_input(BenchmarkId::from_parameter(id.size()), &net, |b, net| {
             b.iter(|| {
@@ -32,7 +37,13 @@ fn bench_baselines(c: &mut Criterion) {
         b.iter(|| black_box(economic_dispatch(&net, net.total_load_mw()).cost))
     });
     group.bench_function("dc_opf", |b| {
-        b.iter(|| black_box(solve_dcopf(&net, &IpmOptions::default()).unwrap().objective_cost))
+        b.iter(|| {
+            black_box(
+                solve_dcopf(&net, &IpmOptions::default())
+                    .unwrap()
+                    .objective_cost,
+            )
+        })
     });
     group.bench_function("ac_opf", |b| {
         b.iter(|| {

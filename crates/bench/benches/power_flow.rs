@@ -16,11 +16,9 @@ fn bench_newton(c: &mut Criterion) {
             enforce_q_limits: false,
             ..Default::default()
         };
-        group.bench_with_input(
-            BenchmarkId::new("flat_start", id.size()),
-            &net,
-            |b, net| b.iter(|| black_box(solve(net, &opts).unwrap().iterations)),
-        );
+        group.bench_with_input(BenchmarkId::new("flat_start", id.size()), &net, |b, net| {
+            b.iter(|| black_box(solve(net, &opts).unwrap().iterations))
+        });
     }
     group.finish();
 }

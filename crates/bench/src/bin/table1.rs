@@ -22,8 +22,10 @@ fn main() {
     for profile in ModelProfile::paper_models() {
         let name = profile.name.clone();
         let mut gm = GridMind::new(profile);
-        let (elapsed, ok, _tokens) =
-            timed_ask(&mut gm, "identify the top 5 critical contingencies in case118");
+        let (elapsed, ok, _tokens) = timed_ask(
+            &mut gm,
+            "identify the top 5 critical contingencies in case118",
+        );
         assert!(ok, "{name} failed the CA run");
         let rep = gm
             .session

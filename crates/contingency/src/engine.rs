@@ -213,7 +213,7 @@ pub fn run_n1_screened(
         .iter()
         .map(|b| Complex::from_polar(b.vm_pu, b.va_deg.to_radians()))
         .collect();
-    let sens = gm_powerflow::sensitivities(net);
+    let sens = gm_powerflow::sensitivities(net)?;
     let base_p: Vec<f64> = base.branches.iter().map(|b| b.p_from_mw).collect();
     let base_q: Vec<f64> = base
         .branches
@@ -512,7 +512,6 @@ mod tests {
         let rep = run_n1(&net, &opts, Some(&base)).unwrap();
         assert_eq!(rep.n_contingencies, 41);
     }
-
 
     #[test]
     fn screened_sweep_agrees_on_thermal_criticals() {

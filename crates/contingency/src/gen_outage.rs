@@ -59,7 +59,11 @@ pub fn run_gen_n1(
         .iter()
         .map(|b| Complex::from_polar(b.vm_pu, b.va_deg.to_radians()))
         .collect();
-    let slack = net.slack().expect("validated network");
+    let Some(slack) = net.slack() else {
+        return Err(gm_powerflow::PfError::InvalidNetwork {
+            problems: vec!["network has no slack bus".into()],
+        });
+    };
     let base_slack_p: f64 = base
         .gens
         .iter()
@@ -83,9 +87,7 @@ pub fn run_gen_n1(
 
         // Losing the only unit at the slack bus removes the reference.
         if g.bus == slack {
-            let others_at_slack = net
-                .gens_at(slack)
-                .any(|(other, _)| other != gi);
+            let others_at_slack = net.gens_at(slack).any(|(other, _)| other != gi);
             if !others_at_slack {
                 return GenOutageOutcome {
                     gen: gi,

@@ -24,6 +24,13 @@
 //! ```
 //! - [`types`] — `ContingencyOutcome` / `ContingencyReport`, mirroring
 //!   the paper's `ContingencyAnalysisResult` schema.
+// Solver crates are panic-free outside tests: every fallible path
+// returns a typed error. Enforced by clippy here and by the regex
+// pass of `gm-audit lint-src` (with its allowlist) in CI.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 pub mod cache;
 pub mod engine;
@@ -32,8 +39,8 @@ pub mod ranking;
 pub mod types;
 
 pub use cache::{CacheKey, ContingencyCache};
-pub use gen_outage::{run_gen_n1, GenOutageOutcome};
 pub use engine::{evaluate_outage, run_n1, run_n1_cached, run_n1_screened, solve_base, CaOptions};
+pub use gen_outage::{run_gen_n1, GenOutageOutcome};
 pub use ranking::{rank, score};
 pub use types::{
     ContingencyOutcome, ContingencyReport, Outage, RankedContingency, RankingStrategy, Violation,

@@ -28,9 +28,7 @@ pub fn score(outcome: &ContingencyOutcome, strategy: RankingStrategy) -> f64 {
                 .violations
                 .iter()
                 .filter_map(|v| match v {
-                    Violation::ThermalOverload { loading_pct, .. } => {
-                        Some(loading_pct - 100.0)
-                    }
+                    Violation::ThermalOverload { loading_pct, .. } => Some(loading_pct - 100.0),
                     _ => None,
                 })
                 .sum();
@@ -46,7 +44,9 @@ pub fn score(outcome: &ContingencyOutcome, strategy: RankingStrategy) -> f64 {
             // Multiple simultaneous violations outrank a single large one
             // (§3.2.2): each extra violation adds a fixed increment.
             let breadth = outcome.violations.len() as f64;
-            2.0 * thermal_excess + 3.0 * voltage_depth + 1.5 * breadth
+            2.0 * thermal_excess
+                + 3.0 * voltage_depth
+                + 1.5 * breadth
                 + 0.05 * outcome.max_loading_pct
         }
         RankingStrategy::OverloadFirst => outcome.max_loading_pct,
@@ -69,8 +69,7 @@ fn justify(outcome: &ContingencyOutcome) -> String {
         );
     }
     if !outcome.converged {
-        return "post-contingency power flow does not converge (voltage collapse risk)"
-            .to_string();
+        return "post-contingency power flow does not converge (voltage collapse risk)".to_string();
     }
     let nt = outcome.n_thermal();
     let nv = outcome.n_voltage();
@@ -259,10 +258,7 @@ mod tests {
         islander.islands = true;
         islander.converged = false;
         let stressed = outcome(2, vec![], 150.0, 0.95);
-        let ranked = rank(
-            &[stressed, collapse, islander],
-            RankingStrategy::Composite,
-        );
+        let ranked = rank(&[stressed, collapse, islander], RankingStrategy::Composite);
         assert_eq!(ranked[0].label, "line 1");
         assert_eq!(ranked[1].label, "line 0");
         assert_eq!(ranked[2].label, "line 2");

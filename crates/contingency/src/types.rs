@@ -167,7 +167,11 @@ pub struct ContingencyReport {
 impl ContingencyReport {
     /// Top-k critical element labels (the paper's "Critical Lines" column).
     pub fn top_labels(&self, k: usize) -> Vec<String> {
-        self.ranking.iter().take(k).map(|r| r.label.clone()).collect()
+        self.ranking
+            .iter()
+            .take(k)
+            .map(|r| r.label.clone())
+            .collect()
     }
 }
 

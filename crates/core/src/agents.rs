@@ -85,11 +85,7 @@ pub fn build_acopf_agent(
 }
 
 /// Builds the contingency analysis agent on a shared session.
-pub fn build_ca_agent(
-    profile: ModelProfile,
-    session: SharedSession,
-    clock: VirtualClock,
-) -> Agent {
+pub fn build_ca_agent(profile: ModelProfile, session: SharedSession, clock: VirtualClock) -> Agent {
     let mut tools = ToolRegistry::new(clock.clone());
     tools.register(tools_ca::solve_base_case_tool(
         session.clone(),
@@ -101,7 +97,10 @@ pub fn build_ca_agent(
         clock.clone(),
     ));
     tools.register(tools_ca::run_gen_n1_tool(session.clone(), clock.clone()));
-    tools.register(tools_ca::get_contingency_status_tool(session, clock.clone()));
+    tools.register(tools_ca::get_contingency_status_tool(
+        session,
+        clock.clone(),
+    ));
     let llm = Arc::new(SimulatedLlm::new(profile, CaPlanner));
     let mut agent = Agent::new(
         "Contingency Analysis Agent",
@@ -132,7 +131,11 @@ mod tests {
         let resp = agent.handle("solve 14");
         assert!(resp.completed, "{}", resp.text);
         assert!(resp.text.contains("Solved ACOPF"));
-        assert!(resp.text.contains("8081") || resp.text.contains("808"), "{}", resp.text);
+        assert!(
+            resp.text.contains("8081") || resp.text.contains("808"),
+            "{}",
+            resp.text
+        );
         assert!(session.fresh_acopf().is_some());
         assert!(resp.elapsed_s > 1.0, "LLM latency must be charged");
     }
@@ -165,8 +168,16 @@ mod tests {
         );
         let resp = agent.handle("run the n-1 contingency analysis for case14");
         assert!(resp.completed, "{}", resp.text);
-        assert!(resp.text.contains("N-1 contingency analysis"), "{}", resp.text);
-        assert!(resp.text.contains("Most critical elements"), "{}", resp.text);
+        assert!(
+            resp.text.contains("N-1 contingency analysis"),
+            "{}",
+            resp.text
+        );
+        assert!(
+            resp.text.contains("Most critical elements"),
+            "{}",
+            resp.text
+        );
         assert!(session.fresh_contingency().is_some());
         // Two tool calls: base case + sweep.
         assert_eq!(resp.tool_calls.len(), 2);
@@ -184,12 +195,14 @@ mod tests {
         agent.handle("solve case14");
         let cost0 = session.fresh_acopf().unwrap().objective_cost;
         // Derating the cheap slack unit must raise the optimal cost.
-        let resp =
-            agent.handle("limit the generator capacity at bus 1 to between 0 and 120 MW");
+        let resp = agent.handle("limit the generator capacity at bus 1 to between 0 and 120 MW");
         assert!(resp.completed, "{}", resp.text);
         assert!(resp.text.contains("bus 1"), "{}", resp.text);
         let cost1 = session.fresh_acopf().unwrap().objective_cost;
-        assert!(cost1 > cost0, "derating cheap capacity must cost: {cost1} !> {cost0}");
+        assert!(
+            cost1 > cost0,
+            "derating cheap capacity must cost: {cost1} !> {cost0}"
+        );
         assert_eq!(session.diff_count(), 1);
     }
 
@@ -204,11 +217,7 @@ mod tests {
         );
         let resp = agent.handle("give me a security-constrained dispatch for case30");
         assert!(resp.completed, "{}", resp.text);
-        assert!(
-            resp.text.contains("security premium"),
-            "{}",
-            resp.text
-        );
+        assert!(resp.text.contains("security premium"), "{}", resp.text);
         assert!(session.fresh_acopf().is_some());
     }
 
@@ -216,11 +225,8 @@ mod tests {
     fn modify_before_solve_takes_recovery_path() {
         let session = SessionContext::new();
         let clock = VirtualClock::new();
-        let mut agent = build_acopf_agent(
-            ModelProfile::by_name("GPT-5 Nano").unwrap(),
-            session,
-            clock,
-        );
+        let mut agent =
+            build_acopf_agent(ModelProfile::by_name("GPT-5 Nano").unwrap(), session, clock);
         // Mention the case inline so recovery can identify it.
         let resp = agent.handle("on case30, increase the load at bus 5 to 120 MW");
         assert!(resp.completed, "{}", resp.text);

@@ -10,7 +10,9 @@
 
 use crate::agents::{build_acopf_agent, build_ca_agent};
 use crate::session::{SessionContext, SharedSession};
-use gm_agents::{classify, Agent, AgentResponse, IntentRule, ModelProfile, TokenUsage, VirtualClock};
+use gm_agents::{
+    classify, Agent, AgentResponse, IntentRule, ModelProfile, TokenUsage, VirtualClock,
+};
 use serde::{Deserialize, Serialize};
 use serde_json::json;
 
@@ -121,16 +123,30 @@ impl GridMind {
         vec![
             IntentRule::new(
                 "acopf",
-                &["solve", "opf", "dispatch", "cost", "load", "modify", "increase",
-                  "decrease", "economic", "optimal", "status", "set", "limit"],
+                &[
+                    "solve", "opf", "dispatch", "cost", "load", "modify", "increase", "decrease",
+                    "economic", "optimal", "status", "set", "limit",
+                ],
                 &["acopf"],
                 0.05,
             ),
             IntentRule::new(
                 "contingency",
-                &["n-1", "t-1", "outage", "reliability", "critical",
-                  "vulnerab", "reinforce", "violation", "lose", "losing", "trip",
-                  "unit", "generator"],
+                &[
+                    "n-1",
+                    "t-1",
+                    "outage",
+                    "reliability",
+                    "critical",
+                    "vulnerab",
+                    "reinforce",
+                    "violation",
+                    "lose",
+                    "losing",
+                    "trip",
+                    "unit",
+                    "generator",
+                ],
                 &["contingency", "contingencies"],
                 0.0,
             ),

@@ -81,7 +81,11 @@ impl AcopfPlanner {
              Nodal prices span {:.2}-{:.2} $/MWh.\n\
              Solution quality assessment: Overall={:.1}/10.",
             sol["case_name"].as_str().unwrap_or("the case"),
-            net["buses"], net["generators"], net["lines"], net["transformers"], net["loads"],
+            net["buses"],
+            net["generators"],
+            net["lines"],
+            net["transformers"],
+            net["loads"],
             f(net, "total_load_mw"),
             f(net, "total_gen_capacity_mw"),
             sol["iterations"],
@@ -179,10 +183,12 @@ impl Planner for AcopfPlanner {
                     view.context_value("active_case")
                         .and_then(|v| v.as_str().map(String::from))
                 });
-                if let Some(case) = known_case.filter(|_| err.contains("no case loaded") && view.round < 3) {
+                if let Some(case) =
+                    known_case.filter(|_| err.contains("no case loaded") && view.round < 3)
+                {
                     return ModelTurn {
                         reasoning: vec![
-                            "(recovery: no case in context — load and solve it first)".into(),
+                            "(recovery: no case in context — load and solve it first)".into()
                         ],
                         action: TurnAction::Calls(vec![ToolCall {
                             tool: "solve_acopf_case".into(),
@@ -221,10 +227,7 @@ impl Planner for AcopfPlanner {
                         };
                     }
                     return ModelTurn {
-                        reasoning: vec![
-                            "(validate results)".into(),
-                            "(narrate findings)".into(),
-                        ],
+                        reasoning: vec!["(validate results)".into(), "(narrate findings)".into()],
                         action: TurnAction::Respond(Self::narrate_solution(result)),
                     };
                 }
@@ -290,16 +293,26 @@ impl Planner for AcopfPlanner {
                 }]),
             },
             Some("status") => ModelTurn {
-                reasoning: vec!["(understand the task)".into(), "(query stored state)".into()],
+                reasoning: vec![
+                    "(understand the task)".into(),
+                    "(query stored state)".into(),
+                ],
                 action: TurnAction::Calls(vec![ToolCall {
                     tool: "get_network_status".into(),
                     args: json!({}),
                 }]),
             },
-            Some("modify_gen") if !ents.buses.is_empty() && ents.numbers.len() + ents.mw.len() >= 2 => {
+            Some("modify_gen")
+                if !ents.buses.is_empty() && ents.numbers.len() + ents.mw.len() >= 2 =>
+            {
                 // "limit the generator at bus 2 to between 10 and 60 MW"
                 let mut vals: Vec<f64> = ents.mw.clone();
-                vals.extend(ents.numbers.iter().copied().filter(|v| *v != ents.buses[0] as f64));
+                vals.extend(
+                    ents.numbers
+                        .iter()
+                        .copied()
+                        .filter(|v| *v != ents.buses[0] as f64),
+                );
                 vals.sort_by(|a, b| a.total_cmp(b));
                 let (lo, hi) = (vals[0], *vals.last().unwrap());
                 ModelTurn {
@@ -383,7 +396,15 @@ impl CaPlanner {
         vec![
             IntentRule::new(
                 "full_analysis",
-                &["n-1", "t-1", "outages", "reliability", "security", "vulnerab", "run"],
+                &[
+                    "n-1",
+                    "t-1",
+                    "outages",
+                    "reliability",
+                    "security",
+                    "vulnerab",
+                    "run",
+                ],
                 &["contingency", "contingencies", "critical"],
                 0.1,
             ),
@@ -405,12 +426,7 @@ impl CaPlanner {
                 &["base"],
                 0.0,
             ),
-            IntentRule::new(
-                "status",
-                &["current", "show", "summary"],
-                &["status"],
-                0.0,
-            ),
+            IntentRule::new("status", &["current", "show", "summary"], &["status"], 0.0),
         ]
     }
 
@@ -522,7 +538,9 @@ impl Planner for CaPlanner {
                     view.context_value("active_case")
                         .and_then(|v| v.as_str().map(String::from))
                 });
-                if let Some(case) = known_case.filter(|_| err.contains("no case loaded") && view.round < 3) {
+                if let Some(case) =
+                    known_case.filter(|_| err.contains("no case loaded") && view.round < 3)
+                {
                     return ModelTurn {
                         reasoning: vec!["(recovery: solve the base case first)".into()],
                         action: TurnAction::Calls(vec![ToolCall {
@@ -588,7 +606,10 @@ impl Planner for CaPlanner {
                             };
                             format!(
                                 "  - unit {} at bus {} losing {:.0} MW{}",
-                                r["gen"], r["bus_id"], f(r, "lost_mw"), tag
+                                r["gen"],
+                                r["bus_id"],
+                                f(r, "lost_mw"),
+                                tag
                             )
                         })
                         .collect();
@@ -752,7 +773,10 @@ mod tests {
 
     #[test]
     fn ca_full_analysis_starts_with_base_case() {
-        let t = turn_of(&CaPlanner, "what's the most critical contingencies in this network");
+        let t = turn_of(
+            &CaPlanner,
+            "what's the most critical contingencies in this network",
+        );
         match t.action {
             TurnAction::Calls(calls) => assert_eq!(calls[0].tool, "solve_base_case"),
             other => panic!("expected calls, got {other:?}"),

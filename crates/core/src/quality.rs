@@ -72,7 +72,10 @@ pub fn assess(net: &Network, sol: &AcopfSolution) -> SolutionQuality {
         ));
     }
     metrics.insert("min_voltage_pu".into(), sol.min_voltage_pu);
-    metrics.insert("max_thermal_loading_pct".into(), sol.max_thermal_loading_pct);
+    metrics.insert(
+        "max_thermal_loading_pct".into(),
+        sol.max_thermal_loading_pct,
+    );
 
     // --- Economic efficiency vs the lossless dispatch lower bound.
     let ed = gm_acopf::economic_dispatch(net, net.total_load_mw());

@@ -15,8 +15,10 @@ pub fn render_trace(resp: &AgentResponse) -> String {
     let mut out = String::new();
     let mut step = 1usize;
     for r in &resp.reasoning {
-        out.push_str(&format!("  {step}. {r} -> reasoning
-"));
+        out.push_str(&format!(
+            "  {step}. {r} -> reasoning
+"
+        ));
         step += 1;
     }
     for c in &resp.tool_calls {
@@ -40,8 +42,10 @@ pub fn render_trace(resp: &AgentResponse) -> String {
         ));
         step += 1;
     }
-    out.push_str(&format!("  {step}. (narrate findings) -> response
-"));
+    out.push_str(&format!(
+        "  {step}. (narrate findings) -> response
+"
+    ));
     out
 }
 
@@ -139,7 +143,10 @@ mod tests {
         assert!(text.contains("virtual latency"));
         // Appendix D trace format.
         assert!(text.contains("-> reasoning"), "{text}");
-        assert!(text.contains("(invoke solve_acopf_case) -> function tools"), "{text}");
+        assert!(
+            text.contains("(invoke solve_acopf_case) -> function tools"),
+            "{text}"
+        );
         assert!(text.contains("-> response"));
     }
 

@@ -260,7 +260,8 @@ mod tests {
         assert!(conf > 0.9);
         assert_eq!(s.active_case().as_deref(), Some("case14"));
         // Switching resets diffs.
-        s.apply(Modification::ScaleAllLoads { factor: 1.1 }).unwrap();
+        s.apply(Modification::ScaleAllLoads { factor: 1.1 })
+            .unwrap();
         assert_eq!(s.diff_count(), 1);
         s.load_case("case30").unwrap();
         assert_eq!(s.diff_count(), 0);
@@ -271,7 +272,8 @@ mod tests {
     fn reload_same_case_preserves_state() {
         let s = SessionContext::new();
         s.load_case("case14").unwrap();
-        s.apply(Modification::ScaleAllLoads { factor: 1.2 }).unwrap();
+        s.apply(Modification::ScaleAllLoads { factor: 1.2 })
+            .unwrap();
         s.load_case("14").unwrap(); // same case, fuzzy name
         assert_eq!(s.diff_count(), 1, "same-case reload must not reset");
     }
@@ -346,7 +348,8 @@ mod tests {
     fn session_persistence_round_trip() {
         let s = SessionContext::new();
         s.load_case("case30").unwrap();
-        s.apply(Modification::ScaleAllLoads { factor: 0.9 }).unwrap();
+        s.apply(Modification::ScaleAllLoads { factor: 0.9 })
+            .unwrap();
         let blob = s.save();
         let restored = SessionContext::restore(&blob).unwrap();
         assert_eq!(restored.active_case().as_deref(), Some("case30"));

@@ -65,7 +65,11 @@ fn solution_output_schema() -> Schema {
                 "worst branch loading",
             ),
             Field::required("iterations", Schema::integer(), "IPM iterations"),
-            Field::required("quality_overall", Schema::number_range(0.0, 10.0), "0-10 score"),
+            Field::required(
+                "quality_overall",
+                Schema::number_range(0.0, 10.0),
+                "0-10 score",
+            ),
         ],
         closed: false,
     }
@@ -388,13 +392,13 @@ mod tests {
         reg.invoke("solve_acopf_case", &json!({"case_name": "case14"}))
             .unwrap();
         let out = reg
-            .invoke(
-                "modify_bus_load",
-                &json!({"bus_id": 10, "p_mw": 50.0}),
-            )
+            .invoke("modify_bus_load", &json!({"bus_id": 10, "p_mw": 50.0}))
             .unwrap();
         assert_eq!(out["solved"], json!(true));
-        assert!(out["cost_delta"].as_f64().unwrap() > 0.0, "load up, cost up");
+        assert!(
+            out["cost_delta"].as_f64().unwrap() > 0.0,
+            "load up, cost up"
+        );
         assert_eq!(out["modified_bus"], json!(10));
     }
 

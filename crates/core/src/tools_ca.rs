@@ -5,8 +5,7 @@
 use crate::session::SharedSession;
 use gm_agents::{Field, FnTool, Schema, ToolError, ToolSpec, VirtualClock};
 use gm_contingency::{
-    evaluate_outage, run_gen_n1, solve_base, CaOptions, ContingencyReport, Outage,
-    RankingStrategy,
+    evaluate_outage, run_gen_n1, solve_base, CaOptions, ContingencyReport, Outage, RankingStrategy,
 };
 use gm_network::BranchKind;
 use gm_numeric::Complex;
@@ -410,7 +409,9 @@ mod tests {
             .unwrap();
         assert_eq!(base["converged"], json!(true));
         assert!(session.fresh_base_pf().is_some());
-        let rep = reg.invoke("run_n1_contingency_analysis", &json!({})).unwrap();
+        let rep = reg
+            .invoke("run_n1_contingency_analysis", &json!({}))
+            .unwrap();
         assert_eq!(rep["n_contingencies"], json!(20));
         assert!(rep["ranking"].as_array().unwrap().len() <= 10);
         assert!(session.fresh_contingency().is_some());
@@ -482,7 +483,8 @@ mod tests {
             .unwrap();
         let st = reg.invoke("get_contingency_status", &json!({})).unwrap();
         assert_eq!(st["has_analysis"], json!(false));
-        reg.invoke("run_n1_contingency_analysis", &json!({})).unwrap();
+        reg.invoke("run_n1_contingency_analysis", &json!({}))
+            .unwrap();
         let st = reg.invoke("get_contingency_status", &json!({})).unwrap();
         assert_eq!(st["has_analysis"], json!(true));
         // A modification stales the analysis.

@@ -45,7 +45,10 @@ impl Validator for PowerBalanceValidator {
         "power_balance"
     }
     fn validate(&self, _tool: &str, result: &Value) -> Vec<ValidationIssue> {
-        match result.get("power_balance_error_mw").and_then(|v| v.as_f64()) {
+        match result
+            .get("power_balance_error_mw")
+            .and_then(|v| v.as_f64())
+        {
             Some(err) if err.abs() > self.tolerance_mw => vec![ValidationIssue {
                 severity: Severity::Warning,
                 check: "power_balance".into(),

@@ -17,46 +17,129 @@
 //! Buses must be declared before elements that reference them. Round-trip
 //! (`serialize` → `parse`) is tested to preserve every field.
 
-use crate::model::{
-    Branch, BranchKind, Bus, BusKind, GenCost, Generator, Load, Network, Shunt,
-};
+use crate::model::{Branch, BranchKind, Bus, BusKind, GenCost, Generator, Load, Network, Shunt};
 
-/// Parse failure with line information.
+/// What specifically went wrong on a case file line.
 #[derive(Debug, Clone, PartialEq)]
-pub struct ParseError {
+pub enum CaseErrorKind {
+    /// The record keyword is not part of the grammar.
+    UnknownRecord {
+        /// The offending keyword.
+        keyword: String,
+    },
+    /// A record has the wrong number of fields.
+    BadArity {
+        /// Record keyword.
+        record: &'static str,
+        /// Fields the grammar requires.
+        expected: usize,
+        /// Fields present on the line.
+        got: usize,
+    },
+    /// A field failed numeric/enumeration parsing.
+    BadField {
+        /// The offending token.
+        token: String,
+    },
+    /// An element references a bus id that has not been declared.
+    UndeclaredBus {
+        /// The referenced bus id.
+        bus: u32,
+    },
+}
+
+/// Parse failure with line and field context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseError {
     /// 1-based line number.
     pub line: usize,
-    /// What went wrong.
-    pub message: String,
+    /// The field being parsed when the error occurred (e.g. `"vm"`,
+    /// `"base MVA"`), when one is identifiable.
+    pub field: Option<&'static str>,
+    /// Structured failure cause.
+    pub kind: CaseErrorKind,
 }
 
-impl std::fmt::Display for ParseError {
+/// Former name of [`CaseError`], kept for downstream code.
+pub type ParseError = CaseError;
+
+impl CaseError {
+    /// Human-readable description of the cause (without the line prefix).
+    pub fn message(&self) -> String {
+        match &self.kind {
+            CaseErrorKind::UnknownRecord { keyword } => {
+                format!("unknown record type {keyword:?}")
+            }
+            CaseErrorKind::BadArity {
+                record,
+                expected,
+                got,
+            } => format!("{record} requires {expected} fields, got {got}"),
+            CaseErrorKind::BadField { token } => match self.field {
+                Some(f) => format!("invalid {f}: {token:?}"),
+                None => format!("invalid field: {token:?}"),
+            },
+            CaseErrorKind::UndeclaredBus { bus } => match self.field {
+                Some(f) => format!("{f} references undeclared bus {bus}"),
+                None => format!("reference to undeclared bus {bus}"),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for CaseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "case parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "case parse error at line {}: {}",
+            self.line,
+            self.message()
+        )
     }
 }
 
-impl std::error::Error for ParseError {}
+impl std::error::Error for CaseError {}
 
-fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError {
+fn err(line: usize, field: Option<&'static str>, kind: CaseErrorKind) -> CaseError {
+    CaseError { line, field, kind }
+}
+
+fn bad_field(line: usize, field: &'static str, tok: &str) -> CaseError {
+    err(
         line,
-        message: message.into(),
-    }
+        Some(field),
+        CaseErrorKind::BadField {
+            token: tok.to_string(),
+        },
+    )
 }
 
-fn parse_f64(tok: &str, line: usize, what: &str) -> Result<f64, ParseError> {
-    tok.parse::<f64>()
-        .map_err(|_| err(line, format!("invalid {what}: {tok:?}")))
+fn bad_arity(line: usize, record: &'static str, expected: usize, got: usize) -> CaseError {
+    err(
+        line,
+        None,
+        CaseErrorKind::BadArity {
+            record,
+            expected,
+            got,
+        },
+    )
 }
 
-fn parse_u32(tok: &str, line: usize, what: &str) -> Result<u32, ParseError> {
-    tok.parse::<u32>()
-        .map_err(|_| err(line, format!("invalid {what}: {tok:?}")))
+fn undeclared(line: usize, field: &'static str, bus: u32) -> CaseError {
+    err(line, Some(field), CaseErrorKind::UndeclaredBus { bus })
+}
+
+fn parse_f64(tok: &str, line: usize, what: &'static str) -> Result<f64, CaseError> {
+    tok.parse::<f64>().map_err(|_| bad_field(line, what, tok))
+}
+
+fn parse_u32(tok: &str, line: usize, what: &'static str) -> Result<u32, CaseError> {
+    tok.parse::<u32>().map_err(|_| bad_field(line, what, tok))
 }
 
 /// Parses a network from the text format.
-pub fn parse(text: &str) -> Result<Network, ParseError> {
+pub fn parse(text: &str) -> Result<Network, CaseError> {
     let mut net = Network::new("unnamed");
     for (ln0, raw) in text.lines().enumerate() {
         let ln = ln0 + 1;
@@ -65,29 +148,29 @@ pub fn parse(text: &str) -> Result<Network, ParseError> {
             continue;
         }
         let mut toks = line.split_whitespace();
-        let kw = toks.next().unwrap();
+        let Some(kw) = toks.next() else { continue };
         let rest: Vec<&str> = toks.collect();
         match kw {
             "case" => {
                 if rest.is_empty() {
-                    return Err(err(ln, "case requires a name"));
+                    return Err(bad_arity(ln, "case", 1, 0));
                 }
                 net.name = rest.join(" ");
             }
             "basemva" => {
-                let v = rest.first().ok_or_else(|| err(ln, "basemva requires a value"))?;
+                let v = rest.first().ok_or_else(|| bad_arity(ln, "basemva", 1, 0))?;
                 net.base_mva = parse_f64(v, ln, "base MVA")?;
             }
             "bus" => {
                 if rest.len() != 8 {
-                    return Err(err(ln, format!("bus requires 8 fields, got {}", rest.len())));
+                    return Err(bad_arity(ln, "bus", 8, rest.len()));
                 }
                 let id = parse_u32(rest[0], ln, "bus id")?;
                 let kind = match rest[1] {
                     "slack" => BusKind::Slack,
                     "pv" => BusKind::Pv,
                     "pq" => BusKind::Pq,
-                    other => return Err(err(ln, format!("unknown bus kind {other:?}"))),
+                    other => return Err(bad_field(ln, "bus kind", other)),
                 };
                 net.buses.push(Bus {
                     id,
@@ -103,12 +186,12 @@ pub fn parse(text: &str) -> Result<Network, ParseError> {
             }
             "load" => {
                 if rest.len() != 3 {
-                    return Err(err(ln, "load requires 3 fields"));
+                    return Err(bad_arity(ln, "load", 3, rest.len()));
                 }
                 let id = parse_u32(rest[0], ln, "bus id")?;
                 let bus = net
                     .bus_index(id)
-                    .ok_or_else(|| err(ln, format!("load references undeclared bus {id}")))?;
+                    .ok_or_else(|| undeclared(ln, "load", id))?;
                 net.loads.push(Load {
                     bus,
                     p_mw: parse_f64(rest[1], ln, "p_mw")?,
@@ -118,12 +201,10 @@ pub fn parse(text: &str) -> Result<Network, ParseError> {
             }
             "gen" => {
                 if rest.len() != 11 {
-                    return Err(err(ln, format!("gen requires 11 fields, got {}", rest.len())));
+                    return Err(bad_arity(ln, "gen", 11, rest.len()));
                 }
                 let id = parse_u32(rest[0], ln, "bus id")?;
-                let bus = net
-                    .bus_index(id)
-                    .ok_or_else(|| err(ln, format!("gen references undeclared bus {id}")))?;
+                let bus = net.bus_index(id).ok_or_else(|| undeclared(ln, "gen", id))?;
                 net.gens.push(Generator {
                     bus,
                     p_mw: parse_f64(rest[1], ln, "p_mw")?,
@@ -143,23 +224,20 @@ pub fn parse(text: &str) -> Result<Network, ParseError> {
             }
             "branch" => {
                 if rest.len() != 9 {
-                    return Err(err(
-                        ln,
-                        format!("branch requires 9 fields, got {}", rest.len()),
-                    ));
+                    return Err(bad_arity(ln, "branch", 9, rest.len()));
                 }
                 let fid = parse_u32(rest[0], ln, "from bus")?;
                 let tid = parse_u32(rest[1], ln, "to bus")?;
                 let from_bus = net
                     .bus_index(fid)
-                    .ok_or_else(|| err(ln, format!("branch references undeclared bus {fid}")))?;
+                    .ok_or_else(|| undeclared(ln, "branch from", fid))?;
                 let to_bus = net
                     .bus_index(tid)
-                    .ok_or_else(|| err(ln, format!("branch references undeclared bus {tid}")))?;
+                    .ok_or_else(|| undeclared(ln, "branch to", tid))?;
                 let kind = match rest[8] {
                     "line" => BranchKind::Line,
                     "trafo" => BranchKind::Transformer,
-                    other => return Err(err(ln, format!("unknown branch kind {other:?}"))),
+                    other => return Err(bad_field(ln, "branch kind", other)),
                 };
                 net.branches.push(Branch {
                     from_bus,
@@ -176,12 +254,12 @@ pub fn parse(text: &str) -> Result<Network, ParseError> {
             }
             "shunt" => {
                 if rest.len() != 3 {
-                    return Err(err(ln, "shunt requires 3 fields"));
+                    return Err(bad_arity(ln, "shunt", 3, rest.len()));
                 }
                 let id = parse_u32(rest[0], ln, "bus id")?;
                 let bus = net
                     .bus_index(id)
-                    .ok_or_else(|| err(ln, format!("shunt references undeclared bus {id}")))?;
+                    .ok_or_else(|| undeclared(ln, "shunt", id))?;
                 net.shunts.push(Shunt {
                     bus,
                     g_mw: parse_f64(rest[1], ln, "g_mw")?,
@@ -189,7 +267,15 @@ pub fn parse(text: &str) -> Result<Network, ParseError> {
                     in_service: true,
                 });
             }
-            other => return Err(err(ln, format!("unknown record type {other:?}"))),
+            other => {
+                return Err(err(
+                    ln,
+                    None,
+                    CaseErrorKind::UnknownRecord {
+                        keyword: other.to_string(),
+                    },
+                ))
+            }
         }
     }
     Ok(net)
@@ -200,31 +286,26 @@ pub fn parse(text: &str) -> Result<Network, ParseError> {
 pub fn serialize(net: &Network) -> String {
     use std::fmt::Write;
     let mut s = String::with_capacity(64 * (net.n_bus() + net.branches.len()));
-    writeln!(s, "case {}", net.name).unwrap();
-    writeln!(s, "basemva {}", net.base_mva).unwrap();
+    // `fmt::Write` to a String is infallible.
+    let _ = writeln!(s, "case {}", net.name);
+    let _ = writeln!(s, "basemva {}", net.base_mva);
     for b in &net.buses {
         let kind = match b.kind {
             BusKind::Slack => "slack",
             BusKind::Pv => "pv",
             BusKind::Pq => "pq",
         };
-        writeln!(
+        let _ = writeln!(
             s,
             "bus {} {} {} {} {} {} {} {}",
             b.id, kind, b.vm_pu, b.va_deg, b.base_kv, b.vmin_pu, b.vmax_pu, b.area
-        )
-        .unwrap();
+        );
     }
     for l in net.loads.iter().filter(|l| l.in_service) {
-        writeln!(
-            s,
-            "load {} {} {}",
-            net.buses[l.bus].id, l.p_mw, l.q_mvar
-        )
-        .unwrap();
+        let _ = writeln!(s, "load {} {} {}", net.buses[l.bus].id, l.p_mw, l.q_mvar);
     }
     for g in net.gens.iter().filter(|g| g.in_service) {
-        writeln!(
+        let _ = writeln!(
             s,
             "gen {} {} {} {} {} {} {} {} {} {} {}",
             net.buses[g.bus].id,
@@ -238,15 +319,14 @@ pub fn serialize(net: &Network) -> String {
             g.cost.c2,
             g.cost.c1,
             g.cost.c0
-        )
-        .unwrap();
+        );
     }
     for br in net.branches.iter().filter(|b| b.in_service) {
         let kind = match br.kind {
             BranchKind::Line => "line",
             BranchKind::Transformer => "trafo",
         };
-        writeln!(
+        let _ = writeln!(
             s,
             "branch {} {} {} {} {} {} {} {} {}",
             net.buses[br.from_bus].id,
@@ -258,11 +338,14 @@ pub fn serialize(net: &Network) -> String {
             br.tap,
             br.shift_deg,
             kind
-        )
-        .unwrap();
+        );
     }
     for sh in net.shunts.iter().filter(|s| s.in_service) {
-        writeln!(s, "shunt {} {} {}", net.buses[sh.bus].id, sh.g_mw, sh.b_mvar).unwrap();
+        let _ = writeln!(
+            s,
+            "shunt {} {} {}",
+            net.buses[sh.bus].id, sh.g_mw, sh.b_mvar
+        );
     }
     s
 }
@@ -328,25 +411,37 @@ shunt 2 0 19
     fn error_reports_line_number() {
         let e = parse("case z\nbus 1 slack 1 0 138 0.9 1.1 1\nbogus 1 2 3\n").unwrap_err();
         assert_eq!(e.line, 3);
-        assert!(e.message.contains("bogus"));
+        assert!(e.message().contains("bogus"));
+        assert!(matches!(e.kind, CaseErrorKind::UnknownRecord { .. }));
     }
 
     #[test]
     fn undeclared_bus_rejected() {
         let e = parse("case z\nload 5 1 1\n").unwrap_err();
-        assert!(e.message.contains("undeclared bus 5"));
+        assert!(e.message().contains("undeclared bus 5"));
+        assert_eq!(e.field, Some("load"));
+        assert_eq!(e.kind, CaseErrorKind::UndeclaredBus { bus: 5 });
     }
 
     #[test]
     fn wrong_arity_rejected() {
         let e = parse("case z\nbus 1 slack 1 0\n").unwrap_err();
-        assert!(e.message.contains("8 fields"));
+        assert!(e.message().contains("8 fields"));
+        assert_eq!(
+            e.kind,
+            CaseErrorKind::BadArity {
+                record: "bus",
+                expected: 8,
+                got: 4
+            }
+        );
     }
 
     #[test]
     fn bad_number_rejected() {
         let e = parse("case z\nbasemva lots\n").unwrap_err();
-        assert!(e.message.contains("invalid base MVA"));
+        assert!(e.message().contains("invalid base MVA"));
+        assert_eq!(e.field, Some("base MVA"));
     }
 
     #[test]

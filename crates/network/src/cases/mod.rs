@@ -145,46 +145,57 @@ fn apply_ratings(mut net: Network, ratings: &[f64]) -> Network {
 /// Loads a case by [`CaseId`].
 pub fn load(id: CaseId) -> Network {
     match id {
-        CaseId::Ieee14 => crate::caseformat::parse(ieee14::IEEE14)
-            .expect("embedded IEEE 14 case data must parse"),
-        CaseId::Ieee30 => crate::caseformat::parse(ieee30::IEEE30)
-            .expect("embedded IEEE 30 case data must parse"),
-        CaseId::Ieee57 => apply_ratings(generate(&SynthSpec {
-            name: "IEEE 57-bus system".into(),
-            n_bus: 57,
-            n_gen: 7,
-            n_load: 42,
-            n_line: 63,
-            n_trafo: 17,
-            total_load_mw: 1250.8,
-            total_gen_capacity_mw: 2800.0,
-            seed: 0x57,
-            rating_margin: 1.0,
-        }), ratings::RATINGS_57),
-        CaseId::Ieee118 => apply_ratings(generate(&SynthSpec {
-            name: "IEEE 118-bus system".into(),
-            n_bus: 118,
-            n_gen: 54,
-            n_load: 99,
-            n_line: 175,
-            n_trafo: 11,
-            total_load_mw: 4242.0,
-            total_gen_capacity_mw: 9161.0,
-            seed: 0x118,
-            rating_margin: 1.0,
-        }), ratings::RATINGS_118),
-        CaseId::Ieee300 => apply_ratings(generate(&SynthSpec {
-            name: "IEEE 300-bus system".into(),
-            n_bus: 300,
-            n_gen: 68,
-            n_load: 193,
-            n_line: 283,
-            n_trafo: 128,
-            total_load_mw: 23525.8,
-            total_gen_capacity_mw: 43000.0,
-            seed: 0x300,
-            rating_margin: 1.45,
-        }), ratings::RATINGS_300),
+        CaseId::Ieee14 => {
+            crate::caseformat::parse(ieee14::IEEE14).expect("embedded IEEE 14 case data must parse")
+        }
+        CaseId::Ieee30 => {
+            crate::caseformat::parse(ieee30::IEEE30).expect("embedded IEEE 30 case data must parse")
+        }
+        CaseId::Ieee57 => apply_ratings(
+            generate(&SynthSpec {
+                name: "IEEE 57-bus system".into(),
+                n_bus: 57,
+                n_gen: 7,
+                n_load: 42,
+                n_line: 63,
+                n_trafo: 17,
+                total_load_mw: 1250.8,
+                total_gen_capacity_mw: 2800.0,
+                seed: 0x57,
+                rating_margin: 1.0,
+            }),
+            ratings::RATINGS_57,
+        ),
+        CaseId::Ieee118 => apply_ratings(
+            generate(&SynthSpec {
+                name: "IEEE 118-bus system".into(),
+                n_bus: 118,
+                n_gen: 54,
+                n_load: 99,
+                n_line: 175,
+                n_trafo: 11,
+                total_load_mw: 4242.0,
+                total_gen_capacity_mw: 9161.0,
+                seed: 0x118,
+                rating_margin: 1.0,
+            }),
+            ratings::RATINGS_118,
+        ),
+        CaseId::Ieee300 => apply_ratings(
+            generate(&SynthSpec {
+                name: "IEEE 300-bus system".into(),
+                n_bus: 300,
+                n_gen: 68,
+                n_load: 193,
+                n_line: 283,
+                n_trafo: 128,
+                total_load_mw: 23525.8,
+                total_gen_capacity_mw: 43000.0,
+                seed: 0x300,
+                rating_margin: 1.45,
+            }),
+            ratings::RATINGS_300,
+        ),
     }
 }
 

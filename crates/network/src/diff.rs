@@ -72,7 +72,7 @@ pub enum DiffError {
         /// Offending index.
         index: usize,
         /// Element kind ("branch" / "gen").
-        kind: &'static str,
+        kind: String,
     },
     /// A numeric argument was not finite or not positive where required.
     BadArgument {
@@ -170,7 +170,7 @@ impl Modification {
                     .get_mut(index)
                     .ok_or(DiffError::IndexOutOfRange {
                         index,
-                        kind: "branch",
+                        kind: "branch".to_string(),
                     })?;
                 br.in_service = false;
                 Ok(())
@@ -181,7 +181,7 @@ impl Modification {
                     .get_mut(index)
                     .ok_or(DiffError::IndexOutOfRange {
                         index,
-                        kind: "branch",
+                        kind: "branch".to_string(),
                     })?;
                 br.in_service = true;
                 Ok(())
@@ -189,7 +189,7 @@ impl Modification {
             Modification::OutageGen { index } => {
                 let g = net.gens.get_mut(index).ok_or(DiffError::IndexOutOfRange {
                     index,
-                    kind: "gen",
+                    kind: "gen".to_string(),
                 })?;
                 g.in_service = false;
                 Ok(())
@@ -206,7 +206,7 @@ impl Modification {
                 }
                 let g = net.gens.get_mut(index).ok_or(DiffError::IndexOutOfRange {
                     index,
-                    kind: "gen",
+                    kind: "gen".to_string(),
                 })?;
                 g.p_min_mw = p_min_mw;
                 g.p_max_mw = p_max_mw;
@@ -379,7 +379,9 @@ mod tests {
     #[test]
     fn outage_and_restore_round_trip() {
         let mut net = base();
-        Modification::OutageBranch { index: 1 }.apply(&mut net).unwrap();
+        Modification::OutageBranch { index: 1 }
+            .apply(&mut net)
+            .unwrap();
         assert!(!net.branches[1].in_service);
         Modification::RestoreBranch { index: 1 }
             .apply(&mut net)
@@ -446,10 +448,7 @@ mod tests {
             .unwrap();
         let replayed = log.replay(&b).unwrap();
         assert_eq!(replayed.loads[0].p_mw, live.loads[0].p_mw);
-        assert_eq!(
-            replayed.branches[0].in_service,
-            live.branches[0].in_service
-        );
+        assert_eq!(replayed.branches[0].in_service, live.branches[0].in_service);
         assert_eq!(log.len(), 2);
     }
 

@@ -6,6 +6,10 @@
 //! - [`model`] — the typed `PowerSystem` data model: buses, loads,
 //!   generators with polynomial costs, branches (lines / transformers),
 //!   shunts, and validation.
+//! - [`audit`] — the `GridLint` invariant pass behind `gm-audit
+//!   lint-case`: connectivity, reference-bus, limit-ordering, impedance,
+//!   per-unit base, and dispatch-feasibility rules with structured
+//!   findings; `Network::validate` is its legacy-error projection.
 //! - [`ybus`] — complex bus admittance matrix assembly and branch-flow
 //!   evaluation (pi-model with off-nominal taps and phase shift).
 //! - [`topology`] — connectivity, island detection, bridge analysis.
@@ -30,18 +34,21 @@
 //! assert_eq!(ybus.matrix.shape(), (14, 14));
 //! ```
 
+pub mod audit;
 pub mod caseformat;
 pub mod cases;
-pub mod matpower;
 pub mod diff;
+pub mod matpower;
 pub mod model;
 pub mod synth;
 pub mod topology;
 pub mod ybus;
 
+pub use audit::{AuditFinding, GridLint, Severity};
+pub use caseformat::{CaseError, CaseErrorKind};
 pub use cases::{identify_case, load_case, CaseId};
-pub use matpower::{parse_matpower, SAMPLE_CASE9};
 pub use diff::{DiffLog, Modification};
+pub use matpower::{parse_matpower, SAMPLE_CASE9};
 pub use model::{
     Branch, BranchKind, Bus, BusKind, GenCost, Generator, Load, ModelError, Network,
     NetworkSummary, Shunt,

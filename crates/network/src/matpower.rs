@@ -7,9 +7,7 @@
 //! of order ≤ 3, and the standard column layouts; `%` comments and
 //! arbitrary whitespace are tolerated.
 
-use crate::model::{
-    Branch, BranchKind, Bus, BusKind, GenCost, Generator, Load, Network, Shunt,
-};
+use crate::model::{Branch, BranchKind, Bus, BusKind, GenCost, Generator, Load, Network, Shunt};
 use std::collections::HashMap;
 
 /// Import failure.
@@ -177,10 +175,26 @@ pub fn parse_matpower(text: &str, name: &str) -> Result<Network, MatpowerError> 
                     return Err(err(format!("gencost row {gi}: {n} coefficients expected")));
                 }
                 match n {
-                    0 => GenCost { c2: 0.0, c1: 0.0, c0: 0.0 },
-                    1 => GenCost { c2: 0.0, c1: 0.0, c0: coeffs[0] },
-                    2 => GenCost { c2: 0.0, c1: coeffs[0], c0: coeffs[1] },
-                    3 => GenCost { c2: coeffs[0], c1: coeffs[1], c0: coeffs[2] },
+                    0 => GenCost {
+                        c2: 0.0,
+                        c1: 0.0,
+                        c0: 0.0,
+                    },
+                    1 => GenCost {
+                        c2: 0.0,
+                        c1: 0.0,
+                        c0: coeffs[0],
+                    },
+                    2 => GenCost {
+                        c2: 0.0,
+                        c1: coeffs[0],
+                        c0: coeffs[1],
+                    },
+                    3 => GenCost {
+                        c2: coeffs[0],
+                        c1: coeffs[1],
+                        c0: coeffs[2],
+                    },
                     more => {
                         return Err(err(format!(
                             "gencost row {gi}: polynomial order {more} > 3 unsupported"
@@ -293,9 +307,8 @@ mpc.gencost = [
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::SAMPLE_CASE9 as CASE9;
-
+    use super::*;
 
     #[test]
     fn parses_case9_structure() {
@@ -327,7 +340,10 @@ mod tests {
 
     #[test]
     fn unknown_cost_model_rejected() {
-        let text = CASE9.replace("\t2\t1500\t0\t3\t0.11\t5\t150;", "\t1\t1500\t0\t3\t0.11\t5\t150;");
+        let text = CASE9.replace(
+            "\t2\t1500\t0\t3\t0.11\t5\t150;",
+            "\t1\t1500\t0\t3\t0.11\t5\t150;",
+        );
         let e = parse_matpower(&text, "x").unwrap_err();
         assert!(e.message.contains("polynomial"));
     }
@@ -365,9 +381,7 @@ mod tests {
             let n = net.n_bus();
             let ybus = YBus::assemble(net);
             let slack = net.slack().unwrap();
-            let is_pv: Vec<bool> = (0..n)
-                .map(|i| net.buses[i].kind == BusKind::Pv)
-                .collect();
+            let is_pv: Vec<bool> = (0..n).map(|i| net.buses[i].kind == BusKind::Pv).collect();
             let (p_mw, q_mvar) = net.scheduled_injections();
             let p_spec: Vec<f64> = p_mw.iter().map(|v| v / net.base_mva).collect();
             let q_spec: Vec<f64> = q_mvar.iter().map(|v| v / net.base_mva).collect();
@@ -387,17 +401,17 @@ mod tests {
 
             let mut col_th = vec![usize::MAX; n];
             let mut k = 0;
-            for i in 0..n {
+            for (i, c) in col_th.iter_mut().enumerate() {
                 if i != slack {
-                    col_th[i] = k;
+                    *c = k;
                     k += 1;
                 }
             }
             let mut col_vm = vec![usize::MAX; n];
             let mut m = 0;
-            for i in 0..n {
+            for (i, c) in col_vm.iter_mut().enumerate() {
                 if i != slack && !is_pv[i] {
-                    col_vm[i] = k + m;
+                    *c = k + m;
                     m += 1;
                 }
             }
@@ -479,8 +493,7 @@ mod tests {
             let mut losses = 0.0;
             for (idx, br) in net.branches.iter().enumerate() {
                 if br.in_service {
-                    losses += (ybus.flow_from(idx, &v, net).re
-                        + ybus.flow_to(idx, &v, net).re)
+                    losses += (ybus.flow_from(idx, &v, net).re + ybus.flow_to(idx, &v, net).re)
                         * net.base_mva;
                 }
             }

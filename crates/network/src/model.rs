@@ -411,90 +411,13 @@ impl Network {
     }
 
     /// Structural and electrical validation. Returns all problems found.
+    ///
+    /// Delegates to the [`GridLint`](crate::audit::GridLint) audit pass
+    /// and projects its findings onto the legacy [`ModelError`] shape;
+    /// run the pass directly via [`crate::audit::GridLint::audit`] for
+    /// the full finding list including warnings.
     pub fn validate(&self) -> Result<(), Vec<ModelError>> {
-        let mut errors = Vec::new();
-        let n = self.n_bus();
-
-        // Unique external ids.
-        let mut ids: Vec<u32> = self.buses.iter().map(|b| b.id).collect();
-        ids.sort_unstable();
-        for w in ids.windows(2) {
-            if w[0] == w[1] {
-                errors.push(ModelError::DuplicateBusId { id: w[0] });
-            }
-        }
-
-        // Exactly one slack.
-        let slacks: Vec<u32> = self
-            .buses
-            .iter()
-            .filter(|b| b.kind == BusKind::Slack)
-            .map(|b| b.id)
-            .collect();
-        match slacks.len() {
-            0 => errors.push(ModelError::NoSlack),
-            1 => {}
-            _ => errors.push(ModelError::MultipleSlack { buses: slacks }),
-        }
-
-        for b in &self.buses {
-            if b.vmin_pu > b.vmax_pu {
-                errors.push(ModelError::BadVoltageLimits { id: b.id });
-            }
-        }
-
-        for (i, l) in self.loads.iter().enumerate() {
-            if l.bus >= n {
-                errors.push(ModelError::DanglingReference {
-                    element: format!("load {i}"),
-                    bus: l.bus,
-                });
-            }
-        }
-        for (i, g) in self.gens.iter().enumerate() {
-            if g.bus >= n {
-                errors.push(ModelError::DanglingReference {
-                    element: format!("gen {i}"),
-                    bus: g.bus,
-                });
-            }
-            if g.p_min_mw > g.p_max_mw || g.q_min_mvar > g.q_max_mvar {
-                errors.push(ModelError::BadGenLimits { index: i });
-            }
-        }
-        for (i, br) in self.branches.iter().enumerate() {
-            if br.from_bus >= n || br.to_bus >= n {
-                errors.push(ModelError::DanglingReference {
-                    element: format!("branch {i}"),
-                    bus: br.from_bus.max(br.to_bus),
-                });
-            } else if br.x_pu.abs() < 1e-9 {
-                errors.push(ModelError::DegenerateBranch { index: i });
-            }
-        }
-        for (i, s) in self.shunts.iter().enumerate() {
-            if s.bus >= n {
-                errors.push(ModelError::DanglingReference {
-                    element: format!("shunt {i}"),
-                    bus: s.bus,
-                });
-            }
-        }
-
-        // Connectivity of the in-service graph (only checked when
-        // references are sound).
-        if errors.is_empty() && n > 0 {
-            let comps = crate::topology::connected_components(self);
-            if comps > 1 {
-                errors.push(ModelError::Islanded { components: comps });
-            }
-        }
-
-        if errors.is_empty() {
-            Ok(())
-        } else {
-            Err(errors)
-        }
+        crate::audit::GridLint::default().check_model(self)
     }
 
     /// One-line inventory summary (the paper's "network summary" log line).
@@ -543,7 +466,8 @@ mod tests {
         slack.kind = BusKind::Slack;
         net.buses.push(slack);
         net.buses.push(Bus::pq(2, 138.0));
-        net.branches.push(Branch::line(0, 1, 0.01, 0.1, 0.02, 100.0));
+        net.branches
+            .push(Branch::line(0, 1, 0.01, 0.1, 0.02, 100.0));
         net.loads.push(Load {
             bus: 1,
             p_mw: 50.0,

@@ -12,9 +12,7 @@
 //! Generation is fully deterministic for a given [`SynthSpec`] (seeded
 //! [`SmallRng`]); two calls produce identical networks.
 
-use crate::model::{
-    Branch, BranchKind, Bus, BusKind, GenCost, Generator, Load, Network, Shunt,
-};
+use crate::model::{Branch, BranchKind, Bus, BusKind, GenCost, Generator, Load, Network, Shunt};
 use gm_sparse::{SparseLu, Triplets};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -51,7 +49,10 @@ impl SynthSpec {
         assert!(self.n_bus >= 12, "need at least 12 buses");
         assert!(self.n_gen >= 1 && self.n_gen <= self.n_bus);
         assert!(self.n_load >= 1 && self.n_load <= self.n_bus);
-        assert!(self.n_trafo >= 4, "two-level design needs >= 4 transformers");
+        assert!(
+            self.n_trafo >= 4,
+            "two-level design needs >= 4 transformers"
+        );
         assert!(
             self.n_line + self.n_trafo >= self.n_bus + 4,
             "not enough branches for a doubly-connected two-zone network"
@@ -121,15 +122,14 @@ pub fn generate(spec: &SynthSpec) -> Network {
 
     // ---- Topology: two rings plus HV chords.
     let mut edges: std::collections::BTreeSet<(usize, usize)> = std::collections::BTreeSet::new();
-    let add_ring = |edges: &mut std::collections::BTreeSet<(usize, usize)>,
-                        start: usize,
-                        n: usize| {
-        for k in 0..n {
-            let a = start + k;
-            let b = start + (k + 1) % n;
-            edges.insert((a.min(b), a.max(b)));
-        }
-    };
+    let add_ring =
+        |edges: &mut std::collections::BTreeSet<(usize, usize)>, start: usize, n: usize| {
+            for k in 0..n {
+                let a = start + k;
+                let b = start + (k + 1) % n;
+                edges.insert((a.min(b), a.max(b)));
+            }
+        };
     add_ring(&mut edges, 0, n_hv);
     add_ring(&mut edges, n_hv, n_ring_lv);
 
@@ -231,7 +231,7 @@ pub fn generate(spec: &SynthSpec) -> Network {
     let wsum: f64 = weights.iter().sum();
     for (&bus, &w) in load_buses.iter().zip(&weights) {
         let p = spec.total_load_mw * w / wsum;
-        let pf = rng.random_range(0.92..0.985);
+        let pf: f64 = rng.random_range(0.92..0.985);
         let q = p * (1.0 / (pf * pf) - 1.0f64).sqrt();
         net.loads.push(Load {
             bus,
@@ -346,7 +346,9 @@ pub fn generate(spec: &SynthSpec) -> Network {
     let mut parallel_count = std::collections::HashMap::new();
     for br in &net.branches {
         if br.kind == BranchKind::Transformer {
-            *parallel_count.entry((br.from_bus, br.to_bus)).or_insert(0usize) += 1;
+            *parallel_count
+                .entry((br.from_bus, br.to_bus))
+                .or_insert(0usize) += 1;
         }
     }
     // The assumed power factor converts the DC MW calibration into an MVA
@@ -374,9 +376,26 @@ pub fn generate(spec: &SynthSpec) -> Network {
             let carry = if dup > 1.0 { 1.0 } else { dup };
             floor = floor.max(1.3 * load_mva[br.to_bus] / carry);
         }
-        let rating =
-            (1.30 * base_mva).max(n1_margin * worst_mva).max(floor) / pf_assumed * spec.rating_margin;
+        let rating = (1.30 * base_mva).max(n1_margin * worst_mva).max(floor) / pf_assumed
+            * spec.rating_margin;
         br.rating_mva = (rating / 5.0).ceil() * 5.0;
+    }
+
+    // The stressed-minority draw above is stochastic; on small cases the
+    // floors and rounding can erase every derate. Guarantee at least one
+    // deliberately stressed corridor so downstream N-1 analysis always
+    // has something to find: derate the most-loaded corridor to ~115 %
+    // of its worst post-outage flow.
+    let has_stress = net
+        .branches
+        .iter()
+        .enumerate()
+        .any(|(idx, br)| worst[idx] * net.base_mva > br.rating_mva);
+    if !has_stress {
+        if let Some((idx, _)) = worst.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)) {
+            let worst_mva = worst[idx] * net.base_mva;
+            net.branches[idx].rating_mva = (((worst_mva / 1.15) / 5.0).floor() * 5.0).max(5.0);
+        }
     }
 
     net
@@ -534,8 +553,7 @@ mod tests {
                 let f = dc_flows(&net);
                 for (idx, br) in net.branches.iter().enumerate() {
                     if idx != out && br.in_service {
-                        max_loading =
-                            max_loading.max(f[idx].abs() * net.base_mva / br.rating_mva);
+                        max_loading = max_loading.max(f[idx].abs() * net.base_mva / br.rating_mva);
                     }
                 }
             }

@@ -251,7 +251,10 @@ mod tests {
     fn losses_positive_with_resistance() {
         let net = two_bus(0.05, 0.1, 0.0);
         let y = YBus::assemble(&net);
-        let v = vec![Complex::from_polar(1.02, 0.15), Complex::from_polar(0.98, 0.0)];
+        let v = vec![
+            Complex::from_polar(1.02, 0.15),
+            Complex::from_polar(0.98, 0.0),
+        ];
         let loss = y.flow_from(0, &v, &net).re + y.flow_to(0, &v, &net).re;
         assert!(loss > 0.0, "I²R loss must be positive, got {loss}");
     }

@@ -27,7 +27,13 @@
 //! let rot = Complex::from_polar(1.0, 30.0_f64.to_radians());
 //! assert!(((v * rot).abs() - 1.05).abs() < 1e-12);
 //! ```
-
+// Solver crates are panic-free outside tests: every fallible path
+// returns a typed error. Enforced by clippy here and by the regex
+// pass of `gm-audit lint-src` (with its allowlist) in CI.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 // Numeric kernels iterate several parallel arrays by index; the
 // index-based loops are the clearer form here.
 #![allow(clippy::needless_range_loop)]

@@ -4,6 +4,7 @@
 //! magnitudes. Used for warm starts, the synthetic case calibration, and
 //! as the fast screening stage of contingency analysis.
 
+use crate::types::PfError;
 use gm_network::Network;
 use gm_sparse::{SparseLu, Triplets};
 
@@ -19,11 +20,16 @@ pub struct DcReport {
     pub slack_p_mw: f64,
 }
 
-/// Solves the DC power flow. Panics if the network has no slack (call
-/// `validate` first) or the B matrix is singular (islanded network).
-pub fn solve_dc(net: &Network) -> DcReport {
+/// Solves the DC power flow. Fails with [`PfError::InvalidNetwork`] if
+/// the network has no slack bus and [`PfError::SingularJacobian`] if the
+/// B matrix is singular (islanded network).
+pub fn solve_dc(net: &Network) -> Result<DcReport, PfError> {
     let n = net.n_bus();
-    let slack = net.slack().expect("network must have a slack bus");
+    let Some(slack) = net.slack() else {
+        return Err(PfError::InvalidNetwork {
+            problems: vec!["network has no slack bus".into()],
+        });
+    };
     let (p_mw, _) = net.scheduled_injections();
     let mut p: Vec<f64> = p_mw.iter().map(|v| v / net.base_mva).collect();
     let total: f64 = p.iter().sum();
@@ -48,7 +54,7 @@ pub fn solve_dc(net: &Network) -> DcReport {
     }
     t.push(slack, slack, 1.0);
     let bmat = t.to_csr();
-    let lu = SparseLu::factor(&bmat).expect("DC B matrix must be nonsingular");
+    let lu = SparseLu::factor(&bmat).map_err(|_| PfError::SingularJacobian { iteration: 0 })?;
     let theta = lu.solve(&p);
 
     let flow_mw: Vec<f64> = net
@@ -84,11 +90,11 @@ pub fn solve_dc(net: &Network) -> DcReport {
         .map(|l| l.p_mw)
         .sum();
 
-    DcReport {
+    Ok(DcReport {
         theta_rad: theta,
         flow_mw,
         slack_p_mw: slack_injection + slack_load,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -99,7 +105,7 @@ mod tests {
     #[test]
     fn slack_angle_zero() {
         let net = cases::load(CaseId::Ieee14);
-        let dc = solve_dc(&net);
+        let dc = solve_dc(&net).unwrap();
         let slack = net.slack().unwrap();
         assert_eq!(dc.theta_rad[slack], 0.0);
     }
@@ -107,7 +113,7 @@ mod tests {
     #[test]
     fn flow_balance_at_non_slack_buses() {
         let net = cases::load(CaseId::Ieee14);
-        let dc = solve_dc(&net);
+        let dc = solve_dc(&net).unwrap();
         let slack = net.slack().unwrap();
         let (p_mw, _) = net.scheduled_injections();
         let mut residual = p_mw.clone();
@@ -125,7 +131,7 @@ mod tests {
     #[test]
     fn slack_covers_system_balance() {
         let net = cases::load(CaseId::Ieee14);
-        let dc = solve_dc(&net);
+        let dc = solve_dc(&net).unwrap();
         // DC is lossless: slack generation = total load − other generation.
         let other_gen: f64 = net
             .gens
@@ -146,9 +152,9 @@ mod tests {
     #[test]
     fn outage_redistributes_flow() {
         let mut net = cases::load(CaseId::Ieee14);
-        let base = solve_dc(&net);
+        let base = solve_dc(&net).unwrap();
         net.branches[0].in_service = false;
-        let out = solve_dc(&net);
+        let out = solve_dc(&net).unwrap();
         assert_eq!(out.flow_mw[0], 0.0);
         // The parallel path 1-5 must pick up flow.
         assert!(out.flow_mw[1].abs() > base.flow_mw[1].abs());

@@ -23,7 +23,11 @@ pub fn solve_fast_decoupled(net: &Network, opts: &PfOptions) -> Result<PfReport,
         });
     }
     let n = net.n_bus();
-    let slack = net.slack().expect("validated network has a slack");
+    let Some(slack) = net.slack() else {
+        return Err(PfError::InvalidNetwork {
+            problems: vec!["network has no slack bus".into()],
+        });
+    };
     let ybus = YBus::assemble(net);
 
     // Roles (no Q-limit handling in the decoupled solver: it is a fallback
@@ -117,9 +121,7 @@ pub fn solve_fast_decoupled(net: &Network, opts: &PfOptions) -> Result<PfReport,
     let mut iterations = 0usize;
     let mut converged = false;
     for _ in 0..(2 * opts.max_iter) {
-        let v: Vec<Complex> = (0..n)
-            .map(|i| Complex::from_polar(vm[i], th[i]))
-            .collect();
+        let v: Vec<Complex> = (0..n).map(|i| Complex::from_polar(vm[i], th[i])).collect();
         let s = ybus.injections(&v);
         let mut norm = 0.0f64;
         for i in 0..n {
@@ -153,9 +155,7 @@ pub fn solve_fast_decoupled(net: &Network, opts: &PfOptions) -> Result<PfReport,
 
         // Q-V half step.
         if let Some(lupp) = &lupp {
-            let v2: Vec<Complex> = (0..n)
-                .map(|i| Complex::from_polar(vm[i], th[i]))
-                .collect();
+            let v2: Vec<Complex> = (0..n).map(|i| Complex::from_polar(vm[i], th[i])).collect();
             let s2 = ybus.injections(&v2);
             let mut rhs = vec![0.0f64; n_vm];
             for i in 0..n {
@@ -181,9 +181,7 @@ pub fn solve_fast_decoupled(net: &Network, opts: &PfOptions) -> Result<PfReport,
 
     // Hand the converged state to the Newton report builder by doing a
     // zero-iteration Newton polish from this voltage.
-    let v: Vec<Complex> = (0..n)
-        .map(|i| Complex::from_polar(vm[i], th[i]))
-        .collect();
+    let v: Vec<Complex> = (0..n).map(|i| Complex::from_polar(vm[i], th[i])).collect();
     let polish = PfOptions {
         enforce_q_limits: false,
         iwamoto_damping: false,

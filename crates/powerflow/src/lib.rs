@@ -23,7 +23,13 @@
 //! assert!(report.converged);
 //! assert!(report.losses_mw > 0.0);
 //! ```
-
+// Solver crates are panic-free outside tests: every fallible path
+// returns a typed error. Enforced by clippy here and by the regex
+// pass of `gm-audit lint-src` (with its allowlist) in CI.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 // Numeric kernels iterate several parallel arrays by index; the
 // index-based loops are the clearer form here.
 #![allow(clippy::needless_range_loop)]
@@ -35,9 +41,9 @@ pub mod sensitivity;
 pub mod types;
 
 pub use dc::{solve_dc, DcReport};
-pub use sensitivity::{sensitivities, Sensitivities};
 pub use decoupled::solve_fast_decoupled;
 pub use newton::{solve, solve_from};
+pub use sensitivity::{sensitivities, Sensitivities};
 pub use types::{BranchFlow, BusResult, GenResult, InitStrategy, PfError, PfOptions, PfReport};
 
 #[cfg(test)]
@@ -100,8 +106,8 @@ mod tests {
     fn synthetic_cases_converge() {
         for id in [CaseId::Ieee57, CaseId::Ieee118, CaseId::Ieee300] {
             let net = cases::load(id);
-            let rep = solve(&net, &PfOptions::default())
-                .unwrap_or_else(|e| panic!("{id:?} failed: {e}"));
+            let rep =
+                solve(&net, &PfOptions::default()).unwrap_or_else(|e| panic!("{id:?} failed: {e}"));
             assert!(rep.converged, "{id:?} did not converge");
             assert!(
                 rep.min_vm.0 > 0.85,
@@ -226,7 +232,11 @@ mod tests {
             .map(|b| gm_numeric::Complex::from_polar(b.vm_pu, b.va_deg.to_radians()))
             .collect();
         let rep2 = solve_from(&net, &opts, Some(&v)).unwrap();
-        assert!(rep2.iterations <= 2, "warm restart took {}", rep2.iterations);
+        assert!(
+            rep2.iterations <= 2,
+            "warm restart took {}",
+            rep2.iterations
+        );
     }
 
     #[test]

@@ -6,9 +6,7 @@
 //! `iwamoto muliplier:` lines visible in the paper's Fig. 8 logs), and
 //! generator reactive-limit enforcement by PV→PQ switching.
 
-use crate::types::{
-    BranchFlow, BusResult, GenResult, InitStrategy, PfError, PfOptions, PfReport,
-};
+use crate::types::{BranchFlow, BusResult, GenResult, InitStrategy, PfError, PfOptions, PfReport};
 use gm_network::{BusKind, Network, YBus};
 use gm_numeric::Complex;
 use gm_sparse::{SparseLu, Triplets};
@@ -41,7 +39,13 @@ pub fn solve_from(
     }
     let n = net.n_bus();
     let ybus = YBus::assemble(net);
-    let slack = net.slack().expect("validated network has a slack");
+    let Some(slack) = net.slack() else {
+        // `validate` above guarantees a slack; keep a typed error rather
+        // than a panic in case validation rules and this ever drift.
+        return Err(PfError::InvalidNetwork {
+            problems: vec!["network has no slack bus".into()],
+        });
+    };
 
     // Effective roles: a PV bus without an in-service generator is just PQ.
     let mut role = vec![Role::Pq; n];
@@ -80,10 +84,7 @@ pub fn solve_from(
         None => match opts.init {
             InitStrategy::Flat => (0..n)
                 .map(|i| {
-                    Complex::from_polar(
-                        if role[i] == Role::Pq { 1.0 } else { vm_set[i] },
-                        0.0,
-                    )
+                    Complex::from_polar(if role[i] == Role::Pq { 1.0 } else { vm_set[i] }, 0.0)
                 })
                 .collect(),
             InitStrategy::CaseValues => net
@@ -92,7 +93,7 @@ pub fn solve_from(
                 .map(|b| Complex::from_polar(b.vm_pu, b.va_deg.to_radians()))
                 .collect(),
             InitStrategy::DcWarmStart => {
-                let dc = crate::dc::solve_dc(net);
+                let dc = crate::dc::solve_dc(net)?;
                 (0..n)
                     .map(|i| {
                         Complex::from_polar(
@@ -461,8 +462,7 @@ fn build_report(
         let p_bus = s_calc[bus].re * base + load_p;
         let q_bus = s_calc[bus].im * base + load_q;
         // Share among co-located units proportionally to capacity/range.
-        let units: Vec<&gm_network::Generator> =
-            net.gens_at(bus).map(|(_, u)| u).collect();
+        let units: Vec<&gm_network::Generator> = net.gens_at(bus).map(|(_, u)| u).collect();
         let p_cap: f64 = units.iter().map(|u| u.p_max_mw.max(1e-6)).sum();
         let q_rng: f64 = units
             .iter()

@@ -7,6 +7,7 @@
 //! contingency engine (Appendix B.4's "sensitivity analysis" capability)
 //! and the security constraints of the SCOPF extension.
 
+use crate::types::PfError;
 use gm_network::Network;
 use gm_numeric::DMat;
 use gm_sparse::{SparseLu, Triplets};
@@ -30,11 +31,17 @@ pub struct Sensitivities {
 ///
 /// Factorizes the reduced DC susceptance matrix once, then performs one
 /// solve per bus. O(n · nnz-factor) — comfortably fast for the case
-/// library sizes.
-pub fn sensitivities(net: &Network) -> Sensitivities {
+/// library sizes. Fails with [`PfError::InvalidNetwork`] when there is
+/// no slack bus and [`PfError::SingularJacobian`] when the reduced B
+/// matrix cannot be factorized (islanded network).
+pub fn sensitivities(net: &Network) -> Result<Sensitivities, PfError> {
     let n = net.n_bus();
     let nb = net.branches.len();
-    let slack = net.slack().expect("network must have a slack bus");
+    let Some(slack) = net.slack() else {
+        return Err(PfError::InvalidNetwork {
+            problems: vec!["network has no slack bus".into()],
+        });
+    };
 
     // Reduced B with the slack pinned, as in the DC power flow.
     let mut t = Triplets::new(n, n);
@@ -53,7 +60,8 @@ pub fn sensitivities(net: &Network) -> Sensitivities {
         }
     }
     t.push(slack, slack, 1.0);
-    let lu = SparseLu::factor(&t.to_csr()).expect("DC matrix factorizable");
+    let lu =
+        SparseLu::factor(&t.to_csr()).map_err(|_| PfError::SingularJacobian { iteration: 0 })?;
 
     // θ response per unit injection at each bus.
     let mut theta = DMat::zeros(n, n); // column i = θ for e_i
@@ -100,7 +108,7 @@ pub fn sensitivities(net: &Network) -> Sensitivities {
         }
     }
 
-    Sensitivities { ptdf, lodf, slack }
+    Ok(Sensitivities { ptdf, lodf, slack })
 }
 
 impl Sensitivities {
@@ -188,7 +196,7 @@ mod tests {
         // branches: column sums of signed incident PTDFs equal 1 (for
         // non-slack buses).
         let net = cases::load(CaseId::Ieee14);
-        let s = sensitivities(&net);
+        let s = sensitivities(&net).unwrap();
         let slack = net.slack().unwrap();
         for i in 0..net.n_bus() {
             if i == slack {
@@ -212,8 +220,8 @@ mod tests {
     #[test]
     fn lodf_predicts_dc_outage_flows() {
         let net = cases::load(CaseId::Ieee14);
-        let s = sensitivities(&net);
-        let base = solve_dc(&net);
+        let s = sensitivities(&net).unwrap();
+        let base = solve_dc(&net).unwrap();
         // Pick a non-radial branch and compare against a real DC re-solve.
         for k in [0usize, 2, 4, 6] {
             if topology::outage_islands(&net, k) {
@@ -222,7 +230,7 @@ mod tests {
             let est = s.post_outage_flows(&base.flow_mw, k).unwrap();
             let mut out_net = net.clone();
             out_net.branches[k].in_service = false;
-            let exact = solve_dc(&out_net);
+            let exact = solve_dc(&out_net).unwrap();
             for l in 0..net.branches.len() {
                 assert!(
                     (est[l] - exact.flow_mw[l]).abs() < 1e-6,
@@ -237,7 +245,7 @@ mod tests {
     #[test]
     fn radial_outage_flagged_as_islanding() {
         let net = cases::load(CaseId::Ieee14);
-        let s = sensitivities(&net);
+        let s = sensitivities(&net).unwrap();
         // Line 7-8 is radial in case14.
         let radial = net
             .branches
@@ -249,15 +257,15 @@ mod tests {
             })
             .unwrap();
         assert!(s.lodf[(radial, radial)].is_nan());
-        let base = solve_dc(&net);
+        let base = solve_dc(&net).unwrap();
         assert!(s.post_outage_flows(&base.flow_mw, radial).is_none());
     }
 
     #[test]
     fn worst_loading_screen_matches_dc_on_case118() {
         let net = cases::load(CaseId::Ieee118);
-        let s = sensitivities(&net);
-        let base = solve_dc(&net);
+        let s = sensitivities(&net).unwrap();
+        let base = solve_dc(&net).unwrap();
         let mut screened = 0;
         for k in 0..net.branches.len() {
             if let Some(w) = s.worst_post_outage_loading(&net, &base.flow_mw, k) {

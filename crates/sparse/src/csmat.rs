@@ -257,7 +257,13 @@ mod tests {
         // [0 3 0]
         // [4 0 5]
         let mut t = Triplets::new(3, 3);
-        for &(i, j, v) in &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)] {
+        for &(i, j, v) in &[
+            (0, 0, 1.0),
+            (0, 2, 2.0),
+            (1, 1, 3.0),
+            (2, 0, 4.0),
+            (2, 2, 5.0),
+        ] {
             t.push(i, j, v);
         }
         t.to_csr()

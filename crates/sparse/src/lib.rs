@@ -34,7 +34,13 @@
 //! assert!((x[0] - 1.0 / 11.0).abs() < 1e-12);
 //! assert!((x[1] - 7.0 / 11.0).abs() < 1e-12);
 //! ```
-
+// Solver crates are panic-free outside tests: every fallible path
+// returns a typed error. Enforced by clippy here and by the regex
+// pass of `gm-audit lint-src` (with its allowlist) in CI.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 // Numeric kernels iterate several parallel arrays by index; the
 // index-based loops are the clearer form here.
 #![allow(clippy::needless_range_loop)]

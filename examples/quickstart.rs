@@ -22,7 +22,11 @@ fn main() {
             "  [virtual latency {:.1}s | {} tokens | {} tool call(s)]\n",
             reply.elapsed_s,
             reply.tokens.total(),
-            reply.responses.iter().map(|r| r.tool_calls.len()).sum::<usize>(),
+            reply
+                .responses
+                .iter()
+                .map(|r| r.tool_calls.len())
+                .sum::<usize>(),
         );
     }
 
@@ -31,7 +35,12 @@ fn main() {
     for m in gm.metrics() {
         println!(
             "  {} | {} | {:.1}s | {} tokens | {} tool call(s) | validation findings: {}",
-            m.agent, m.model, m.elapsed_s, m.tokens.total(), m.tool_calls, m.validation_findings
+            m.agent,
+            m.model,
+            m.elapsed_s,
+            m.tokens.total(),
+            m.tool_calls,
+            m.validation_findings
         );
     }
 }

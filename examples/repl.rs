@@ -10,7 +10,9 @@
 use gridmind_core::{repl::run_repl, GridMind, ModelProfile};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "GPT-5".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "GPT-5".to_string());
     let profile = ModelProfile::by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown model {name:?}; falling back to GPT-5");
         ModelProfile::by_name("GPT-5").unwrap()

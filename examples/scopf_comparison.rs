@@ -24,12 +24,18 @@ fn apply_dispatch(net: &Network, sol: &AcopfSolution) -> Network {
 
 fn main() {
     let net = cases::load(CaseId::Ieee118);
-    println!("=== Economic vs security-constrained operation, {} ===\n", net.name);
+    println!(
+        "=== Economic vs security-constrained operation, {} ===\n",
+        net.name
+    );
 
     let economic = solve_acopf(&net, &AcopfOptions::default()).expect("economic ACOPF");
     let scopf = solve_scopf(&net, &ScopfOptions::default()).expect("SCOPF");
 
-    println!("Screened security constraints: {}", scopf.n_security_constraints);
+    println!(
+        "Screened security constraints: {}",
+        scopf.n_security_constraints
+    );
     println!();
     println!(
         "{:<28} {:>14} {:>14}",
@@ -52,8 +58,7 @@ fn main() {
 
     let opts = CaOptions::default();
     let eco_rep = run_n1(&apply_dispatch(&net, &economic), &opts, None).expect("N-1 (economic)");
-    let sec_rep =
-        run_n1(&apply_dispatch(&net, &scopf.solution), &opts, None).expect("N-1 (SCOPF)");
+    let sec_rep = run_n1(&apply_dispatch(&net, &scopf.solution), &opts, None).expect("N-1 (SCOPF)");
     // Both dispatches ride binding base-case limits (the ACOPF binds at
     // exactly 100 %), so the interesting metric is the *severity profile*
     // of post-contingency overloads, not the saturating >100 % count.

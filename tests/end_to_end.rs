@@ -59,7 +59,11 @@ fn contingency_question_without_prior_solve_recovers() {
     let mut gm = GridMind::new(ModelProfile::by_name("GPT-o3").unwrap());
     let reply = gm.ask("what are the most critical contingencies in ieee 57");
     assert!(reply.steps[0].completed, "{}", reply.text);
-    assert!(reply.text.contains("Most critical elements"), "{}", reply.text);
+    assert!(
+        reply.text.contains("Most critical elements"),
+        "{}",
+        reply.text
+    );
     assert!(gm.session.fresh_contingency().is_some());
 }
 
@@ -124,11 +128,7 @@ fn generator_outage_conversation() {
     gm.ask("solve case14");
     let reply = gm.ask("what happens if we lose a generator unit");
     assert!(reply.steps[0].completed, "{}", reply.text);
-    assert!(
-        reply.text.contains("generating units"),
-        "{}",
-        reply.text
-    );
+    assert!(reply.text.contains("generating units"), "{}", reply.text);
     assert!(reply.text.contains("Most critical unit"), "{}", reply.text);
 }
 

@@ -84,11 +84,8 @@ fn tool_provenance_is_auditable_json() {
     // to a stored tool output object.
     let session = SessionContext::new();
     let clock = gm_agents::VirtualClock::new();
-    let mut agent = gridmind_core::build_acopf_agent(
-        ModelProfile::by_name("GPT-5").unwrap(),
-        session,
-        clock,
-    );
+    let mut agent =
+        gridmind_core::build_acopf_agent(ModelProfile::by_name("GPT-5").unwrap(), session, clock);
     let resp = agent.handle("solve case14");
     assert!(resp.completed);
     let provenance = agent.tools.provenance();

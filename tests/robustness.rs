@@ -14,20 +14,17 @@ fn degenerate_inputs_never_break_the_coordinator() {
         "   ",
         "?",
         "!!!",
-        "solve",                          // intent without entities
-        "solve case -1",                  // nonsense case
-        "solve case99999",                // unknown case
+        "solve",                              // intent without entities
+        "solve case -1",                      // nonsense case
+        "solve case99999",                    // unknown case
         "set the load at bus 99999 to 10 MW", // bus out of range (needs case)
-        "ステーション を 解決",              // non-ASCII
-        "solve case14 then then then",    // pathological sequencing
-        "SOLVE CASE14",                   // shouting
-        "solve\tcase14\n",                // whitespace soup
+        "ステーション を 解決",               // non-ASCII
+        "solve case14 then then then",        // pathological sequencing
+        "SOLVE CASE14",                       // shouting
+        "solve\tcase14\n",                    // whitespace soup
     ] {
         let reply = gm.ask(input);
-        assert!(
-            !reply.text.is_empty(),
-            "empty reply for {input:?}"
-        );
+        assert!(!reply.text.is_empty(), "empty reply for {input:?}");
         // Every step ends with a narrated answer, even on failure paths.
         for r in &reply.responses {
             assert!(r.rounds >= 1);

@@ -39,7 +39,7 @@ fn cost_hierarchy_ed_dcopf_acopf() {
 #[test]
 fn dc_flows_approximate_ac_active_flows() {
     let net = cases::load(CaseId::Ieee118);
-    let dc = solve_dc(&net);
+    let dc = solve_dc(&net).unwrap();
     let ac = solve(
         &net,
         &PfOptions {
@@ -164,8 +164,8 @@ fn all_cases_full_stack_smoke() {
         net.validate().unwrap_or_else(|e| panic!("{id:?}: {e:?}"));
         let pf = solve(&net, &PfOptions::default()).unwrap_or_else(|e| panic!("{id:?}: {e}"));
         assert!(pf.converged);
-        let ac = solve_acopf(&net, &AcopfOptions::default())
-            .unwrap_or_else(|e| panic!("{id:?}: {e}"));
+        let ac =
+            solve_acopf(&net, &AcopfOptions::default()).unwrap_or_else(|e| panic!("{id:?}: {e}"));
         assert!(ac.solved);
         // ACOPF cost cannot exceed scheduled-dispatch cost evaluated via
         // its own curves at the PF dispatch… it should at least be in a

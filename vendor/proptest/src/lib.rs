@@ -1,0 +1,566 @@
+//! Offline, minimal drop-in for the `proptest` subset GridMind-RS
+//! uses. Strategies sample deterministically from a seeded generator
+//! (no shrinking — a failing case prints its inputs instead), which
+//! keeps property tests reproducible across CI runs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Test-runner configuration (`ProptestConfig::with_cases(n)`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property case (carries the rendered assertion message).
+#[derive(Debug)]
+pub struct TestCaseError {
+    /// Rendered failure reason.
+    pub message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure from a rendered message.
+    pub fn fail<S: Into<String>>(message: S) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Result type each property body produces.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic per-test random source.
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Seeded from the test name so each property gets a stable but
+    /// distinct stream.
+    pub fn for_test(name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(h ^ (u64::from(case) << 32)),
+        }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug + Clone;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug + Clone,
+        F: Fn(Self::Value) -> O,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Retry until `f` accepts the value (bounded; panics if the
+    /// filter rejects everything).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> FilterStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        FilterStrategy {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for MapStrategy<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug + Clone,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+pub struct FilterStrategy<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for FilterStrategy<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 candidates: {}", self.whence);
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty)*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.inner.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.inner.random_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(i8 i16 i32 i64 isize u8 u16 u32 u64 usize f64 f32);
+
+/// String literals act as regex-shaped string strategies in real
+/// proptest. The offline stub supports the subset the workspace uses:
+/// `.` (any printable char, occasionally exotic unicode) with a
+/// `{m,n}` repetition, e.g. `".{0,200}"`.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (min, max) = parse_dot_repeat(self).unwrap_or_else(|| {
+            panic!(
+                "unsupported string strategy {self:?}: the offline proptest stub \
+                 only implements \".{{m,n}}\" patterns"
+            )
+        });
+        let n = rng.inner.random_range(min..=max);
+        (0..n)
+            .map(|_| match rng.inner.random_range(0u32..20) {
+                // Mostly ASCII, with whitespace and multibyte chars mixed
+                // in to stress parsers.
+                0 => ' ',
+                1 => '\t',
+                2 => '\u{e9}',   // é
+                3 => '\u{4e2d}', // 中
+                4..=7 => rng.inner.random_range(b'0'..=b'9') as char,
+                _ => rng.inner.random_range(b'a'..=b'z') as char,
+            })
+            .collect()
+    }
+}
+
+/// Parse `".{m,n}"` into `(m, n)`.
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (m, n) = body.split_once(',')?;
+    Some((m.trim().parse().ok()?, n.trim().parse().ok()?))
+}
+
+/// A constant is a degenerate strategy (proptest's `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: fmt::Debug + Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($t:ident $idx:tt),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: fmt::Debug + Clone + Sized {
+    /// The strategy type `any` returns.
+    type Strategy: Strategy<Value = Self>;
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Canonical strategy for a type.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// `any::<bool>()` support.
+#[derive(Clone, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.inner.random()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty => $lo:expr, $hi:expr;)*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = RangeInclusive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                $lo..=$hi
+            }
+        }
+    )*};
+}
+arbitrary_int! {
+    i32 => i32::MIN, i32::MAX;
+    u32 => u32::MIN, u32::MAX;
+    i64 => i64::MIN, i64::MAX;
+    u64 => u64::MIN, u64::MAX;
+    usize => usize::MIN, usize::MAX;
+}
+
+/// Strategy modules mirroring `proptest::prop::*` paths.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// `prop::collection::vec(element, size_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.inner.random_range(self.size.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Mirror of `proptest::sample`.
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::fmt;
+
+    /// Uniformly select one of the given values.
+    pub fn select<T: fmt::Debug + Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select() needs at least one value");
+        Select { values }
+    }
+
+    /// Output of [`select`].
+    pub struct Select<T> {
+        values: Vec<T>,
+    }
+
+    impl<T: fmt::Debug + Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.inner.random_range(0..self.values.len());
+            self.values[i].clone()
+        }
+    }
+}
+
+/// Mirror of `proptest::num`.
+pub mod num {
+    /// `prop::num::f64::ANY` — the full f64 value space, including
+    /// infinities and NaN (sampled with boosted probability for the
+    /// special values, as in real proptest's special-value bias).
+    pub mod f64 {
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Marker strategy for any `f64`.
+        #[derive(Clone, Debug)]
+        pub struct Any;
+
+        /// The full-space strategy value.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = f64;
+            fn sample(&self, rng: &mut TestRng) -> f64 {
+                match rng.inner.random_range(0u32..16) {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    2 => f64::NEG_INFINITY,
+                    3 => 0.0,
+                    4 => -0.0,
+                    5 => f64::MIN_POSITIVE,
+                    6 => f64::MAX,
+                    _ => {
+                        // Random bit pattern filtered to finite values.
+                        loop {
+                            let v = f64::from_bits(rng.inner.random::<u64>());
+                            if v.is_finite() {
+                                return v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The `proptest::prelude` glob import surface.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+
+    /// `prop::…` module paths (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::{collection, num, sample};
+    }
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use super::{ProptestConfig, Strategy, TestCaseError, TestRng};
+
+    /// Drive one property: sample, run, and panic with the inputs
+    /// rendered on failure (no shrinking in the offline stub).
+    pub fn run_property<Args: std::fmt::Debug, S, F>(
+        name: &str,
+        config: &ProptestConfig,
+        strategy: &S,
+        body: F,
+    ) where
+        S: Strategy<Value = Args>,
+        F: Fn(Args) -> Result<(), TestCaseError>,
+    {
+        for case in 0..config.cases {
+            let mut rng = TestRng::for_test(name, case);
+            let args = strategy.sample(&mut rng);
+            let rendered = format!("{args:?}");
+            if let Err(e) = body(args) {
+                panic!(
+                    "property `{name}` failed at case {case}/{}\n  inputs: {rendered}\n  {e}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+/// Define property tests: `proptest! { #[test] fn p(x in 0..10) {...} }`.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let __strategy = ($($strategy,)+);
+            $crate::__rt::run_property(
+                stringify!($name),
+                &__config,
+                &__strategy,
+                |($($arg,)+)| {
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert inside a property; failure reports the sampled inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)*)),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+                stringify!($a), stringify!($b), __a, __b,
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}: {}\n  left: {:?}\n  right: {:?}",
+                stringify!($a), stringify!($b), format!($($fmt)*), __a, __b,
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a == __b {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __a,
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(
+            n in 2usize..24,
+            x in -2.0f64..2.0,
+            pair in (0u32..10, 5i32..=9),
+        ) {
+            prop_assert!((2..24).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!(pair.0 < 10);
+            prop_assert!((5..=9).contains(&pair.1));
+        }
+
+        #[test]
+        fn vec_and_select(
+            v in prop::collection::vec((0usize..32, -1.0f64..1.0), 0..40),
+            word in prop::sample::select(vec!["a", "b", "c"]),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(v.len() < 40);
+            prop_assert!(["a", "b", "c"].contains(&word));
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn f64_any_hits_special_values() {
+        use crate::Strategy;
+        let mut rng = crate::TestRng::for_test("specials", 0);
+        let mut saw_nan = false;
+        let mut saw_finite = false;
+        for _ in 0..200 {
+            let v = crate::num::f64::ANY.sample(&mut rng);
+            saw_nan |= v.is_nan();
+            saw_finite |= v.is_finite();
+        }
+        assert!(saw_nan && saw_finite);
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failure_reports_inputs() {
+        proptest! {
+            #[test]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

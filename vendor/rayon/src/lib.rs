@@ -1,0 +1,148 @@
+//! Offline drop-in for the `rayon` subset GridMind-RS uses:
+//! `slice.par_iter().map(f).collect()`. Unlike most stubs this one is
+//! genuinely parallel — it fans contiguous chunks out over scoped
+//! threads (one per available core) and reassembles results in order,
+//! so the N-1 contingency sweep keeps its speedup.
+
+/// Everything a `use rayon::prelude::*;` caller needs.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// `par_iter()` entry point for slices (and anything derefing to one).
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type yielded by reference.
+    type Item: 'data;
+    /// Borrow a parallel iterator over the data.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowed parallel iterator.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the iterator is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F, R> ParMap<'a, T, F>
+where
+    T: Sync,
+    F: Fn(&'a T) -> R + Sync,
+    R: Send,
+{
+    /// Run the map over scoped worker threads, preserving input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_ordered(self.items, &self.f).into_iter().collect()
+    }
+}
+
+fn run_ordered<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    F: Fn(&'a T) -> R + Sync,
+    R: Send,
+{
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n.max(1));
+    if workers <= 1 || n < 2 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                // A panicking worker panics the caller, like rayon.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
+/// Run two closures, potentially in parallel (sequential here: the
+/// workspace only uses `join` for API parity in tests).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_and_complete() {
+        let data: Vec<u64> = (0..1000).collect();
+        let sq: Vec<u64> = data.par_iter().map(|x| x * x).collect();
+        assert_eq!(sq.len(), 1000);
+        for (i, v) in sq.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+        let one = [41u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+}

@@ -1,0 +1,385 @@
+//! Offline, minimal drop-in replacement for the subset of `serde` that
+//! GridMind-RS uses.
+//!
+//! The real `serde` models serialization through visitor-based
+//! `Serializer`/`Deserializer` traits. This container has no network
+//! access to crates.io, so we vendor a much smaller data model: every
+//! `Serialize` type lowers itself directly to a JSON [`Value`] tree and
+//! every `Deserialize` type lifts itself back out of one. The public
+//! surface (`serde::{Serialize, Deserialize}` derive + traits,
+//! `serde_json::{Value, json!, to_string, from_str, ...}`) matches what
+//! the workspace actually calls, so swapping the real crates back in is
+//! a manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+
+pub use value::{Map, Number, Value};
+
+/// Serialization/deserialization error: a rendered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build an error from any displayable message.
+    pub fn msg<T: std::fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can lower itself to a JSON [`Value`].
+pub trait Serialize {
+    /// Lower `self` to a JSON value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// A type that can lift itself out of a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Lift `Self` out of a JSON value tree.
+    fn deserialize_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Mirror of `serde::de` for code that names the module path.
+pub mod de {
+    pub use crate::{Deserialize, Error};
+
+    /// In real serde this distinguishes borrowed from owned
+    /// deserialization; our simplified model is always owned.
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+/// Mirror of `serde::ser` for code that names the module path.
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls for primitives and std containers
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+macro_rules! serialize_signed {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::from(i64::from(*self)))
+            }
+        }
+    )*};
+}
+serialize_signed!(i8 i16 i32 i64);
+
+macro_rules! serialize_unsigned {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::from(u64::from(*self)))
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8 u16 u32 u64);
+
+impl Serialize for usize {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::from(*self as u64))
+    }
+}
+
+impl Serialize for isize {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::from(*self as i64))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        f64::from(*self).serialize_value()
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        // JSON has no NaN/inf; real serde_json lowers them to null.
+        if self.is_finite() {
+            Value::Number(Number::from(*self))
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize_value()),+])
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.serialize_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<V: Serialize, S> Serialize for std::collections::HashMap<String, V, S> {
+    fn serialize_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.serialize_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for () {
+    fn serialize_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls for primitives and std containers
+// ---------------------------------------------------------------------
+
+fn type_err(expected: &str, got: &Value) -> Error {
+    Error::msg(format!("expected {expected}, got {}", got.kind()))
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value.as_bool().ok_or_else(|| type_err("bool", value))
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| type_err("string", value))
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let s = value.as_str().ok_or_else(|| type_err("char", value))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(type_err("single-char string", value)),
+        }
+    }
+}
+
+macro_rules! deserialize_signed {
+    ($($t:ty)*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                let n = value.as_i64().ok_or_else(|| type_err("integer", value))?;
+                <$t>::try_from(n).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+deserialize_signed!(i8 i16 i32 i64 isize);
+
+macro_rules! deserialize_unsigned {
+    ($($t:ty)*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                let n = value.as_u64().ok_or_else(|| type_err("unsigned integer", value))?;
+                <$t>::try_from(n).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+deserialize_unsigned!(u8 u16 u32 u64 usize);
+
+impl Deserialize for f64 {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            // Round-trip tolerance: NaN/inf serialize to null.
+            Value::Null => Ok(f64::NAN),
+            _ => value.as_f64().ok_or_else(|| type_err("number", value)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        f64::deserialize_value(value).map(|v| v as f32)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let arr = value.as_array().ok_or_else(|| type_err("array", value))?;
+        arr.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        T::deserialize_value(value).map(Box::new)
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal, $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                let arr = value.as_array().ok_or_else(|| type_err("array", value))?;
+                if arr.len() != $len {
+                    return Err(Error::msg(format!(
+                        "expected array of length {}, got {}", $len, arr.len()
+                    )));
+                }
+                Ok(($($t::deserialize_value(&arr[$n])?,)+))
+            }
+        }
+    )*};
+}
+deserialize_tuple! {
+    (1, 0 A)
+    (2, 0 A, 1 B)
+    (3, 0 A, 1 B, 2 C)
+    (4, 0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let obj = value.as_object().ok_or_else(|| type_err("object", value))?;
+        obj.iter()
+            .map(|(k, v)| V::deserialize_value(v).map(|v| (k.clone(), v)))
+            .collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let obj = value.as_object().ok_or_else(|| type_err("object", value))?;
+        obj.iter()
+            .map(|(k, v)| V::deserialize_value(v).map(|v| (k.clone(), v)))
+            .collect()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(type_err("null", other)),
+        }
+    }
+}

@@ -1,0 +1,690 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! stub. Parses the item with the bare `proc_macro` API (no `syn` —
+//! crates.io is unreachable in this container) and emits impls of the
+//! stub's value-tree traits.
+//!
+//! Supported shapes — everything the GridMind-RS workspace derives:
+//! named/tuple/unit structs (including simple generics like
+//! `Stamped<T>`), and enums with unit, newtype, tuple, and struct
+//! variants, serialized externally-tagged exactly like real serde.
+//! Field attributes: `#[serde(default)]` and `#[serde(default = "path")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+struct Field {
+    name: String, // identifier, or tuple index rendered as text
+    default: FieldDefault,
+}
+
+enum FieldDefault {
+    None,
+    Trait,        // #[serde(default)]
+    Path(String), // #[serde(default = "path")]
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+enum Item {
+    Struct { fields: StructShape },
+    Enum { variants: Vec<Variant> },
+}
+
+enum StructShape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Parsed {
+    name: String,
+    // (lifetimes, type params with their original bounds text)
+    lifetimes: Vec<String>,
+    type_params: Vec<(String, String)>,
+    item: Item,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let parsed = match parse_item(input) {
+        Ok(p) => p,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match mode {
+        Mode::Ser => gen_serialize(&parsed),
+        Mode::De => gen_deserialize(&parsed),
+    };
+    code.parse().unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+    fn is_ident(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == s)
+    }
+    /// Consume one `#[...]` attribute if present; returns its bracket
+    /// body when it is a `#[serde(...)]` attribute.
+    fn eat_attr(&mut self) -> Option<Option<TokenStream>> {
+        if !self.is_punct('#') {
+            return None;
+        }
+        self.next(); // '#'
+                     // Inner attributes (`#![...]`) do not occur on fields/items here.
+        match self.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                let mut inner = Cursor::new(g.stream());
+                if inner.is_ident("serde") {
+                    inner.next();
+                    if let Some(TokenTree::Group(args)) = inner.next() {
+                        return Some(Some(args.stream()));
+                    }
+                }
+                Some(None)
+            }
+            _ => Some(None),
+        }
+    }
+    /// Skip all attributes, returning the last `#[serde(...)]` payload seen.
+    fn skip_attrs(&mut self) -> Option<TokenStream> {
+        let mut serde_args = None;
+        while let Some(found) = self.eat_attr() {
+            if let Some(args) = found {
+                serde_args = Some(args);
+            }
+        }
+        serde_args
+    }
+    fn skip_visibility(&mut self) {
+        if self.is_ident("pub") {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Parsed, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_visibility();
+
+    let kind = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    if kind != "struct" && kind != "enum" {
+        return Err(format!(
+            "derive target must be a struct or enum, got `{kind}`"
+        ));
+    }
+    let name = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+
+    let (lifetimes, type_params) = parse_generics(&mut c)?;
+
+    let item = if kind == "struct" {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                fields: StructShape::Named(parse_named_fields(g.stream())?),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                fields: StructShape::Tuple(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct {
+                fields: StructShape::Unit,
+            },
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        }
+    } else {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                variants: parse_variants(g.stream())?,
+            },
+            other => return Err(format!("expected enum body, got {other:?}")),
+        }
+    };
+
+    Ok(Parsed {
+        name,
+        lifetimes,
+        type_params,
+        item,
+    })
+}
+
+/// Parse an optional `<...>` generics list into lifetimes and
+/// `(param, original-bounds-text)` pairs.
+#[allow(clippy::type_complexity)]
+fn parse_generics(c: &mut Cursor) -> Result<(Vec<String>, Vec<(String, String)>), String> {
+    let mut lifetimes = Vec::new();
+    let mut type_params = Vec::new();
+    if !c.is_punct('<') {
+        return Ok((lifetimes, type_params));
+    }
+    c.next(); // '<'
+    let mut depth = 1usize;
+    // Split the generic arguments at top-level commas.
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut params: Vec<Vec<TokenTree>> = Vec::new();
+    while depth > 0 {
+        let t = c
+            .next()
+            .ok_or_else(|| "unterminated generics".to_string())?;
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                current.push(t);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth > 0 {
+                    current.push(t);
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                params.push(std::mem::take(&mut current));
+            }
+            _ => current.push(t),
+        }
+    }
+    if !current.is_empty() {
+        params.push(current);
+    }
+    for p in params {
+        let text: String = p
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        if text.starts_with('\'')
+            || matches!(p.first(), Some(TokenTree::Punct(q)) if q.as_char() == '\'')
+        {
+            // A lifetime parameter like `'a` (tokens: Punct('\'') Ident).
+            let ident = p
+                .iter()
+                .find_map(|t| match t {
+                    TokenTree::Ident(i) => Some(i.to_string()),
+                    _ => None,
+                })
+                .ok_or("malformed lifetime parameter")?;
+            lifetimes.push(format!("'{ident}"));
+        } else {
+            let ident = match p.first() {
+                Some(TokenTree::Ident(i)) => i.to_string(),
+                other => return Err(format!("unsupported generic parameter: {other:?}")),
+            };
+            let bounds = match p
+                .iter()
+                .position(|t| matches!(t, TokenTree::Punct(q) if q.as_char() == ':'))
+            {
+                Some(i) => p[i + 1..]
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" "),
+                None => String::new(),
+            };
+            type_params.push((ident, bounds));
+        }
+    }
+    Ok((lifetimes, type_params))
+}
+
+fn parse_serde_args(args: TokenStream) -> Result<FieldDefault, String> {
+    let mut c = Cursor::new(args);
+    let mut out = FieldDefault::None;
+    while !c.at_end() {
+        match c.next() {
+            Some(TokenTree::Ident(i)) if i.to_string() == "default" => {
+                if c.is_punct('=') {
+                    c.next();
+                    match c.next() {
+                        Some(TokenTree::Literal(l)) => {
+                            let s = l.to_string();
+                            let path = s.trim_matches('"').to_string();
+                            out = FieldDefault::Path(path);
+                        }
+                        other => {
+                            return Err(format!(
+                                "expected path string after default =, got {other:?}"
+                            ))
+                        }
+                    }
+                } else {
+                    out = FieldDefault::Trait;
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            other => {
+                return Err(format!(
+                    "unsupported #[serde(...)] attribute near {other:?}; the vendored derive \
+                     only supports `default` and `default = \"path\"`"
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let serde_args = c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        skip_type(&mut c);
+        let default = match serde_args {
+            Some(args) => parse_serde_args(args)?,
+            None => FieldDefault::None,
+        };
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+/// Consume a type, stopping at a top-level `,` (which is also consumed)
+/// or end of stream. Tracks `<`/`>` nesting; grouped delimiters arrive
+/// as single `Group` tokens so only angle brackets need counting.
+fn skip_type(c: &mut Cursor) {
+    let mut angle = 0usize;
+    while let Some(t) = c.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                c.next();
+                return;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                c.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle = angle.saturating_sub(1);
+                c.next();
+            }
+            _ => {
+                c.next();
+            }
+        }
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    let mut n = 0usize;
+    while !c.at_end() {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        skip_type(&mut c);
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        while let Some(t) = c.peek() {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                c.next();
+                break;
+            }
+            c.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+impl Parsed {
+    /// `<'a, T: Bounds + ::serde::Serialize>` for the impl header, and
+    /// `<'a, T>` for the type, plus the bare name.
+    fn impl_header(&self, trait_bound: &str) -> (String, String) {
+        if self.lifetimes.is_empty() && self.type_params.is_empty() {
+            return (String::new(), String::new());
+        }
+        let mut impl_params: Vec<String> = self.lifetimes.clone();
+        let mut type_args: Vec<String> = self.lifetimes.clone();
+        for (p, bounds) in &self.type_params {
+            if bounds.is_empty() {
+                impl_params.push(format!("{p}: {trait_bound}"));
+            } else {
+                impl_params.push(format!("{p}: {bounds} + {trait_bound}"));
+            }
+            type_args.push(p.clone());
+        }
+        (
+            format!("<{}>", impl_params.join(", ")),
+            format!("<{}>", type_args.join(", ")),
+        )
+    }
+}
+
+fn gen_serialize(p: &Parsed) -> String {
+    let (impl_generics, ty_generics) = p.impl_header("::serde::Serialize");
+    let name = &p.name;
+    let body = match &p.item {
+        Item::Struct { fields } => match fields {
+            StructShape::Named(fs) => {
+                let mut s = String::from("let mut __m = ::serde::Map::new();\n");
+                for f in fs {
+                    s.push_str(&format!(
+                        "__m.insert(::std::string::String::from({n:?}), \
+                         ::serde::Serialize::serialize_value(&self.{n}));\n",
+                        n = f.name
+                    ));
+                }
+                s.push_str("::serde::Value::Object(__m)");
+                s
+            }
+            StructShape::Tuple(1) => {
+                // Newtype structs serialize transparently, like serde.
+                "::serde::Serialize::serialize_value(&self.0)".to_string()
+            }
+            StructShape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+            StructShape::Unit => "::serde::Value::Null".to_string(),
+        },
+        Item::Enum { variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::String(\
+                             ::std::string::String::from({vn:?})),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vn}(__f0) => {{\n\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(::std::string::String::from({vn:?}), \
+                             ::serde::Serialize::serialize_value(__f0));\n\
+                             ::serde::Value::Object(__m)\n}}\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({bl}) => {{\n\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(::std::string::String::from({vn:?}), \
+                             ::serde::Value::Array(vec![{items}]));\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            bl = binders.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fs) => {
+                        let binders: Vec<String> = fs.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from("let mut __inner = ::serde::Map::new();\n");
+                        for f in fs {
+                            inner.push_str(&format!(
+                                "__inner.insert(::std::string::String::from({n:?}), \
+                                 ::serde::Serialize::serialize_value({n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {bl} }} => {{\n{inner}\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(::std::string::String::from({vn:?}), \
+                             ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            bl = binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn field_expr(owner: &str, f: &Field) -> String {
+    let n = &f.name;
+    let missing = match &f.default {
+        FieldDefault::None => format!(
+            "return ::std::result::Result::Err(::serde::Error::msg(\
+             format!(\"missing field `{n}` in {owner}\")))"
+        ),
+        FieldDefault::Trait => "::std::default::Default::default()".to_string(),
+        FieldDefault::Path(p) => format!("{p}()"),
+    };
+    format!(
+        "{n}: match __obj.get({n:?}) {{\n\
+         ::std::option::Option::Some(__v) => ::serde::Deserialize::deserialize_value(__v)?,\n\
+         ::std::option::Option::None => {missing},\n}},\n"
+    )
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let (impl_generics, ty_generics) = p.impl_header("::serde::Deserialize");
+    let name = &p.name;
+    let body = match &p.item {
+        Item::Struct { fields } => match fields {
+            StructShape::Named(fs) => {
+                let mut s = format!(
+                    "let __obj = __value.as_object().ok_or_else(|| \
+                     ::serde::Error::msg(\"expected object for {name}\"))?;\n\
+                     ::std::result::Result::Ok({name} {{\n"
+                );
+                for f in fs {
+                    s.push_str(&field_expr(name, f));
+                }
+                s.push_str("})");
+                s
+            }
+            StructShape::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(\
+                 ::serde::Deserialize::deserialize_value(__value)?))"
+            ),
+            StructShape::Tuple(n) => {
+                let mut s = format!(
+                    "let __arr = __value.as_array().ok_or_else(|| \
+                     ::serde::Error::msg(\"expected array for {name}\"))?;\n\
+                     if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::Error::msg(\"wrong tuple arity for {name}\")); }}\n\
+                     ::std::result::Result::Ok({name}(\n"
+                );
+                for i in 0..*n {
+                    s.push_str(&format!(
+                        "::serde::Deserialize::deserialize_value(&__arr[{i}])?,\n"
+                    ));
+                }
+                s.push_str("))");
+                s
+            }
+            StructShape::Unit => format!("::std::result::Result::Ok({name})"),
+        },
+        Item::Enum { variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vn:?} => return ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                        // A unit variant can also appear externally tagged
+                        // with a null payload.
+                        payload_arms.push_str(&format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => {
+                        payload_arms.push_str(&format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::deserialize_value(__payload)?)),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let mut items = String::new();
+                        for i in 0..*n {
+                            items.push_str(&format!(
+                                "::serde::Deserialize::deserialize_value(&__arr[{i}])?,\n"
+                            ));
+                        }
+                        payload_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                             let __arr = __payload.as_array().ok_or_else(|| \
+                             ::serde::Error::msg(\"expected array payload for {name}::{vn}\"))?;\n\
+                             if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::msg(\"wrong arity for {name}::{vn}\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({items}))\n}}\n"
+                        ));
+                    }
+                    VariantShape::Struct(fs) => {
+                        let owner = format!("{name}::{vn}");
+                        let mut inner = format!(
+                            "{vn:?} => {{\n\
+                             let __obj = __payload.as_object().ok_or_else(|| \
+                             ::serde::Error::msg(\"expected object payload for {owner}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n"
+                        );
+                        for f in fs {
+                            inner.push_str(&field_expr(&owner, f));
+                        }
+                        inner.push_str("})\n}\n");
+                        payload_arms.push_str(&inner);
+                    }
+                }
+            }
+            format!(
+                "if let ::std::option::Option::Some(__s) = __value.as_str() {{\n\
+                 match __s {{\n{unit_arms}\
+                 __other => return ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"unknown {name} variant `{{__other}}`\"))),\n}}\n}}\n\
+                 let __obj = __value.as_object().ok_or_else(|| \
+                 ::serde::Error::msg(\"expected object for enum {name}\"))?;\n\
+                 let (__tag, __payload) = __obj.iter().next().ok_or_else(|| \
+                 ::serde::Error::msg(\"empty object for enum {name}\"))?;\n\
+                 match __tag.as_str() {{\n{payload_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"unknown {name} variant `{{__other}}`\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\n\
+         fn deserialize_value(__value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

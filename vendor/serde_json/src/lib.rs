@@ -1,0 +1,521 @@
+//! Offline, minimal drop-in replacement for the subset of `serde_json`
+//! that GridMind-RS uses: `Value`, `json!`, `to_value`/`from_value`,
+//! `to_string`/`to_string_pretty`/`to_vec`, and `from_str`/`from_slice`.
+//!
+//! The value tree itself lives in the vendored `serde` stub (both
+//! crates need it; the real pair shares it through `Serializer`
+//! machinery we do not replicate). This crate adds JSON text I/O and
+//! the `json!` constructor macro.
+
+pub use serde::{Error, Map, Number, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// `serde_json::value` module mirror.
+pub mod value {
+    pub use super::{from_value, to_value};
+    pub use serde::{Map, Number, Value};
+}
+
+/// `serde_json::error` module mirror.
+pub mod error {
+    pub use serde::Error;
+    /// Result alias matching `serde_json::Result`.
+    pub type Result<T> = std::result::Result<T, Error>;
+}
+
+pub use error::Result;
+
+/// Lower any `Serialize` type to a `Value`.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.serialize_value())
+}
+
+/// Lift a `Deserialize` type out of a `Value`.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    T::deserialize_value(&value)
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    Ok(value.serialize_value().to_string())
+}
+
+/// Serialize to an indented JSON string (2-space indent, like serde_json).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_pretty(&value.serialize_value(), &mut out, 0);
+    Ok(out)
+}
+
+/// Serialize to compact JSON bytes.
+pub fn to_vec<T: Serialize>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parse a JSON document and lift `T` out of it.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = parse_value(s)?;
+    T::deserialize_value(&value)
+}
+
+/// Parse JSON bytes (must be UTF-8) and lift `T` out of them.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::msg(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+// ---------------------------------------------------------------------
+// Pretty printer
+// ---------------------------------------------------------------------
+
+fn write_pretty(v: &Value, out: &mut String, depth: usize) {
+    use std::fmt::Write as _;
+    let pad = "  ".repeat(depth + 1);
+    let close_pad = "  ".repeat(depth);
+    match v {
+        Value::Array(a) if !a.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                write_pretty(item, out, depth + 1);
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push(']');
+        }
+        Value::Object(m) if !m.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                let _ = write!(out, "{}: ", Value::String(k.clone()));
+                write_pretty(item, out, depth + 1);
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push('}');
+        }
+        other => {
+            let _ = write!(out, "{other}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser: a small recursive-descent JSON reader.
+// ---------------------------------------------------------------------
+
+/// Parse a complete JSON document into a [`Value`].
+pub fn parse_value(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(Error::msg(format!(
+                "unexpected character `{}` at byte {}",
+                c as char, self.pos
+            ))),
+            None => Err(Error::msg("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(out));
+        }
+        loop {
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(out));
+                }
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut out = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            out.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(out));
+                }
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error::msg(format!("invalid UTF-8 in string: {e}")))?;
+                out.push_str(chunk);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::msg("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs for astral-plane characters.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::msg("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or_else(|| Error::msg("invalid unicode escape"))?);
+                        }
+                        other => {
+                            return Err(Error::msg(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(c) => return Err(Error::msg(format!("control character {c:#x} in string"))),
+                None => return Err(Error::msg("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+        self.pos += 4;
+        let s = std::str::from_utf8(hex).map_err(|_| Error::msg("invalid \\u escape"))?;
+        u32::from_str_radix(s, 16).map_err(|_| Error::msg("invalid \\u escape"))
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::from(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::from(i)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::from(f)))
+            .map_err(|e| Error::msg(format!("invalid number `{text}`: {e}")))
+    }
+}
+
+// ---------------------------------------------------------------------
+// json! macro — a tt-muncher in the style of the real serde_json macro.
+// ---------------------------------------------------------------------
+
+/// Build a [`Value`] from JSON-like syntax with expression interpolation.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::Value::Array($crate::json_internal_array!([] $($tt)*)) };
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __m = $crate::Map::new();
+        $crate::json_internal_object!(__m () $($tt)*);
+        $crate::Value::Object(__m)
+    }};
+    ($other:expr) => {
+        match $crate::to_value(&$other) {
+            ::std::result::Result::Ok(__v) => __v,
+            ::std::result::Result::Err(_) => $crate::Value::Null,
+        }
+    };
+}
+
+/// Internal: accumulate array elements. `[done] rest...`
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_array {
+    // End of input: emit the vec.
+    ([$($done:expr),*]) => { vec![$($done),*] };
+    ([$($done:expr),*] ,) => { vec![$($done),*] };
+    // JSON-literal element forms, with and without a following comma.
+    ([$($done:expr),*] null $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([$($done,)* $crate::json!(null)] $($($rest)*)?)
+    };
+    ([$($done:expr),*] true $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([$($done,)* $crate::json!(true)] $($($rest)*)?)
+    };
+    ([$($done:expr),*] false $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([$($done,)* $crate::json!(false)] $($($rest)*)?)
+    };
+    ([$($done:expr),*] [$($inner:tt)*] $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([$($done,)* $crate::json!([$($inner)*])] $($($rest)*)?)
+    };
+    ([$($done:expr),*] {$($inner:tt)*} $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([$($done,)* $crate::json!({$($inner)*})] $($($rest)*)?)
+    };
+    // Plain expression element (stops at a top-level comma).
+    ([$($done:expr),*] $e:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([$($done,)* $crate::json!($e)] $($($rest)*)?)
+    };
+}
+
+/// Internal: accumulate object entries. `map (key-tokens) rest...`
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_object {
+    // Done.
+    ($m:ident ()) => {};
+    ($m:ident () ,) => {};
+    // Key is complete (a literal or parenthesized expression) and a
+    // colon follows: dispatch on the value shape.
+    ($m:ident ($key:expr) : null $(, $($rest:tt)*)?) => {
+        $m.insert(::std::string::String::from($key), $crate::json!(null));
+        $crate::json_internal_object!($m () $($($rest)*)?);
+    };
+    ($m:ident ($key:expr) : true $(, $($rest:tt)*)?) => {
+        $m.insert(::std::string::String::from($key), $crate::json!(true));
+        $crate::json_internal_object!($m () $($($rest)*)?);
+    };
+    ($m:ident ($key:expr) : false $(, $($rest:tt)*)?) => {
+        $m.insert(::std::string::String::from($key), $crate::json!(false));
+        $crate::json_internal_object!($m () $($($rest)*)?);
+    };
+    ($m:ident ($key:expr) : [$($inner:tt)*] $(, $($rest:tt)*)?) => {
+        $m.insert(::std::string::String::from($key), $crate::json!([$($inner)*]));
+        $crate::json_internal_object!($m () $($($rest)*)?);
+    };
+    ($m:ident ($key:expr) : {$($inner:tt)*} $(, $($rest:tt)*)?) => {
+        $m.insert(::std::string::String::from($key), $crate::json!({$($inner)*}));
+        $crate::json_internal_object!($m () $($($rest)*)?);
+    };
+    ($m:ident ($key:expr) : $value:expr $(, $($rest:tt)*)?) => {
+        $m.insert(::std::string::String::from($key), $crate::json!($value));
+        $crate::json_internal_object!($m () $($($rest)*)?);
+    };
+    // Munch key tokens one tt at a time until the colon.
+    ($m:ident () $key:literal : $($rest:tt)*) => {
+        $crate::json_internal_object!($m ($key) : $($rest)*);
+    };
+    ($m:ident () ($key:expr) : $($rest:tt)*) => {
+        $crate::json_internal_object!($m ($key) : $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_nested() {
+        let v = json!({
+            "name": "case14",
+            "n": 3,
+            "x": 1.5,
+            "flags": [true, false, null],
+            "nested": {"a": [1, 2, {"b": "c"}]},
+            "interp": 2 + 3,
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(v["n"], 3u64);
+        assert_eq!(v["interp"], 5i64);
+        assert_eq!(v["nested"]["a"][2]["b"], "c");
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let v = json!({"s": "line\nquote\"backslash\\tab\tés 🎉"});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        let surrogate: Value = from_str(r#""🎉""#).unwrap();
+        assert_eq!(surrogate, "🎉");
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(from_str::<Value>("42").unwrap().as_u64(), Some(42));
+        assert_eq!(from_str::<Value>("-7").unwrap().as_i64(), Some(-7));
+        assert_eq!(from_str::<Value>("2.0").unwrap().as_f64(), Some(2.0));
+        assert_eq!(from_str::<Value>("1e3").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(to_string(&json!(2.0)).unwrap(), "2.0");
+        assert_eq!(to_string(&json!(2u64)).unwrap(), "2");
+    }
+
+    #[test]
+    fn pretty_is_parseable() {
+        let v = json!({"a": [1, 2], "b": {"c": null}});
+        let text = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}
