@@ -459,6 +459,8 @@ fn scatter_4x4(t: &mut Triplets<f64>, cols: &[usize; 4], val: impl Fn(usize, usi
 
 /// Solves the ACOPF for a network.
 pub fn solve_acopf(net: &Network, opts: &AcopfOptions) -> Result<AcopfSolution, AcopfError> {
+    let _span = gm_telemetry::span!("acopf.solve", case = net.name, n_bus = net.n_bus());
+    gm_telemetry::counter_add("acopf.solves", 1);
     if let Err(problems) = net.validate() {
         return Err(AcopfError::InvalidNetwork {
             problems: problems.iter().map(|p| p.to_string()).collect(),

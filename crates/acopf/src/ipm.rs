@@ -102,6 +102,15 @@ fn norm_inf(v: &[f64]) -> f64 {
 
 /// Solves the NLP.
 pub fn solve<P: Nlp>(prob: &P, opts: &IpmOptions) -> IpmResult {
+    let _span = gm_telemetry::span!("acopf.ipm.solve", nx = prob.nx());
+    gm_telemetry::counter_add("acopf.ipm.solves", 1);
+    if let Some(reg) = gm_telemetry::current() {
+        // Log-scale buckets: the barrier parameter decays over ~10 decades.
+        reg.register_histogram(
+            "acopf.ipm.barrier_mu",
+            &[1e-12, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2, 1.0, 100.0],
+        );
+    }
     let nx = prob.nx();
     let mut x = prob.x0();
     assert_eq!(x.len(), nx, "x0 length mismatch");
@@ -257,6 +266,7 @@ pub fn solve<P: Nlp>(prob: &P, opts: &IpmOptions) -> IpmResult {
             lam[r] += alpha_d * dlam[r];
         }
         gamma = opts.sigma * z.iter().zip(&mu).map(|(a, b)| a * b).sum::<f64>() / niq.max(1) as f64;
+        gm_telemetry::histogram_record("acopf.ipm.barrier_mu", gamma);
 
         f_old = f;
         let (fnew, dfnew) = prob.objective(&x);
@@ -274,6 +284,16 @@ pub fn solve<P: Nlp>(prob: &P, opts: &IpmOptions) -> IpmResult {
         }
     }
 
+    gm_telemetry::counter_add("acopf.ipm.iterations", iterations as u64);
+    gm_telemetry::histogram_record("acopf.ipm.iterations_per_solve", iterations as f64);
+    gm_telemetry::counter_add(
+        if converged {
+            "acopf.ipm.converged"
+        } else {
+            "acopf.ipm.failed"
+        },
+        1,
+    );
     IpmResult {
         converged,
         x,

@@ -154,6 +154,8 @@ impl Nlp for ScopfProblem<'_> {
 /// `(outage, monitored)` pairs, repeat until no new violations or the
 /// round budget is spent.
 pub fn solve_scopf(net: &Network, opts: &ScopfOptions) -> Result<ScopfSolution, AcopfError> {
+    let _span = gm_telemetry::span!("acopf.scopf.solve", case = net.name);
+    gm_telemetry::counter_add("acopf.scopf.solves", 1);
     let economic = crate::solve_acopf(net, &opts.acopf)?;
     let sens = sensitivities(net).map_err(|e| AcopfError::InvalidNetwork {
         problems: vec![e.to_string()],
@@ -206,6 +208,8 @@ pub fn solve_scopf(net: &Network, opts: &ScopfOptions) -> Result<ScopfSolution, 
         if added == 0 {
             break; // fixpoint: no newly violated pairs at this optimum
         }
+        gm_telemetry::counter_add("acopf.scopf.rounds", 1);
+        gm_telemetry::counter_add("acopf.scopf.constraints_added", added as u64);
 
         // ---- Re-solve with the accumulated security rows. Not every
         // post-contingency overload is dispatchable away (a pocket fed by
@@ -229,6 +233,7 @@ pub fn solve_scopf(net: &Network, opts: &ScopfOptions) -> Result<ScopfSolution, 
                 break;
             }
             relaxations += 1;
+            gm_telemetry::counter_add("acopf.scopf.relaxations", 1);
             if relaxations > 4 {
                 return Err(AcopfError::NotConverged {
                     iterations: res.iterations,

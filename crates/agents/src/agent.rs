@@ -138,6 +138,7 @@ impl Agent {
 
     /// Handles one user utterance through the full loop.
     pub fn handle(&mut self, input: &str) -> AgentResponse {
+        let _span = gm_telemetry::span!("agent.turn", agent = self.name);
         let t_start = self.clock.now();
         // Context-window management: long sessions prune old prose while
         // structured artifacts persist (§3.1 / §3.3).
@@ -156,6 +157,9 @@ impl Agent {
             view.round = round;
             let (turn, latency, usage) = self.llm.next_turn(&view);
             self.clock.advance(latency);
+            gm_telemetry::counter_add("llm.turns", 1);
+            gm_telemetry::counter_add("llm.tokens", usage.total());
+            gm_telemetry::histogram_record("llm.latency_virtual_s", latency);
             tokens.add(usage);
             reasoning.extend(turn.reasoning.clone());
 

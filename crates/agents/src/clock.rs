@@ -1,89 +1,9 @@
-//! Virtual session clock.
+//! Virtual session clock (re-export).
 //!
-//! The paper's latency evaluation mixes two time sources: real solver time
-//! (the deterministic tools actually run) and LLM backend latency (remote
-//! API calls). GridMind-RS replaces the remote APIs with simulated models,
-//! so their latency is accounted on a *virtual* clock instead of slept:
-//! benches reproduce the paper's seconds-scale timing distributions while
-//! running in milliseconds.
+//! The clock implementation moved to `gm-telemetry` so that
+//! [`VirtualClock::measure`] can record into an installed metrics
+//! collector — real solver time and virtual LLM latency land in one
+//! unified timeline. This module keeps the historical `gm_agents::clock`
+//! path working.
 
-use parking_lot::Mutex;
-use std::sync::Arc;
-
-/// A shared monotonically increasing virtual clock (seconds).
-#[derive(Clone, Debug, Default)]
-pub struct VirtualClock {
-    inner: Arc<Mutex<f64>>,
-}
-
-impl VirtualClock {
-    /// New clock at t = 0.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Current virtual time (seconds).
-    pub fn now(&self) -> f64 {
-        *self.inner.lock()
-    }
-
-    /// Advances the clock by `dt` seconds (negative values are ignored).
-    pub fn advance(&self, dt: f64) {
-        if dt > 0.0 && dt.is_finite() {
-            *self.inner.lock() += dt;
-        }
-    }
-
-    /// Runs `f`, advancing the clock by its measured wall time, and
-    /// returns the result with the elapsed seconds. Used for tool
-    /// invocations, whose cost is real compute.
-    pub fn measure<T>(&self, f: impl FnOnce() -> T) -> (T, f64) {
-        let start = std::time::Instant::now();
-        let out = f();
-        let dt = start.elapsed().as_secs_f64();
-        self.advance(dt);
-        (out, dt)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn starts_at_zero_and_advances() {
-        let c = VirtualClock::new();
-        assert_eq!(c.now(), 0.0);
-        c.advance(2.5);
-        c.advance(0.5);
-        assert!((c.now() - 3.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn negative_and_nan_ignored() {
-        let c = VirtualClock::new();
-        c.advance(-1.0);
-        c.advance(f64::NAN);
-        assert_eq!(c.now(), 0.0);
-    }
-
-    #[test]
-    fn clones_share_time() {
-        let a = VirtualClock::new();
-        let b = a.clone();
-        a.advance(1.0);
-        assert_eq!(b.now(), 1.0);
-    }
-
-    #[test]
-    fn measure_advances_by_wall_time() {
-        let c = VirtualClock::new();
-        let (value, dt) = c.measure(|| {
-            std::thread::sleep(std::time::Duration::from_millis(5));
-            42
-        });
-        assert_eq!(value, 42);
-        assert!(dt >= 0.004);
-        assert!((c.now() - dt).abs() < 1e-12);
-    }
-}
+pub use gm_telemetry::VirtualClock;

@@ -235,20 +235,28 @@ pub struct IntentMatch {
 /// Classifies an utterance against a rule set. Returns `None` when no rule
 /// scores above zero.
 pub fn classify(utterance: &str, rules: &[IntentRule]) -> Option<IntentMatch> {
+    gm_telemetry::counter_add("nlu.classifications", 1);
     let tokens = tokenize(utterance);
     let scores: Vec<f64> = rules.iter().map(|r| r.score(&tokens)).collect();
-    let (best_idx, &best) = scores
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))?;
-    if best <= 0.0 {
-        return None;
+    let matched = (|| {
+        let (best_idx, &best) = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))?;
+        if best <= 0.0 {
+            return None;
+        }
+        let total: f64 = scores.iter().map(|s| s.max(0.0)).sum();
+        Some(IntentMatch {
+            intent: rules[best_idx].name.clone(),
+            confidence: (best / total.max(best)).clamp(0.0, 1.0),
+        })
+    })();
+    match &matched {
+        Some(m) => gm_telemetry::counter_add(&format!("nlu.intent.{}", m.intent), 1),
+        None => gm_telemetry::counter_add("nlu.intent.none", 1),
     }
-    let total: f64 = scores.iter().map(|s| s.max(0.0)).sum();
-    Some(IntentMatch {
-        intent: rules[best_idx].name.clone(),
-        confidence: (best / total.max(best)).clamp(0.0, 1.0),
-    })
+    matched
 }
 
 #[cfg(test)]

@@ -196,8 +196,14 @@ impl ToolRegistry {
         if let Err(violations) = tool.spec().input.validate(args) {
             return Err(ToolError::InvalidArgs { violations });
         }
+        let _span = gm_telemetry::span!(format!("tool.{name}"));
+        gm_telemetry::counter_add("tool.invocations", 1);
         let started_at_s = self.clock.now();
         let (result, duration_s) = self.clock.measure(|| tool.call(args));
+        gm_telemetry::histogram_record("tool.duration_s", duration_s);
+        if result.is_err() {
+            gm_telemetry::counter_add("tool.errors", 1);
+        }
         let seq = {
             let mut s = self.seq.write();
             *s += 1;

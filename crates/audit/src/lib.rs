@@ -11,9 +11,17 @@
 //!   `gm-powerflow`, `gm-acopf`, `gm-contingency`), with an explicit
 //!   allowlist of grandfathered sites that may only shrink;
 //! - no truncating float→int `as` casts in the numeric kernel crates;
+//! - no `println!` / `eprintln!` in library code of any workspace crate
+//!   (binaries and `main.rs` are exempt): diagnostics go through
+//!   `gm_telemetry::event` so stdout stays clean and machine-readable;
 //! - every `pub fn *_tool` handler in `crates/core/src/tools_*.rs` must
 //!   be registered in `crates/core/src/agents.rs` (so every tool an
 //!   agent can call carries a `ToolSpec` schema).
+//!
+//! Grandfathered sites live in `crates/audit/lint_allowlist.txt` as
+//! `<path> [rule] <count>` entries; the ratchet is exact per `(file,
+//! rule)` — more sites than granted fails, and so does fewer (the
+//! allowlist must then shrink).
 //!
 //! **Level 2 — model lints** (CLI `lint-case`): the [`GridLint`]
 //! invariant pass re-exported from `gm-network`, auditing any [`Network`]
@@ -28,4 +36,4 @@
 pub mod source;
 
 pub use gm_network::{AuditFinding, GridLint, Network, Severity};
-pub use source::{lint_sources, scan_file, SourceFinding, SourceLintReport};
+pub use source::{lint_sources, scan_file, scan_file_rules, SourceFinding, SourceLintReport};

@@ -27,6 +27,22 @@ pub const SOLVER_CRATES: &[&str] = &["numeric", "sparse", "powerflow", "acopf", 
 /// `as` casts (silent data-loss hazard in numeric kernels).
 pub const KERNEL_CRATES: &[&str] = &["numeric", "sparse"];
 
+/// Crates whose library code must not write to stdout/stderr with
+/// `println!`/`eprintln!` — diagnostics go through `gm_telemetry::event`
+/// so library output stays structured and stdout stays clean. Binaries
+/// (`src/bin/**`, `main.rs`) are exempt: printing is their job.
+pub const NO_PRINTLN_CRATES: &[&str] = &[
+    "numeric",
+    "sparse",
+    "network",
+    "powerflow",
+    "acopf",
+    "contingency",
+    "agents",
+    "telemetry",
+    "core",
+];
+
 /// Relative path of the allowlist file (from the repo root).
 pub const ALLOWLIST_PATH: &str = "crates/audit/lint_allowlist.txt";
 
@@ -37,7 +53,7 @@ pub struct SourceFinding {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// Rule identifier (`no-panic`, `no-truncating-cast`,
+    /// Rule identifier (`no-panic`, `no-truncating-cast`, `no-println`,
     /// `tool-registration`).
     pub rule: &'static str,
     /// The offending line (trimmed) or a description.
@@ -59,9 +75,9 @@ impl std::fmt::Display for SourceFinding {
 pub struct SourceLintReport {
     /// Violations not covered by the allowlist.
     pub findings: Vec<SourceFinding>,
-    /// Grandfathered `no-panic` sites per file (path → count), i.e.
-    /// matches absorbed by the allowlist.
-    pub grandfathered: BTreeMap<String, usize>,
+    /// Grandfathered sites per `(path, rule)` — matches absorbed by the
+    /// allowlist.
+    pub grandfathered: BTreeMap<(String, String), usize>,
     /// Allowlist bookkeeping problems: stale entries (site was removed
     /// but the allowlist still grants it — the ratchet must be
     /// tightened) or entries for files that no longer exist.
@@ -134,10 +150,27 @@ fn has_truncating_cast(code: &str) -> bool {
     code.contains("f64") || code.contains("f32") || float_method || float_literal
 }
 
+/// True when `code` writes to stdout/stderr directly.
+fn has_println_site(code: &str) -> bool {
+    code.contains("println!(") || code.contains("eprintln!(")
+}
+
 /// Scans one file's text for `no-panic` (and optionally
 /// `no-truncating-cast`) violations, skipping `#[cfg(test)]` items and
 /// comments. Returns `(line_number, rule, excerpt)` triples.
 pub fn scan_file(text: &str, check_casts: bool) -> Vec<(usize, &'static str, String)> {
+    scan_file_rules(text, true, check_casts, false)
+}
+
+/// Scans with explicit per-rule switches (`no-panic`,
+/// `no-truncating-cast`, `no-println`), skipping `#[cfg(test)]` items
+/// and comments.
+pub fn scan_file_rules(
+    text: &str,
+    check_panics: bool,
+    check_casts: bool,
+    check_println: bool,
+) -> Vec<(usize, &'static str, String)> {
     let mut out = Vec::new();
     let mut skip_depth: i32 = 0; // >0: inside a #[cfg(test)] item
     let mut pending_test_attr = false;
@@ -168,11 +201,14 @@ pub fn scan_file(text: &str, check_casts: bool) -> Vec<(usize, &'static str, Str
             pending_test_attr = true;
             continue;
         }
-        if has_panic_site(code) {
+        if check_panics && has_panic_site(code) {
             out.push((ln0 + 1, "no-panic", trimmed.to_string()));
         }
         if check_casts && has_truncating_cast(code) {
             out.push((ln0 + 1, "no-truncating-cast", trimmed.to_string()));
+        }
+        if check_println && has_println_site(code) {
+            out.push((ln0 + 1, "no-println", trimmed.to_string()));
         }
     }
     out
@@ -199,9 +235,14 @@ fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Parses the allowlist: `<relative path> <count>` per line, `#`
-/// comments. Missing file → empty allowlist.
-fn read_allowlist(repo_root: &Path) -> BTreeMap<String, usize> {
+/// Parses the allowlist, keyed `(path, rule)`. Two line forms, `#`
+/// comments allowed:
+///
+/// - `<relative path> <rule> <count>` — explicit rule;
+/// - `<relative path> <count>` — legacy form, meaning `no-panic`.
+///
+/// Missing file → empty allowlist.
+fn read_allowlist(repo_root: &Path) -> BTreeMap<(String, String), usize> {
     let mut map = BTreeMap::new();
     let Ok(text) = fs::read_to_string(repo_root.join(ALLOWLIST_PATH)) else {
         return map;
@@ -212,24 +253,35 @@ fn read_allowlist(repo_root: &Path) -> BTreeMap<String, usize> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        if let (Some(path), Some(count)) = (parts.next(), parts.next()) {
-            if let Ok(n) = count.parse::<usize>() {
-                map.insert(path.to_string(), n);
-            }
+        let Some(path) = parts.next() else { continue };
+        let (rule, count) = match (parts.next(), parts.next()) {
+            (Some(rule), Some(count)) => (rule.to_string(), count.parse::<usize>()),
+            (Some(count), None) => ("no-panic".to_string(), count.parse::<usize>()),
+            _ => continue,
+        };
+        if let Ok(n) = count {
+            map.insert((path.to_string(), rule), n);
         }
     }
     map
 }
+
+/// The ratcheted rules, in reporting order.
+const RATCHET_RULES: &[&str] = &["no-panic", "no-truncating-cast", "no-println"];
 
 /// Runs every source lint over the workspace at `repo_root`.
 pub fn lint_sources(repo_root: &Path) -> io::Result<SourceLintReport> {
     let mut rep = SourceLintReport::default();
     let mut allow = read_allowlist(repo_root);
 
-    for krate in SOLVER_CRATES {
+    for krate in NO_PRINTLN_CRATES {
         let src = repo_root.join("crates").join(krate).join("src");
+        if !src.is_dir() {
+            continue;
+        }
         let mut files = Vec::new();
         rs_files(&src, &mut files)?;
+        let check_panics = SOLVER_CRATES.contains(krate);
         let check_casts = KERNEL_CRATES.contains(krate);
         for path in files {
             rep.files_scanned += 1;
@@ -238,17 +290,20 @@ pub fn lint_sources(repo_root: &Path) -> io::Result<SourceLintReport> {
                 .unwrap_or(&path)
                 .to_string_lossy()
                 .replace('\\', "/");
+            // Binaries print by design; the no-println rule covers
+            // library code only.
+            let is_bin = rel.contains("/src/bin/") || rel.ends_with("/main.rs");
             let text = fs::read_to_string(&path)?;
-            let hits = scan_file(&text, check_casts);
-            let panics: Vec<_> = hits.iter().filter(|(_, r, _)| *r == "no-panic").collect();
-            let granted = allow.remove(&rel).unwrap_or(0);
-            match panics.len().cmp(&granted) {
-                std::cmp::Ordering::Greater => {
-                    // More sites than grandfathered: report them all so
-                    // the offender is visible regardless of which line
-                    // is "new".
-                    for (ln, rule, excerpt) in &hits {
-                        if *rule == "no-panic" {
+            let hits = scan_file_rules(&text, check_panics, check_casts, !is_bin);
+            for rule in RATCHET_RULES {
+                let matched: Vec<_> = hits.iter().filter(|(_, r, _)| r == rule).collect();
+                let granted = allow.remove(&(rel.clone(), rule.to_string())).unwrap_or(0);
+                match matched.len().cmp(&granted) {
+                    std::cmp::Ordering::Greater => {
+                        // More sites than grandfathered: report them all
+                        // so the offender is visible regardless of which
+                        // line is "new".
+                        for (ln, rule, excerpt) in &matched {
                             rep.findings.push(SourceFinding {
                                 file: rel.clone(),
                                 line: *ln,
@@ -257,33 +312,24 @@ pub fn lint_sources(repo_root: &Path) -> io::Result<SourceLintReport> {
                             });
                         }
                     }
-                }
-                std::cmp::Ordering::Less => rep.allowlist_errors.push(format!(
-                    "{rel}: allowlist grants {granted} panic site(s) but only {} remain — \
-                     tighten {ALLOWLIST_PATH} (the allowlist may only shrink)",
-                    panics.len()
-                )),
-                std::cmp::Ordering::Equal => {
-                    if granted > 0 {
-                        rep.grandfathered.insert(rel.clone(), granted);
+                    std::cmp::Ordering::Less => rep.allowlist_errors.push(format!(
+                        "{rel}: allowlist grants {granted} {rule} site(s) but only {} remain — \
+                         tighten {ALLOWLIST_PATH} (the allowlist may only shrink)",
+                        matched.len()
+                    )),
+                    std::cmp::Ordering::Equal => {
+                        if granted > 0 {
+                            rep.grandfathered
+                                .insert((rel.clone(), rule.to_string()), granted);
+                        }
                     }
-                }
-            }
-            for (ln, rule, excerpt) in &hits {
-                if *rule == "no-truncating-cast" {
-                    rep.findings.push(SourceFinding {
-                        file: rel.clone(),
-                        line: *ln,
-                        rule,
-                        excerpt: excerpt.clone(),
-                    });
                 }
             }
         }
     }
-    for (path, n) in allow {
+    for ((path, rule), n) in allow {
         rep.allowlist_errors.push(format!(
-            "{path}: allowlist grants {n} panic site(s) but the file was not scanned \
+            "{path}: allowlist grants {n} {rule} site(s) but the file was not scanned \
              (moved or deleted?) — remove the entry from {ALLOWLIST_PATH}"
         ));
     }
@@ -405,5 +451,34 @@ mod tests {
         let text =
             "#[cfg(test)]\n#[allow(dead_code)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\n";
         assert!(scan_file(text, false).is_empty());
+    }
+
+    #[test]
+    fn println_and_eprintln_flagged_when_enabled() {
+        let text = "fn f() {\n    println!(\"x\");\n    eprintln!(\"y\");\n}\n";
+        let hits = scan_file_rules(text, false, false, true);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|(_, rule, _)| *rule == "no-println"));
+        assert_eq!(hits[0].0, 2);
+        assert_eq!(hits[1].0, 3);
+    }
+
+    #[test]
+    fn println_in_comments_and_tests_not_flagged() {
+        let text = "// println!(\"doc\")\n#[cfg(test)]\nmod tests {\n    fn g() { println!(\"t\"); }\n}\nfn h() {}\n";
+        assert!(scan_file_rules(text, false, false, true).is_empty());
+    }
+
+    #[test]
+    fn scan_file_ignores_println() {
+        // Back-compat entry point: panics only (plus optional casts).
+        let text = "fn f() {\n    println!(\"x\");\n}\n";
+        assert!(scan_file(text, true).is_empty());
+    }
+
+    #[test]
+    fn writeln_to_buffer_is_fine() {
+        let text = "fn f(out: &mut String) {\n    writeln!(out, \"x\").ok();\n}\n";
+        assert!(scan_file_rules(text, false, false, true).is_empty());
     }
 }

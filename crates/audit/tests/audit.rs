@@ -51,10 +51,15 @@ fn allowlist_matches_grandfathered_sites_exactly() {
         if line.is_empty() {
             continue;
         }
-        let mut parts = line.split_whitespace();
-        let path = parts.next().expect("path");
-        let count: usize = parts.next().expect("count").parse().expect("numeric count");
-        granted.insert(path.to_string(), count);
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        // `<path> <rule> <count>`, or legacy `<path> <count>` = no-panic.
+        let (path, rule, count) = match parts.as_slice() {
+            [path, rule, count] => (*path, *rule, *count),
+            [path, count] => (*path, "no-panic", *count),
+            other => panic!("malformed allowlist line: {other:?}"),
+        };
+        let count: usize = count.parse().expect("numeric count");
+        granted.insert((path.to_string(), rule.to_string()), count);
     }
     assert_eq!(
         rep.grandfathered, granted,

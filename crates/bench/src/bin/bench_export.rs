@@ -1,0 +1,170 @@
+//! Emits the machine-readable benchmark artifacts consumed by CI:
+//! `BENCH_pf.json`, `BENCH_acopf.json`, and `BENCH_e2e.json`.
+//!
+//! Each file pairs wall-clock statistics with the full telemetry export
+//! (counters, histograms, span tree) under a `"telemetry"` key, so
+//! `gm-trace BENCH_e2e.json --check` can verify that every registered
+//! solver metric was actually exercised by the run, and `gm-trace
+//! BENCH_pf.json` renders the span tree behind the numbers.
+//!
+//! ```text
+//! cargo run -p gm-bench --bin bench_export --release -- [out_dir]
+//! ```
+//!
+//! Interpretation: `mean_s`/`std_s` are wall-clock per solve (host
+//! dependent); the telemetry counters (`pf.newton.iterations`,
+//! `acopf.ipm.iterations`, `sparse.lu.factorizations`, ...) are exact
+//! work counts and therefore comparable across machines.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use gm_acopf::{solve_acopf, AcopfOptions};
+use gm_bench::stats;
+use gm_network::{cases, CaseId};
+use gm_powerflow::{solve, PfOptions};
+use gm_telemetry::Registry;
+use gridmind_core::{GridMind, ModelProfile};
+use serde_json::{json, Value};
+
+const PF_RUNS: usize = 5;
+const ACOPF_RUNS: usize = 3;
+
+fn stats_value(samples: &[f64]) -> Value {
+    let s = stats(samples);
+    json!({
+        "runs": samples.len(),
+        "mean_s": s.mean,
+        "std_s": s.std,
+        "min_s": s.min,
+        "max_s": s.max,
+    })
+}
+
+/// Newton power flow across every paper case, telemetry installed.
+fn bench_pf() -> Value {
+    let reg = Registry::new();
+    let _guard = reg.install();
+    let mut per_case = serde_json::Map::new();
+    for id in CaseId::ALL {
+        let net = cases::load(id);
+        let mut secs = Vec::with_capacity(PF_RUNS);
+        let mut iterations = 0usize;
+        for _ in 0..PF_RUNS {
+            let t0 = Instant::now();
+            let rep = solve(&net, &PfOptions::default()).expect("paper case converges");
+            secs.push(t0.elapsed().as_secs_f64());
+            iterations = rep.iterations;
+        }
+        let mut v = stats_value(&secs);
+        v["n_bus"] = json!(net.n_bus());
+        v["newton_iterations"] = json!(iterations);
+        per_case.insert(format!("{id:?}"), v);
+    }
+    let mut out = json!({ "bench": "pf", "cases": Value::Object(per_case) });
+    out["telemetry"] = reg.export();
+    out
+}
+
+/// Interior-point ACOPF on the cases the paper evaluates (§4.2).
+fn bench_acopf() -> Value {
+    let reg = Registry::new();
+    let _guard = reg.install();
+    let mut per_case = serde_json::Map::new();
+    for id in [
+        CaseId::Ieee14,
+        CaseId::Ieee30,
+        CaseId::Ieee57,
+        CaseId::Ieee118,
+    ] {
+        let net = cases::load(id);
+        let mut secs = Vec::with_capacity(ACOPF_RUNS);
+        let mut iterations = 0usize;
+        let mut cost = 0.0f64;
+        for _ in 0..ACOPF_RUNS {
+            let t0 = Instant::now();
+            let sol = solve_acopf(&net, &AcopfOptions::default()).expect("paper case solves");
+            secs.push(t0.elapsed().as_secs_f64());
+            iterations = sol.iterations;
+            cost = sol.objective_cost;
+        }
+        let mut v = stats_value(&secs);
+        v["n_bus"] = json!(net.n_bus());
+        v["ipm_iterations"] = json!(iterations);
+        v["objective_cost"] = json!(cost);
+        per_case.insert(format!("{id:?}"), v);
+    }
+    let mut out = json!({ "bench": "acopf", "cases": Value::Object(per_case) });
+    out["telemetry"] = reg.export();
+    out
+}
+
+/// Scripted agent session exercising the whole stack: NLU → coordinator
+/// → ACOPF agent (IPM) → CA agent (Newton sweeps + LU). Its telemetry
+/// export is the one `gm-trace --check` gates in CI.
+fn bench_e2e() -> Value {
+    let profile = ModelProfile::paper_models().remove(0);
+    let model = profile.name.clone();
+    let mut gm = GridMind::new(profile);
+    let script = [
+        "solve case30",
+        "run the n-1 contingency analysis",
+        "what are the most critical contingencies in case14",
+    ];
+    let t0 = Instant::now();
+    let mut steps = Vec::new();
+    for request in script {
+        let reply = gm.ask(request);
+        steps.push(json!({
+            "request": request,
+            "completed": reply.steps.iter().all(|s| s.completed),
+            "virtual_elapsed_s": reply.elapsed_s,
+            "tokens": reply.tokens.total(),
+        }));
+    }
+    let mut out = json!({
+        "bench": "e2e",
+        "model": model,
+        "wall_elapsed_s": t0.elapsed().as_secs_f64(),
+        "script": Value::Array(steps),
+    });
+    out["telemetry"] = gm.session.telemetry.export();
+    out
+}
+
+fn write_artifact(dir: &Path, name: &str, value: &Value) -> std::io::Result<PathBuf> {
+    let path = dir.join(name);
+    let text = serde_json::to_string_pretty(value).expect("artifact serializes");
+    std::fs::write(&path, text + "\n")?;
+    Ok(path)
+}
+
+fn main() -> ExitCode {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    if !dir.is_dir() {
+        eprintln!(
+            "bench_export: output directory {} does not exist",
+            dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    for (name, value) in [
+        ("BENCH_pf.json", bench_pf()),
+        ("BENCH_acopf.json", bench_acopf()),
+        ("BENCH_e2e.json", bench_e2e()),
+    ] {
+        match write_artifact(&dir, name, &value) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("bench_export: writing {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("inspect with: cargo run -p gm-telemetry --bin gm-trace -- BENCH_e2e.json --check");
+    ExitCode::SUCCESS
+}

@@ -40,8 +40,10 @@ impl ContingencyCache {
         let found = self.map.read().get(key).cloned();
         if found.is_some() {
             *self.hits.write() += 1;
+            gm_telemetry::counter_add("ca.cache.hits", 1);
         } else {
             *self.misses.write() += 1;
+            gm_telemetry::counter_add("ca.cache.misses", 1);
         }
         found
     }

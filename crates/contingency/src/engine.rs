@@ -85,6 +85,7 @@ pub fn run_n1_cached(
     base: Option<&PfReport>,
     cache: Option<(&crate::cache::ContingencyCache, u64)>,
 ) -> Result<ContingencyReport, gm_powerflow::PfError> {
+    let sweep_span = gm_telemetry::span!("ca.sweep", case = net.name, mode = "full");
     let started = std::time::Instant::now();
     let owned_base;
     let base = match base {
@@ -146,7 +147,18 @@ pub fn run_n1_cached(
         evaluate_outage(net, opts, &v0, outage, kind_index)
     };
     let outcomes: Vec<ContingencyOutcome> = if opts.parallel {
-        targets.par_iter().map(eval).collect()
+        // Rayon workers have their own collector stacks: re-install the
+        // sweep thread's registry in each closure so worker-side metrics
+        // and spans join this trace under the sweep span.
+        let collector = gm_telemetry::current();
+        let parent = sweep_span.id();
+        targets
+            .par_iter()
+            .map(|t| {
+                let _worker = collector.as_ref().map(|reg| reg.install_scoped(parent));
+                eval(t)
+            })
+            .collect()
     } else {
         targets.iter().map(eval).collect()
     };
@@ -199,6 +211,7 @@ pub fn run_n1_screened(
     base: Option<&PfReport>,
     screen_threshold: f64,
 ) -> Result<ContingencyReport, gm_powerflow::PfError> {
+    let sweep_span = gm_telemetry::span!("ca.sweep", case = net.name, mode = "screened");
     let started = std::time::Instant::now();
     let owned_base;
     let base = match base {
@@ -255,22 +268,33 @@ pub fn run_n1_screened(
             Some(worst) if worst >= screen_threshold => {
                 evaluate_outage(net, opts, &v0, outage, kind_index)
             }
-            Some(worst) => ContingencyOutcome {
-                outage,
-                kind_index,
-                converged: true,
-                islands: false,
-                stranded_buses: 0,
-                violations: Vec::new(),
-                max_loading_pct: 100.0 * worst,
-                min_vm: base.min_vm,
-                load_shed_mw: 0.0,
-                ac_solved: false,
-            },
+            Some(worst) => {
+                gm_telemetry::counter_add("ca.screen.skipped", 1);
+                ContingencyOutcome {
+                    outage,
+                    kind_index,
+                    converged: true,
+                    islands: false,
+                    stranded_buses: 0,
+                    violations: Vec::new(),
+                    max_loading_pct: 100.0 * worst,
+                    min_vm: base.min_vm,
+                    load_shed_mw: 0.0,
+                    ac_solved: false,
+                }
+            }
         }
     };
     let outcomes: Vec<ContingencyOutcome> = if opts.parallel {
-        targets.par_iter().map(eval).collect()
+        let collector = gm_telemetry::current();
+        let parent = sweep_span.id();
+        targets
+            .par_iter()
+            .map(|t| {
+                let _worker = collector.as_ref().map(|reg| reg.install_scoped(parent));
+                eval(t)
+            })
+            .collect()
     } else {
         targets.iter().map(eval).collect()
     };
@@ -316,9 +340,11 @@ pub fn evaluate_outage(
     outage: Outage,
     kind_index: usize,
 ) -> ContingencyOutcome {
+    gm_telemetry::counter_add("ca.outages_evaluated", 1);
     // Island screening before any solve.
     let stranded = topology::stranded_buses(net, outage.branch);
     if !stranded.is_empty() {
+        gm_telemetry::counter_add("ca.islanded", 1);
         let load_shed: f64 = net
             .loads
             .iter()
@@ -345,6 +371,7 @@ pub fn evaluate_outage(
     // Warm start from the base voltages; fall back to a flat start if the
     // warm-started Newton fails (automatic recovery, §3.2.1).
     let report = solve_from(&work, &opts.pf, Some(v0)).or_else(|_| {
+        gm_telemetry::counter_add("ca.warm_start_retries", 1);
         let flat = PfOptions {
             init: gm_powerflow::InitStrategy::Flat,
             max_iter: opts.pf.max_iter + 15,

@@ -91,6 +91,8 @@ impl GridMind {
     pub fn new(profile: ModelProfile) -> GridMind {
         let session = SessionContext::new();
         let clock = VirtualClock::new();
+        // Telemetry timestamps follow the session's virtual timeline.
+        session.telemetry.attach_clock(clock.clone());
         let acopf = build_acopf_agent(profile.clone(), session.clone(), clock.clone());
         let ca = build_ca_agent(profile.clone(), session.clone(), clock.clone());
         GridMind {
@@ -211,6 +213,12 @@ impl GridMind {
 
     /// Handles a user request end-to-end: plan, route, execute, narrate.
     pub fn ask(&mut self, request: &str) -> CoordinatedResponse {
+        // Everything below — routing, agent turns, tool calls, solver
+        // iterations (including rayon workers, which re-install this
+        // registry) — records into the session's registry.
+        let _collector = self.session.telemetry.install();
+        let _span = gm_telemetry::span!("coordinator.ask");
+        gm_telemetry::counter_add("coordinator.requests", 1);
         let t0 = self.clock.now();
         let segments = Self::split_compound(request);
         let mut steps = Vec::new();
@@ -224,8 +232,19 @@ impl GridMind {
                 AgentKind::Acopf => (&mut self.acopf, "ACOPF Agent"),
                 AgentKind::Contingency => (&mut self.ca, "Contingency Analysis Agent"),
             };
+            gm_telemetry::counter_add(
+                match kind {
+                    AgentKind::Acopf => "route.acopf",
+                    AgentKind::Contingency => "route.contingency",
+                },
+                1,
+            );
+            gm_telemetry::counter_add("coordinator.steps", 1);
+            gm_telemetry::event("coordinator", format!("routing {segment:?} -> {name}"));
+            let step_span = gm_telemetry::span!("coordinator.step", agent = name);
             Self::sync_context(&self.session, agent);
             let resp = agent.handle(&segment);
+            drop(step_span);
             tokens.add(resp.tokens);
             self.metrics.push(TurnMetric {
                 agent: name.to_string(),
@@ -334,6 +353,33 @@ mod tests {
         assert!(r2.steps[0].completed, "{}", r2.text);
         assert_eq!(gm.session.diff_count(), 2);
         assert_eq!(gm.metrics().len(), 3);
+    }
+
+    #[test]
+    fn ask_records_routing_telemetry() {
+        let mut gm = mind();
+        gm.ask("solve case14");
+        let reg = &gm.session.telemetry;
+        assert_eq!(reg.counter_value("coordinator.requests"), 1);
+        assert_eq!(reg.counter_value("coordinator.steps"), 1);
+        assert_eq!(reg.counter_value("route.acopf"), 1);
+        assert!(reg.counter_value("tool.invocations") >= 1);
+        assert!(reg.counter_value("llm.turns") >= 1);
+        // The routing decision shows up as a structured event, and the
+        // step span nests under the request span.
+        assert!(reg
+            .events()
+            .iter()
+            .any(|e| e.target == "coordinator" && e.message.contains("ACOPF Agent")));
+        let spans = reg.spans();
+        let ask = spans
+            .iter()
+            .find(|s| s.name == "coordinator.ask")
+            .expect("request span");
+        assert!(ask.parent.is_none());
+        assert!(spans
+            .iter()
+            .any(|s| s.name == "coordinator.step" && s.parent == Some(ask.id)));
     }
 
     #[test]

@@ -109,8 +109,14 @@ pub fn assess(net: &Network, sol: &AcopfSolution) -> SolutionQuality {
         + 0.2 * system_security)
         .clamp(0.0, 10.0);
 
+    let rounded = (overall_score * 10.0).round() / 10.0;
+    gm_telemetry::event(
+        "quality",
+        format!("Solution quality assessment: Overall={rounded}/10"),
+    );
+    gm_telemetry::histogram_record("quality.overall_score", rounded);
     SolutionQuality {
-        overall_score: (overall_score * 10.0).round() / 10.0,
+        overall_score: rounded,
         convergence_quality,
         constraint_satisfaction: constraint.clamp(0.0, 10.0),
         economic_efficiency,

@@ -33,6 +33,10 @@ pub struct SessionContext {
     inner: RwLock<SessionState>,
     /// Per-outage contingency cache (keyed by case + outage + diff hash).
     pub cache: ContingencyCache,
+    /// Session-scoped telemetry: every tool call, solver iteration, and
+    /// routing decision of this session lands here, and [`SessionContext::save`]
+    /// embeds the snapshot so saved sessions carry their own trace.
+    pub telemetry: gm_telemetry::Registry,
 }
 
 /// Serializable core of the session.
@@ -175,10 +179,13 @@ impl SessionContext {
     pub fn fresh_acopf(&self) -> Option<AcopfSolution> {
         let s = self.inner.read();
         let hash = s.diffs.hash();
-        s.acopf
+        let found = s
+            .acopf
             .as_ref()
             .filter(|st| st.diff_hash == hash)
-            .map(|st| st.value.clone())
+            .map(|st| st.value.clone());
+        Self::count_freshness("acopf", found.is_some(), s.acopf.is_some());
+        found
     }
 
     /// The latest ACOPF solution regardless of freshness, with staleness
@@ -205,10 +212,13 @@ impl SessionContext {
     pub fn fresh_base_pf(&self) -> Option<PfReport> {
         let s = self.inner.read();
         let hash = s.diffs.hash();
-        s.base_pf
+        let found = s
+            .base_pf
             .as_ref()
             .filter(|st| st.diff_hash == hash)
-            .map(|st| st.value.clone())
+            .map(|st| st.value.clone());
+        Self::count_freshness("base_pf", found.is_some(), s.base_pf.is_some());
+        found
     }
 
     /// Deposits a contingency report.
@@ -225,24 +235,48 @@ impl SessionContext {
     pub fn fresh_contingency(&self) -> Option<ContingencyReport> {
         let s = self.inner.read();
         let hash = s.diffs.hash();
-        s.contingency
+        let found = s
+            .contingency
             .as_ref()
             .filter(|st| st.diff_hash == hash)
-            .map(|st| st.value.clone())
+            .map(|st| st.value.clone());
+        Self::count_freshness("contingency", found.is_some(), s.contingency.is_some());
+        found
+    }
+
+    /// Counts artifact freshness outcomes: `fresh` (reused), `stale`
+    /// (present but computed at an older diff hash), or `absent`.
+    fn count_freshness(artifact: &str, fresh: bool, present: bool) {
+        let outcome = if fresh {
+            "fresh"
+        } else if present {
+            "stale"
+        } else {
+            "absent"
+        };
+        gm_telemetry::counter_add(&format!("session.{artifact}.{outcome}"), 1);
     }
 
     /// Serializes the session for persistence (§3.4 "Session persistence
     /// serializes baseline, diffs, artifacts…").
     pub fn save(&self) -> serde_json::Value {
-        serde_json::to_value(&*self.inner.read()).expect("session serializes")
+        let mut blob = serde_json::to_value(&*self.inner.read()).expect("session serializes");
+        // Saved sessions carry their own trace: the full telemetry
+        // snapshot (spans, counters, events) rides along under a key the
+        // restore path ignores, replayable with `gm-trace <file>`.
+        blob["telemetry"] = self.telemetry.export();
+        blob
     }
 
-    /// Restores a persisted session.
+    /// Restores a persisted session. The embedded `"telemetry"` snapshot
+    /// (if any) is informational — the restored session starts a fresh
+    /// registry.
     pub fn restore(blob: &serde_json::Value) -> Result<SharedSession, serde_json::Error> {
         let state: SessionState = serde_json::from_value(blob.clone())?;
         Ok(Arc::new(SessionContext {
             inner: RwLock::new(state),
             cache: ContingencyCache::new(),
+            telemetry: gm_telemetry::Registry::new(),
         }))
     }
 }
@@ -342,6 +376,43 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, SessionError::BadModification(_)));
         assert_eq!(s.diff_count(), 0);
+    }
+
+    #[test]
+    fn save_embeds_telemetry_and_restore_ignores_it() {
+        let s = SessionContext::new();
+        s.load_case("case14").unwrap();
+        {
+            let _g = s.telemetry.install();
+            gm_telemetry::counter_add("pf.newton.solves", 3);
+        }
+        let blob = s.save();
+        assert_eq!(
+            blob["telemetry"]["counters"]["pf.newton.solves"].as_u64(),
+            Some(3)
+        );
+        let restored = SessionContext::restore(&blob).unwrap();
+        assert_eq!(restored.active_case().as_deref(), Some("case14"));
+        // The restored session starts a fresh trace.
+        assert_eq!(restored.telemetry.counter_value("pf.newton.solves"), 0);
+    }
+
+    #[test]
+    fn freshness_counters_track_artifact_outcomes() {
+        let s = SessionContext::new();
+        s.load_case("case14").unwrap();
+        let _g = s.telemetry.install();
+        assert!(s.fresh_base_pf().is_none()); // absent
+        let net = s.current_network().unwrap();
+        let rep = gm_powerflow::solve(&net, &gm_powerflow::PfOptions::default()).unwrap();
+        s.put_base_pf(rep, 1.0);
+        assert!(s.fresh_base_pf().is_some()); // fresh
+        s.apply(Modification::ScaleAllLoads { factor: 1.1 })
+            .unwrap();
+        assert!(s.fresh_base_pf().is_none()); // stale
+        assert_eq!(s.telemetry.counter_value("session.base_pf.absent"), 1);
+        assert_eq!(s.telemetry.counter_value("session.base_pf.fresh"), 1);
+        assert_eq!(s.telemetry.counter_value("session.base_pf.stale"), 1);
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub struct DcReport {
 /// the network has no slack bus and [`PfError::SingularJacobian`] if the
 /// B matrix is singular (islanded network).
 pub fn solve_dc(net: &Network) -> Result<DcReport, PfError> {
+    gm_telemetry::counter_add("pf.dc.solves", 1);
     let n = net.n_bus();
     let Some(slack) = net.slack() else {
         return Err(PfError::InvalidNetwork {

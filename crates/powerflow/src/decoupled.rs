@@ -17,6 +17,8 @@ use gm_sparse::{SparseLu, Triplets};
 /// `opts.max_iter` (each P or Q half-sweep counts as one iteration of the
 /// pair).
 pub fn solve_fast_decoupled(net: &Network, opts: &PfOptions) -> Result<PfReport, PfError> {
+    let _span = gm_telemetry::span!("pf.fdlf.solve", case = net.name);
+    gm_telemetry::counter_add("pf.fdlf.solves", 1);
     if let Err(problems) = net.validate() {
         return Err(PfError::InvalidNetwork {
             problems: problems.iter().map(|p| p.to_string()).collect(),
@@ -172,7 +174,9 @@ pub fn solve_fast_decoupled(net: &Network, opts: &PfOptions) -> Result<PfReport,
         }
     }
 
+    gm_telemetry::counter_add("pf.fdlf.iterations", iterations as u64);
     if !converged {
+        gm_telemetry::counter_add("pf.fdlf.diverged", 1);
         return Err(PfError::Diverged {
             iterations,
             mismatch_pu: history.last().copied().unwrap_or(f64::INFINITY),

@@ -32,6 +32,8 @@ pub fn solve_from(
     opts: &PfOptions,
     start: Option<&[Complex]>,
 ) -> Result<PfReport, PfError> {
+    let _span = gm_telemetry::span!("pf.newton.solve", case = net.name, n_bus = net.n_bus());
+    gm_telemetry::counter_add("pf.newton.solves", 1);
     if let Err(problems) = net.validate() {
         return Err(PfError::InvalidNetwork {
             problems: problems.iter().map(|p| p.to_string()).collect(),
@@ -133,6 +135,8 @@ pub fn solve_from(
             &mut multipliers,
         )?;
         if !converged {
+            gm_telemetry::counter_add("pf.newton.diverged", 1);
+            gm_telemetry::counter_add("pf.newton.iterations", iterations as u64);
             return Err(PfError::Diverged {
                 iterations,
                 mismatch_pu: mismatch_history.last().copied().unwrap_or(f64::INFINITY),
@@ -175,6 +179,9 @@ pub fn solve_from(
         q_rounds += 1;
     }
 
+    gm_telemetry::counter_add("pf.newton.iterations", iterations as u64);
+    gm_telemetry::counter_add("pf.newton.q_rounds", q_rounds as u64);
+    gm_telemetry::histogram_record("pf.newton.iterations_per_solve", iterations as f64);
     Ok(build_report(
         net,
         &ybus,

@@ -103,6 +103,7 @@ impl SparseLu {
         if a.rows() != a.cols() {
             return Err(SparseLuError::NotSquare { shape: a.shape() });
         }
+        gm_telemetry::counter_add("sparse.lu.factorizations", 1);
         let n = a.rows();
         let q = ordering.permutation(a);
         // Column access: CSC of A == CSR of Aᵀ.
@@ -257,6 +258,7 @@ impl SparseLu {
     /// Solves `A·x = b`.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         assert_eq!(b.len(), self.n, "rhs length mismatch");
+        gm_telemetry::counter_add("sparse.lu.solves", 1);
         // x = P b
         let mut x = vec![0.0f64; self.n];
         for (orig, &pk) in self.pinv.iter().enumerate() {

@@ -1,0 +1,65 @@
+//! `gm-trace` — render a telemetry trace export as a human-readable
+//! report.
+//!
+//! Usage:
+//!
+//! ```text
+//! gm-trace <file.json> [--check]
+//! ```
+//!
+//! The file may be a raw `gm-telemetry` export, a saved GridMind session
+//! (telemetry embedded under the `"telemetry"` key), or a `BENCH_*.json`
+//! file. With `--check` the process additionally exits nonzero unless
+//! every required solver metric (Newton/IPM iterations, LU
+//! factorizations, contingency evaluations, tool/LLM/coordinator
+//! activity) is present and nonzero — the CI gate that instrumentation
+//! stays wired end to end.
+
+use std::process::ExitCode;
+
+fn run() -> Result<bool, String> {
+    let mut check = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--help" | "-h" => {
+                println!("usage: gm-trace <file.json> [--check]");
+                return Ok(true);
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+    }
+    let path = path.ok_or_else(|| "usage: gm-trace <file.json> [--check]".to_string())?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let blob: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))?;
+    print!("{}", gm_telemetry::render_report(&blob)?);
+    if check {
+        let missing = gm_telemetry::check_required_metrics(&blob)?;
+        if !missing.is_empty() {
+            eprintln!("\ncheck FAILED: required solver metrics absent or zero:");
+            for m in &missing {
+                eprintln!("  - {m}");
+            }
+            return Ok(false);
+        }
+        println!(
+            "\ncheck OK: all {} required solver metrics nonzero",
+            gm_telemetry::REQUIRED_SOLVER_METRICS.len()
+        );
+    }
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("gm-trace: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Virtual session clock.
+//!
+//! The paper's latency evaluation mixes two time sources: real solver time
+//! (the deterministic tools actually run) and LLM backend latency (remote
+//! API calls). GridMind-RS replaces the remote APIs with simulated models,
+//! so their latency is accounted on a *virtual* clock instead of slept:
+//! benches reproduce the paper's seconds-scale timing distributions while
+//! running in milliseconds.
+//!
+//! The clock lives in `gm-telemetry` (re-exported by `gm-agents`) so that
+//! [`VirtualClock::measure`] can feed the installed metrics collector:
+//! real solver time and virtual LLM latency land in one unified timeline.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A shared monotonically increasing virtual clock (seconds).
+#[derive(Clone, Debug, Default)]
+pub struct VirtualClock {
+    inner: Arc<Mutex<f64>>,
+}
+
+impl VirtualClock {
+    /// New clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time (seconds).
+    pub fn now(&self) -> f64 {
+        *self.inner.lock()
+    }
+
+    /// Advances the clock by `dt` seconds (negative values are ignored).
+    pub fn advance(&self, dt: f64) {
+        if dt > 0.0 && dt.is_finite() {
+            *self.inner.lock() += dt;
+        }
+    }
+
+    /// Runs `f`, advancing the clock by its measured wall time, and
+    /// returns the result with the elapsed seconds. Used for tool
+    /// invocations, whose cost is real compute. When a telemetry
+    /// collector is installed on the calling thread the measurement is
+    /// also recorded into its registry (`clock.measures` /
+    /// `clock.measure_s`), unifying real compute and virtual latency in
+    /// one timeline.
+    pub fn measure<T>(&self, f: impl FnOnce() -> T) -> (T, f64) {
+        let start = std::time::Instant::now();
+        let out = f();
+        let dt = start.elapsed().as_secs_f64();
+        self.advance(dt);
+        crate::counter_add("clock.measures", 1);
+        crate::histogram_record("clock.measure_s", dt);
+        (out, dt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), 0.0);
+        c.advance(2.5);
+        c.advance(0.5);
+        assert!((c.now() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_and_nan_ignored() {
+        let c = VirtualClock::new();
+        c.advance(-1.0);
+        c.advance(f64::NAN);
+        assert_eq!(c.now(), 0.0);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = VirtualClock::new();
+        let b = a.clone();
+        a.advance(1.0);
+        assert_eq!(b.now(), 1.0);
+    }
+
+    #[test]
+    fn measure_advances_by_wall_time() {
+        let c = VirtualClock::new();
+        let (value, dt) = c.measure(|| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            42
+        });
+        assert_eq!(value, 42);
+        assert!(dt >= 0.004);
+        assert!((c.now() - dt).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measure_records_into_installed_collector() {
+        let reg = crate::Registry::new();
+        let _g = reg.install();
+        let c = VirtualClock::new();
+        c.measure(|| 1);
+        c.measure(|| 2);
+        assert_eq!(reg.counter_value("clock.measures"), 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms["clock.measure_s"].count, 2);
+    }
+}

@@ -1,0 +1,300 @@
+//! Trace/metrics export and the report renderer behind `gm-trace`.
+//!
+//! [`Registry::snapshot`] captures everything a registry recorded into a
+//! serializable [`TelemetrySnapshot`]; [`Registry::export`] is the same
+//! as JSON. [`render_report`] turns an exported snapshot (or any JSON
+//! blob embedding one under a `"telemetry"` key, e.g. a saved session or
+//! a `BENCH_*.json` file) back into a human-readable report: a
+//! flamegraph-style span tree (siblings aggregated by name) plus counter
+//! and histogram summary tables.
+
+use crate::registry::{Event, Histogram, Registry, SpanNode};
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Serializable capture of one registry's full state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Wall seconds the registry had been alive at capture.
+    pub wall_elapsed_s: f64,
+    /// Virtual-clock time at capture (0 without an attached clock).
+    pub virtual_now_s: f64,
+    /// Counter values.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Buffered events, chronological.
+    pub events: Vec<Event>,
+    /// Span tree (flat, parent-linked).
+    pub spans: Vec<SpanNode>,
+}
+
+impl Registry {
+    /// Captures the registry state.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            wall_elapsed_s: self.wall_elapsed(),
+            virtual_now_s: self.virtual_now(),
+            counters: self.counters(),
+            histograms: self.histograms_snapshot(),
+            events: self.events(),
+            spans: self.spans(),
+        }
+    }
+
+    /// Captures the registry state as JSON (the trace-export format).
+    pub fn export(&self) -> Value {
+        serde_json::to_value(self.snapshot()).unwrap_or(Value::Null)
+    }
+}
+
+/// Locates the telemetry snapshot inside an arbitrary exported JSON file:
+/// either the value itself is a snapshot, or it embeds one under a
+/// `"telemetry"` key (saved sessions, `BENCH_*.json`).
+pub fn find_snapshot(blob: &Value) -> Option<TelemetrySnapshot> {
+    let candidate = if blob.get("counters").is_some() && blob.get("spans").is_some() {
+        blob.clone()
+    } else {
+        blob.get("telemetry")?.clone()
+    };
+    serde_json::from_value(candidate).ok()
+}
+
+/// One aggregated row of the span tree: all same-named siblings under the
+/// same aggregated parent path, collapsed flamegraph-style.
+struct TreeRow {
+    depth: usize,
+    name: String,
+    calls: usize,
+    total_s: f64,
+    max_s: f64,
+}
+
+fn aggregate(
+    snapshot: &TelemetrySnapshot,
+    children: &BTreeMap<Option<usize>, Vec<usize>>,
+    ids: &[usize],
+    depth: usize,
+    rows: &mut Vec<TreeRow>,
+) {
+    // Group sibling spans by name, preserving first-seen order.
+    let mut order: Vec<&str> = Vec::new();
+    let mut groups: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for &id in ids {
+        let name = snapshot.spans[id].name.as_str();
+        if !groups.contains_key(name) {
+            order.push(name);
+        }
+        groups.entry(name).or_default().push(id);
+    }
+    for name in order {
+        let members = &groups[name];
+        let durs: Vec<f64> = members
+            .iter()
+            .map(|&id| snapshot.spans[id].dur_s.unwrap_or(0.0))
+            .collect();
+        rows.push(TreeRow {
+            depth,
+            name: name.to_string(),
+            calls: members.len(),
+            total_s: durs.iter().sum(),
+            max_s: durs.iter().fold(0.0f64, |m, &d| m.max(d)),
+        });
+        let mut kid_ids: Vec<usize> = members
+            .iter()
+            .flat_map(|&id| children.get(&Some(id)).cloned().unwrap_or_default())
+            .collect();
+        kid_ids.sort_unstable();
+        if !kid_ids.is_empty() {
+            aggregate(snapshot, children, &kid_ids, depth + 1, rows);
+        }
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.0}µs", s * 1e6)
+    }
+}
+
+/// Renders the per-session report: span tree, counters, histograms,
+/// events. Returns an error string when `blob` holds no snapshot.
+pub fn render_report(blob: &Value) -> Result<String, String> {
+    let snap = find_snapshot(blob)
+        .ok_or_else(|| "no telemetry snapshot found (expected a gm-telemetry export, a saved session, or a BENCH_*.json file)".to_string())?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "session: wall {} | virtual {:.2}s | {} spans | {} events\n",
+        fmt_secs(snap.wall_elapsed_s),
+        snap.virtual_now_s,
+        snap.spans.len(),
+        snap.events.len(),
+    ));
+
+    // ---- Span tree (aggregated flamegraph-style).
+    let mut children: BTreeMap<Option<usize>, Vec<usize>> = BTreeMap::new();
+    for s in &snap.spans {
+        children.entry(s.parent).or_default().push(s.id);
+    }
+    let roots = children.get(&None).cloned().unwrap_or_default();
+    if !roots.is_empty() {
+        out.push_str("\nspan tree (wall time, siblings aggregated by name):\n");
+        let mut rows = Vec::new();
+        aggregate(&snap, &children, &roots, 0, &mut rows);
+        let root_total: f64 = rows
+            .iter()
+            .filter(|r| r.depth == 0)
+            .map(|r| r.total_s)
+            .sum();
+        for r in &rows {
+            let pct = if root_total > 0.0 {
+                100.0 * r.total_s / root_total
+            } else {
+                0.0
+            };
+            let calls = if r.calls > 1 {
+                format!(" ×{}", r.calls)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "  {:indent$}{}{}  {} total ({:.1}%), {} max\n",
+                "",
+                r.name,
+                calls,
+                fmt_secs(r.total_s),
+                pct,
+                fmt_secs(r.max_s),
+                indent = 2 * r.depth,
+            ));
+        }
+    }
+
+    // ---- Counters.
+    if !snap.counters.is_empty() {
+        out.push_str("\ncounters:\n");
+        let width = snap.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+        for (k, v) in &snap.counters {
+            out.push_str(&format!("  {k:width$}  {v}\n"));
+        }
+    }
+
+    // ---- Histograms.
+    if !snap.histograms.is_empty() {
+        out.push_str("\nhistograms (count / mean / max):\n");
+        let width = snap.histograms.keys().map(|k| k.len()).max().unwrap_or(0);
+        for (k, h) in &snap.histograms {
+            out.push_str(&format!(
+                "  {k:width$}  {} / {:.4} / {:.4}\n",
+                h.count,
+                h.mean(),
+                h.max
+            ));
+        }
+    }
+
+    // ---- Events.
+    if !snap.events.is_empty() {
+        out.push_str("\nevents:\n");
+        for e in &snap.events {
+            out.push_str(&format!(
+                "  [v {:7.2}s] {:?} {}: {}\n",
+                e.v_at_s, e.level, e.target, e.message
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Solver metrics every fully instrumented end-to-end session must have
+/// recorded with a nonzero value — the CI gate behind `gm-trace --check`.
+pub const REQUIRED_SOLVER_METRICS: &[&str] = &[
+    "pf.newton.solves",
+    "pf.newton.iterations",
+    "sparse.lu.factorizations",
+    "acopf.ipm.solves",
+    "acopf.ipm.iterations",
+    "ca.outages_evaluated",
+    "tool.invocations",
+    "llm.turns",
+    "coordinator.steps",
+];
+
+/// Checks that every required solver metric is present and nonzero in the
+/// snapshot embedded in `blob`. Returns the list of missing/zero metric
+/// names (empty = pass).
+pub fn check_required_metrics(blob: &Value) -> Result<Vec<String>, String> {
+    let snap = find_snapshot(blob).ok_or_else(|| "no telemetry snapshot found".to_string())?;
+    Ok(REQUIRED_SOLVER_METRICS
+        .iter()
+        .filter(|m| snap.counters.get(**m).copied().unwrap_or(0) == 0)
+        .map(|m| m.to_string())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated() -> Registry {
+        let reg = Registry::new();
+        let _g = reg.install();
+        {
+            let _a = crate::span!("coordinator.ask");
+            for _ in 0..3 {
+                let _b = crate::span!("pf.newton.solve", case = "case14");
+            }
+        }
+        crate::counter_add("pf.newton.solves", 3);
+        crate::histogram_record("pf.newton.iterations_per_solve", 4.0);
+        crate::event("quality", "Solution quality assessment: Overall=7.2/10");
+        reg
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let reg = populated();
+        let blob = reg.export();
+        let snap = find_snapshot(&blob).expect("snapshot present");
+        assert_eq!(snap.spans.len(), 4);
+        assert_eq!(snap.counters["pf.newton.solves"], 3);
+        assert_eq!(snap.events.len(), 1);
+    }
+
+    #[test]
+    fn embedded_snapshot_is_found() {
+        let reg = populated();
+        let mut wrapper = serde_json::json!({"active_case": "case14"});
+        wrapper["telemetry"] = reg.export();
+        let snap = find_snapshot(&wrapper).expect("embedded snapshot");
+        assert_eq!(snap.counters["pf.newton.solves"], 3);
+    }
+
+    #[test]
+    fn report_renders_tree_and_tables() {
+        let reg = populated();
+        let report = render_report(&reg.export()).expect("renders");
+        assert!(report.contains("coordinator.ask"));
+        assert!(report.contains("pf.newton.solve ×3"));
+        assert!(report.contains("pf.newton.solves"));
+        assert!(report.contains("Overall=7.2/10"));
+    }
+
+    #[test]
+    fn check_reports_missing_metrics() {
+        let reg = populated();
+        let missing = check_required_metrics(&reg.export()).expect("snapshot");
+        assert!(missing.contains(&"acopf.ipm.solves".to_string()));
+        assert!(!missing.contains(&"pf.newton.solves".to_string()));
+    }
+
+    #[test]
+    fn render_rejects_foreign_json() {
+        assert!(render_report(&serde_json::json!({"x": 1})).is_err());
+    }
+}

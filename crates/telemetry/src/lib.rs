@@ -1,0 +1,37 @@
+//! # gm-telemetry
+//!
+//! Structured observability for the GridMind-RS stack: guard-style span
+//! tracing, a counters/histograms metrics registry, structured events,
+//! and a JSON trace exporter — with zero heavy dependencies (only the
+//! vendored `serde`/`parking_lot` stand-ins).
+//!
+//! Design in one paragraph: nothing is global. A [`Registry`] is
+//! installed as the *scoped collector* for the current thread
+//! ([`Registry::install`]); instrumentation sites — [`counter_add`],
+//! [`histogram_record`], [`event`], and the [`span!`] macro — record
+//! into the innermost installed collector and are near-no-ops when none
+//! is installed, so solver hot loops pay a thread-local read when
+//! telemetry is off. Cross-thread fan-outs (the rayon N-1 sweep)
+//! re-install the parent registry with [`Registry::install_scoped`] so
+//! worker metrics and spans join the same trace. The session's
+//! [`VirtualClock`] lives here too, stamping spans and events with
+//! virtual timestamps so traces replay the deterministic session
+//! timeline. [`Registry::export`] emits the JSON consumed by the
+//! `gm-trace` report binary, embedded in session saves and
+//! `BENCH_*.json` files.
+
+pub mod clock;
+pub mod export;
+pub mod registry;
+pub mod span;
+
+pub use clock::VirtualClock;
+pub use export::{
+    check_required_metrics, find_snapshot, render_report, TelemetrySnapshot,
+    REQUIRED_SOLVER_METRICS,
+};
+pub use registry::{
+    counter_add, current, current_span, event, histogram_record, warn_event, Event, EventLevel,
+    Histogram, InstallGuard, Registry, SpanNode, COUNT_BOUNDS, TIME_BOUNDS,
+};
+pub use span::SpanGuard;

@@ -1,0 +1,150 @@
+//! Guard-style spans.
+//!
+//! `let _span = span!("newton.solve", case = net.name);` opens a span in
+//! the installed collector and closes it when the guard drops. Spans nest
+//! per thread: while a guard is alive, new spans on the same thread
+//! become its children. Without an installed collector the guard is inert
+//! and costs a thread-local read.
+
+use crate::registry::{set_current_parent, with_current, Registry};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// An open span; closes (records duration, restores the ambient parent)
+/// on drop.
+pub struct SpanGuard {
+    active: Option<Active>,
+}
+
+struct Active {
+    reg: Registry,
+    id: usize,
+    prev_parent: Option<usize>,
+    t0: Instant,
+}
+
+impl SpanGuard {
+    /// Opens a span with no attributes.
+    pub fn enter(name: impl Into<String>) -> SpanGuard {
+        Self::enter_with(name, Vec::new())
+    }
+
+    /// Opens a span with key/value attributes.
+    pub fn enter_with(name: impl Into<String>, attrs: Vec<(String, String)>) -> SpanGuard {
+        let opened = with_current(|reg, parent| {
+            let id = reg.open_span(
+                name.into(),
+                attrs.into_iter().collect::<BTreeMap<_, _>>(),
+                parent,
+            )?;
+            Some(Active {
+                reg: reg.clone(),
+                id,
+                prev_parent: parent,
+                t0: Instant::now(),
+            })
+        });
+        let active = opened.flatten();
+        if let Some(a) = &active {
+            set_current_parent(Some(a.id));
+        }
+        SpanGuard { active }
+    }
+
+    /// The span's id in the trace (None when no collector was installed).
+    pub fn id(&self) -> Option<usize> {
+        self.active.as_ref().map(|a| a.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(a) = self.active.take() {
+            a.reg.close_span(a.id, a.t0.elapsed().as_secs_f64());
+            set_current_parent(a.prev_parent);
+        }
+    }
+}
+
+/// Opens a guard-style span in the installed collector.
+///
+/// ```
+/// let reg = gm_telemetry::Registry::new();
+/// let _g = reg.install();
+/// {
+///     let _outer = gm_telemetry::span!("outer");
+///     let _inner = gm_telemetry::span!("inner", case = "case14", n = 14);
+/// }
+/// let spans = reg.spans();
+/// assert_eq!(spans.len(), 2);
+/// assert_eq!(spans[1].parent, Some(0));
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::SpanGuard::enter_with(
+            $name,
+            vec![$((stringify!($key).to_string(), format!("{}", $value))),+],
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn spans_nest_and_close() {
+        let reg = Registry::new();
+        let _g = reg.install();
+        {
+            let _a = crate::span!("a");
+            {
+                let _b = crate::span!("b", k = 1);
+            }
+            let _c = crate::span!("c");
+        }
+        let spans = reg.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "a");
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].name, "b");
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[1].attrs["k"], "1");
+        assert_eq!(spans[2].name, "c");
+        assert_eq!(spans[2].parent, Some(0));
+        assert!(spans.iter().all(|s| s.dur_s.is_some()));
+    }
+
+    #[test]
+    fn inert_without_collector() {
+        let g = crate::span!("nothing");
+        assert!(g.id().is_none());
+    }
+
+    #[test]
+    fn scoped_install_attaches_to_captured_parent() {
+        // Simulates the rayon fan-out: a worker thread re-installs the
+        // sweep thread's registry under the sweep span.
+        let reg = Registry::new();
+        let _g = reg.install();
+        let sweep = crate::span!("sweep");
+        let sweep_id = sweep.id();
+        let reg2 = reg.clone();
+        let handle = std::thread::spawn(move || {
+            let _w = reg2.install_scoped(sweep_id);
+            let _child = crate::span!("worker");
+            crate::counter_add("worker.done", 1);
+        });
+        handle.join().ok();
+        drop(sweep);
+        let spans = reg.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].name, "worker");
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(reg.counter_value("worker.done"), 1);
+    }
+}

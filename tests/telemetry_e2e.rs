@@ -1,0 +1,164 @@
+//! Telemetry integration tests: a scripted conversation must leave a
+//! coherent span tree and nonzero solver counters in the session
+//! registry, two identical sessions must produce identical metrics
+//! (replayability), and the instrumentation must stay cheap enough to
+//! leave always-on.
+
+use gm_network::{cases, CaseId};
+use gm_powerflow::{solve, PfOptions};
+use gridmind_core::{GridMind, ModelProfile};
+use std::time::Instant;
+
+fn scripted_session() -> GridMind {
+    let mut gm = GridMind::new(ModelProfile::by_name("GPT-5").unwrap());
+    gm.ask("solve case30");
+    gm.ask("run the n-1 contingency analysis");
+    gm
+}
+
+#[test]
+fn scripted_session_produces_span_tree_and_solver_counters() {
+    let gm = scripted_session();
+    let snap = gm.session.telemetry.snapshot();
+
+    // Every solver layer the conversation touched must have counted
+    // real work: IPM iterations from the ACOPF turn, Newton iterations
+    // and LU factorizations from the N-1 sweep, and the sweep itself.
+    for key in [
+        "pf.newton.iterations",
+        "acopf.ipm.iterations",
+        "ca.outages_evaluated",
+        "sparse.lu.factorizations",
+        "tool.invocations",
+        "llm.turns",
+    ] {
+        let n = snap.counters.get(key).copied().unwrap_or(0);
+        assert!(n > 0, "counter {key} is {n}, expected nonzero");
+    }
+
+    // The span tree nests agent work under the coordinator: each
+    // `coordinator.ask` root has a `coordinator.step` child, and the
+    // solver spans hang off the tool spans (never off the root).
+    let roots: Vec<_> = snap
+        .spans
+        .iter()
+        .filter(|s| s.parent.is_none() && s.name == "coordinator.ask")
+        .collect();
+    assert_eq!(roots.len(), 2, "one root span per ask");
+    for root in &roots {
+        assert!(
+            snap.spans
+                .iter()
+                .any(|s| s.parent == Some(root.id) && s.name == "coordinator.step"),
+            "root span {} has no coordinator.step child",
+            root.id
+        );
+        assert!(root.dur_s.is_some(), "root span closed");
+    }
+    let newton = snap
+        .spans
+        .iter()
+        .find(|s| s.name == "pf.newton.solve")
+        .expect("newton spans recorded");
+    let parent = &snap.spans[newton.parent.expect("newton span is nested")];
+    assert_ne!(parent.name, "coordinator.ask");
+
+    // The rayon-parallel contingency sweep re-parents its workers onto
+    // the sweep span, so per-outage Newton solves stay in the tree.
+    let sweep = snap
+        .spans
+        .iter()
+        .find(|s| s.name == "ca.sweep")
+        .expect("sweep span recorded");
+    let sweep_children = snap
+        .spans
+        .iter()
+        .filter(|s| s.parent == Some(sweep.id))
+        .count();
+    assert!(
+        sweep_children >= 10,
+        "sweep has {sweep_children} children, expected the outage solves"
+    );
+}
+
+#[test]
+fn identical_sessions_produce_identical_metrics() {
+    // Replayability: the same scripted conversation must count the same
+    // work, iteration for iteration. Wall-clock durations differ;
+    // counters and deterministic histogram totals must not.
+    let a = scripted_session();
+    let b = scripted_session();
+    let (sa, sb) = (
+        a.session.telemetry.snapshot(),
+        b.session.telemetry.snapshot(),
+    );
+    // `llm.tokens` is estimated from the narrated text, which embeds
+    // *measured* tool wall times ("solved in 3.1 ms"), so its digit
+    // count — and hence the estimate — can wobble by a token or two.
+    // Every other counter is an exact work count and must match.
+    let exact = |s: &gm_telemetry::TelemetrySnapshot| {
+        let mut c = s.counters.clone();
+        c.remove("llm.tokens");
+        c
+    };
+    assert_eq!(exact(&sa), exact(&sb), "counter maps diverged");
+    let tokens = |s: &gm_telemetry::TelemetrySnapshot| s.counters["llm.tokens"];
+    assert!(
+        tokens(&sa).abs_diff(tokens(&sb)) <= 8,
+        "token estimates diverged beyond formatting noise: {} vs {}",
+        tokens(&sa),
+        tokens(&sb)
+    );
+    assert_eq!(
+        sa.spans.len(),
+        sb.spans.len(),
+        "span trees have different sizes"
+    );
+    let names = |s: &gm_telemetry::TelemetrySnapshot| {
+        let mut v: Vec<String> = s.spans.iter().map(|sp| sp.name.clone()).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(names(&sa), names(&sb), "span name multisets diverged");
+    // Virtual time mixes the seeded model latencies with *measured*
+    // tool wall time (see VirtualClock::measure), so it is close but
+    // not bit-identical across runs — only work counts are.
+    assert!((sa.virtual_now_s - sb.virtual_now_s).abs() < 1.0);
+}
+
+#[test]
+fn newton_telemetry_overhead_is_small_on_case118() {
+    // Budget: <2 % wall overhead for the counters + span guard on a
+    // case118 Newton solve. Wall timing in CI is noisy, so the assert
+    // uses a very generous 1.5× margin — it exists to catch an
+    // accidentally quadratic or allocating hot path, not to certify
+    // the 2 % figure (BENCH_pf.json is the place to measure that).
+    let net = cases::load(CaseId::Ieee118);
+    let opts = PfOptions::default();
+    let time_solves = |n: usize| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..n {
+            let t0 = Instant::now();
+            let rep = solve(&net, &opts).expect("case118 converges");
+            assert!(rep.converged);
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    // Warm-up, then best-of-N with no collector installed (the
+    // counter/span calls hit the empty-TLS fast path).
+    time_solves(2);
+    let bare = time_solves(8);
+    // Best-of-N with a collector recording everything.
+    let reg = gm_telemetry::Registry::new();
+    let _guard = reg.install();
+    let instrumented = time_solves(8);
+    assert!(
+        reg.counters()["pf.newton.solves"] >= 8,
+        "collector actually recorded"
+    );
+    assert!(
+        instrumented < bare * 1.5 + 1e-3,
+        "instrumented {instrumented:.6}s vs bare {bare:.6}s — telemetry overhead too high"
+    );
+}
