@@ -29,6 +29,23 @@ pub struct AcopfOptions {
     pub warm_start: bool,
 }
 
+impl AcopfOptions {
+    /// Deterministic fingerprint of every solver control that can affect
+    /// the solution, for cross-session solver-cache keys (gm-serve):
+    /// FNV-1a over the canonical debug rendering. Two option sets with
+    /// identical fields always fingerprint equal; any tolerance,
+    /// iteration-limit, or warm-start change fingerprints different.
+    pub fn fingerprint(&self) -> u64 {
+        let text = format!("{self:?}");
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in text.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
 /// Index bookkeeping for the variable vector.
 pub(crate) struct Layout {
     /// θ column per bus (usize::MAX for the slack).

@@ -54,6 +54,21 @@ pub struct ScopfOptions {
     pub max_rounds: usize,
 }
 
+impl ScopfOptions {
+    /// Deterministic fingerprint of the SCOPF controls (inner ACOPF
+    /// options included) for cross-session solver-cache keys; same
+    /// construction as [`AcopfOptions::fingerprint`].
+    pub fn fingerprint(&self) -> u64 {
+        let text = format!("{self:?}");
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in text.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
 impl Default for ScopfOptions {
     fn default() -> Self {
         let mut acopf = AcopfOptions::default();

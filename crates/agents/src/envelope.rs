@@ -1,0 +1,135 @@
+//! Service request/response envelopes.
+//!
+//! The wire shapes gm-serve moves through its queue: a [`ServeRequest`]
+//! names a session and a natural-language query; the matching
+//! [`ServeResponse`] carries the coordinator's answer plus the queueing
+//! and execution timings the soak harness asserts on. They live here —
+//! not in gm-serve — so clients (the workload driver, future REPL
+//! front ends) can speak the protocol without linking the server.
+
+use serde::{Deserialize, Serialize};
+
+/// One queued unit of work: a query addressed to a session.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServeRequest {
+    /// Target session id; requests to the same id are serialized.
+    pub session: String,
+    /// Client-chosen sequence number, echoed back for correlation.
+    pub seq: u64,
+    /// The natural-language query for the coordinator.
+    pub query: String,
+    /// Optional deadline budget in virtual milliseconds of queue wait;
+    /// a request still queued past its deadline is answered
+    /// [`ServeStatus::TimedOut`] instead of being executed.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Terminal status of a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServeStatus {
+    /// Executed; `text` holds the coordinator's answer.
+    Done,
+    /// Rejected at submission: the bounded queue was full.
+    Busy,
+    /// Expired in the queue before a worker picked it up.
+    TimedOut,
+    /// Executed but the coordinator reported a failure.
+    Failed,
+}
+
+/// The answer to one [`ServeRequest`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServeResponse {
+    /// Echo of the request's session id.
+    pub session: String,
+    /// Echo of the request's sequence number.
+    pub seq: u64,
+    /// Terminal status.
+    pub status: ServeStatus,
+    /// Coordinator answer text (empty unless `Done`/`Failed`).
+    pub text: String,
+    /// Wall-clock seconds from submission to worker pickup.
+    pub queue_wait_s: f64,
+    /// Wall-clock seconds the coordinator spent executing.
+    pub exec_s: f64,
+    /// Worker index that executed the request (`None` when never
+    /// picked up, i.e. `Busy`).
+    pub worker: Option<usize>,
+}
+
+impl ServeResponse {
+    /// A rejection synthesized at submission time (never queued).
+    pub fn busy(req: &ServeRequest) -> ServeResponse {
+        ServeResponse {
+            session: req.session.clone(),
+            seq: req.seq,
+            status: ServeStatus::Busy,
+            text: String::new(),
+            queue_wait_s: 0.0,
+            exec_s: 0.0,
+            worker: None,
+        }
+    }
+
+    /// A deadline expiry synthesized at dequeue time.
+    pub fn timed_out(req: &ServeRequest, queue_wait_s: f64, worker: usize) -> ServeResponse {
+        ServeResponse {
+            session: req.session.clone(),
+            seq: req.seq,
+            status: ServeStatus::TimedOut,
+            text: String::new(),
+            queue_wait_s,
+            exec_s: 0.0,
+            worker: Some(worker),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelopes_round_trip_through_json() {
+        let req = ServeRequest {
+            session: "s-07".into(),
+            seq: 3,
+            query: "solve case14".into(),
+            deadline_ms: Some(5_000),
+        };
+        let back: ServeRequest =
+            serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
+        assert_eq!(req, back);
+
+        let resp = ServeResponse {
+            session: "s-07".into(),
+            seq: 3,
+            status: ServeStatus::Done,
+            text: "Solved ACOPF for case14.".into(),
+            queue_wait_s: 0.012,
+            exec_s: 0.34,
+            worker: Some(5),
+        };
+        let back: ServeResponse =
+            serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn synthesized_rejections_echo_correlation_ids() {
+        let req = ServeRequest {
+            session: "a".into(),
+            seq: 9,
+            query: "q".into(),
+            deadline_ms: None,
+        };
+        let busy = ServeResponse::busy(&req);
+        assert_eq!(busy.status, ServeStatus::Busy);
+        assert_eq!((busy.session.as_str(), busy.seq), ("a", 9));
+        assert_eq!(busy.worker, None);
+        let late = ServeResponse::timed_out(&req, 1.5, 2);
+        assert_eq!(late.status, ServeStatus::TimedOut);
+        assert!((late.queue_wait_s - 1.5).abs() < f64::EPSILON);
+        assert_eq!(late.worker, Some(2));
+    }
+}

@@ -36,6 +36,7 @@
 
 pub mod agent;
 pub mod clock;
+pub mod envelope;
 pub mod llm;
 pub mod memory;
 pub mod nlu;
@@ -44,6 +45,7 @@ pub mod tool;
 
 pub use agent::{Agent, AgentResponse, Severity, TurnToolCall, ValidationIssue, Validator};
 pub use clock::VirtualClock;
+pub use envelope::{ServeRequest, ServeResponse, ServeStatus};
 pub use llm::{
     estimate_tokens, AnalysisStyle, LanguageModel, ModelProfile, ModelTurn, Planner, SimulatedLlm,
     TokenUsage, ToolCall, TurnAction,

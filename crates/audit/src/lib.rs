@@ -16,7 +16,11 @@
 //!   `gm_telemetry::event` so stdout stays clean and machine-readable;
 //! - every `pub fn *_tool` handler in `crates/core/src/tools_*.rs` must
 //!   be registered in `crates/core/src/agents.rs` (so every tool an
-//!   agent can call carries a `ToolSpec` schema).
+//!   agent can call carries a `ToolSpec` schema);
+//! - repo-root `tests/` and `examples/` are scanned for `no-panic`
+//!   only: `println!` is fine there and `#[test]`-annotated functions
+//!   may assert freely, but panic sites in plain helper functions and
+//!   example `main`s are ratcheted like any other.
 //!
 //! Grandfathered sites live in `crates/audit/lint_allowlist.txt` as
 //! `<path> [rule] <count>` entries; the ratchet is exact per `(file,
@@ -36,4 +40,7 @@
 pub mod source;
 
 pub use gm_network::{AuditFinding, GridLint, Network, Severity};
-pub use source::{lint_sources, scan_file, scan_file_rules, SourceFinding, SourceLintReport};
+pub use source::{
+    lint_sources, scan_file, scan_file_rules, scan_test_support_file, SourceFinding,
+    SourceLintReport,
+};

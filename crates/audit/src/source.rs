@@ -41,7 +41,15 @@ pub const NO_PRINTLN_CRATES: &[&str] = &[
     "agents",
     "telemetry",
     "core",
+    "serve",
 ];
+
+/// Repo-root directories holding test-support code (`tests/`,
+/// `examples/`). Scanned for `no-panic` only: printing is fine there,
+/// and panic sites inside `#[test]` functions are the assertion idiom —
+/// but a plain helper function (or example `main`) that panics is
+/// flagged, because it kills every caller with a useless backtrace.
+pub const TEST_SUPPORT_DIRS: &[&str] = &["tests", "examples"];
 
 /// Relative path of the allowlist file (from the repo root).
 pub const ALLOWLIST_PATH: &str = "crates/audit/lint_allowlist.txt";
@@ -171,8 +179,27 @@ pub fn scan_file_rules(
     check_casts: bool,
     check_println: bool,
 ) -> Vec<(usize, &'static str, String)> {
+    scan_impl(text, check_panics, check_casts, check_println, false)
+}
+
+/// Scans a test-support file (`tests/*.rs`, `examples/*.rs`): panics
+/// inside `#[test]`-annotated functions are the idiom and are skipped,
+/// but panic sites in plain helper functions (and example `main`s) are
+/// still flagged — a helper that panics kills every test that calls it
+/// with a useless backtrace.
+pub fn scan_test_support_file(text: &str) -> Vec<(usize, &'static str, String)> {
+    scan_impl(text, true, false, false, true)
+}
+
+fn scan_impl(
+    text: &str,
+    check_panics: bool,
+    check_casts: bool,
+    check_println: bool,
+    skip_test_fns: bool,
+) -> Vec<(usize, &'static str, String)> {
     let mut out = Vec::new();
-    let mut skip_depth: i32 = 0; // >0: inside a #[cfg(test)] item
+    let mut skip_depth: i32 = 0; // >0: inside a #[cfg(test)]/#[test] item
     let mut pending_test_attr = false;
     for (ln0, raw) in text.lines().enumerate() {
         let code = code_part(raw);
@@ -182,8 +209,9 @@ pub fn scan_file_rules(
             continue;
         }
         if pending_test_attr {
-            // Attribute lines between #[cfg(test)] and the item keep
-            // the pending state; the item line opens the skip region.
+            // Attribute lines between the test attribute and the item
+            // keep the pending state; the item line opens the skip
+            // region.
             if trimmed.is_empty() || trimmed.starts_with("#[") {
                 // stay pending
             } else {
@@ -197,7 +225,12 @@ pub fn scan_file_rules(
                 pending_test_attr = false;
             }
         }
-        if trimmed.starts_with("#[cfg(test)]") {
+        if trimmed.starts_with("#[cfg(test)]")
+            || (skip_test_fns
+                && (trimmed.starts_with("#[test]")
+                    || trimmed == "#[should_panic]"
+                    || trimmed.starts_with("#[should_panic(")))
+        {
             pending_test_attr = true;
             continue;
         }
@@ -269,6 +302,48 @@ fn read_allowlist(repo_root: &Path) -> BTreeMap<(String, String), usize> {
 /// The ratcheted rules, in reporting order.
 const RATCHET_RULES: &[&str] = &["no-panic", "no-truncating-cast", "no-println"];
 
+/// Applies the exact ratchet to one scanned file: every rule's hit
+/// count must match the allowlist grant exactly — more is a finding,
+/// fewer is a stale allowlist entry (the ratchet may only shrink).
+fn ratchet_file(
+    rep: &mut SourceLintReport,
+    allow: &mut BTreeMap<(String, String), usize>,
+    rel: &str,
+    hits: &[(usize, &'static str, String)],
+) {
+    for rule in RATCHET_RULES {
+        let matched: Vec<_> = hits.iter().filter(|(_, r, _)| r == rule).collect();
+        let granted = allow
+            .remove(&(rel.to_string(), rule.to_string()))
+            .unwrap_or(0);
+        match matched.len().cmp(&granted) {
+            std::cmp::Ordering::Greater => {
+                // More sites than grandfathered: report them all so the
+                // offender is visible regardless of which line is "new".
+                for (ln, rule, excerpt) in &matched {
+                    rep.findings.push(SourceFinding {
+                        file: rel.to_string(),
+                        line: *ln,
+                        rule,
+                        excerpt: excerpt.clone(),
+                    });
+                }
+            }
+            std::cmp::Ordering::Less => rep.allowlist_errors.push(format!(
+                "{rel}: allowlist grants {granted} {rule} site(s) but only {} remain — \
+                 tighten {ALLOWLIST_PATH} (the allowlist may only shrink)",
+                matched.len()
+            )),
+            std::cmp::Ordering::Equal => {
+                if granted > 0 {
+                    rep.grandfathered
+                        .insert((rel.to_string(), rule.to_string()), granted);
+                }
+            }
+        }
+    }
+}
+
 /// Runs every source lint over the workspace at `repo_root`.
 pub fn lint_sources(repo_root: &Path) -> io::Result<SourceLintReport> {
     let mut rep = SourceLintReport::default();
@@ -295,38 +370,31 @@ pub fn lint_sources(repo_root: &Path) -> io::Result<SourceLintReport> {
             let is_bin = rel.contains("/src/bin/") || rel.ends_with("/main.rs");
             let text = fs::read_to_string(&path)?;
             let hits = scan_file_rules(&text, check_panics, check_casts, !is_bin);
-            for rule in RATCHET_RULES {
-                let matched: Vec<_> = hits.iter().filter(|(_, r, _)| r == rule).collect();
-                let granted = allow.remove(&(rel.clone(), rule.to_string())).unwrap_or(0);
-                match matched.len().cmp(&granted) {
-                    std::cmp::Ordering::Greater => {
-                        // More sites than grandfathered: report them all
-                        // so the offender is visible regardless of which
-                        // line is "new".
-                        for (ln, rule, excerpt) in &matched {
-                            rep.findings.push(SourceFinding {
-                                file: rel.clone(),
-                                line: *ln,
-                                rule,
-                                excerpt: excerpt.clone(),
-                            });
-                        }
-                    }
-                    std::cmp::Ordering::Less => rep.allowlist_errors.push(format!(
-                        "{rel}: allowlist grants {granted} {rule} site(s) but only {} remain — \
-                         tighten {ALLOWLIST_PATH} (the allowlist may only shrink)",
-                        matched.len()
-                    )),
-                    std::cmp::Ordering::Equal => {
-                        if granted > 0 {
-                            rep.grandfathered
-                                .insert((rel.clone(), rule.to_string()), granted);
-                        }
-                    }
-                }
-            }
+            ratchet_file(&mut rep, &mut allow, &rel, &hits);
         }
     }
+
+    // Repo-root test-support trees: integration tests and examples.
+    for dir in TEST_SUPPORT_DIRS {
+        let root = repo_root.join(dir);
+        if !root.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        rs_files(&root, &mut files)?;
+        for path in files {
+            rep.files_scanned += 1;
+            let rel = path
+                .strip_prefix(repo_root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let text = fs::read_to_string(&path)?;
+            let hits = scan_test_support_file(&text);
+            ratchet_file(&mut rep, &mut allow, &rel, &hits);
+        }
+    }
+
     for ((path, rule), n) in allow {
         rep.allowlist_errors.push(format!(
             "{path}: allowlist grants {n} {rule} site(s) but the file was not scanned \
@@ -480,5 +548,44 @@ mod tests {
     fn writeln_to_buffer_is_fine() {
         let text = "fn f(out: &mut String) {\n    writeln!(out, \"x\").ok();\n}\n";
         assert!(scan_file_rules(text, false, false, true).is_empty());
+    }
+
+    #[test]
+    fn test_support_skips_test_fns_but_flags_helpers() {
+        let text = "#[test]\nfn asserts() {\n    x.unwrap();\n    assert_eq!(a, b);\n}\n\nfn helper() -> u32 {\n    y.unwrap()\n}\n";
+        let hits = scan_test_support_file(text);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 8);
+        assert_eq!(hits[0].1, "no-panic");
+    }
+
+    #[test]
+    fn test_support_skips_should_panic_fns() {
+        let text = "#[test]\n#[should_panic(expected = \"boom\")]\nfn dies() {\n    panic!(\"boom\");\n}\n";
+        assert!(scan_test_support_file(text).is_empty());
+    }
+
+    #[test]
+    fn test_support_allows_println_everywhere() {
+        let text = "fn main() {\n    println!(\"demo output\");\n    eprintln!(\"progress\");\n}\n";
+        assert!(scan_test_support_file(text).is_empty());
+    }
+
+    #[test]
+    fn test_support_flags_example_main_unwrap() {
+        let text =
+            "fn main() {\n    let net = cases::load(id).unwrap();\n    println!(\"{net:?}\");\n}\n";
+        let hits = scan_test_support_file(text);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 2);
+    }
+
+    #[test]
+    fn library_mode_does_not_skip_test_attr_fns() {
+        // #[test] outside #[cfg(test)] cannot occur in library code the
+        // crate loop scans; the switch stays off there so a stray
+        // `#[test]`-looking line never hides a panic site.
+        let text = "#[test]\nfn f() {\n    x.unwrap();\n}\n";
+        assert_eq!(scan_file(text, false).len(), 1);
     }
 }

@@ -8,8 +8,14 @@
 //! BENCH_pf.json` renders the span tree behind the numbers.
 //!
 //! ```text
-//! cargo run -p gm-bench --bin bench_export --release -- [out_dir]
+//! cargo run -p gm-bench --bin bench_export --release -- [out_dir] [--compare <baseline_dir>]
 //! ```
+//!
+//! With `--compare`, each fresh artifact is additionally checked
+//! against the committed baseline in `<baseline_dir>`: a tracked wall
+//! statistic regressing by more than 25% (`BENCH_REGRESSION_TOLERANCE`
+//! overrides), or any baseline-nonzero telemetry counter going to
+//! zero, fails the run with a nonzero exit — the CI regression gate.
 //!
 //! Interpretation: `mean_s`/`std_s` are wall-clock per solve (host
 //! dependent); the telemetry counters (`pf.newton.iterations`,
@@ -21,6 +27,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use gm_acopf::{solve_acopf, AcopfOptions};
+use gm_bench::compare::{compare_all, tolerance_from_env};
 use gm_bench::stats;
 use gm_network::{cases, CaseId};
 use gm_powerflow::{solve, PfOptions};
@@ -140,24 +147,44 @@ fn write_artifact(dir: &Path, name: &str, value: &Value) -> std::io::Result<Path
     Ok(path)
 }
 
+fn read_artifact(dir: &Path, name: &str) -> Result<Value, String> {
+    let path = dir.join(name);
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
+}
+
 fn main() -> ExitCode {
-    let dir = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("."));
-    if !dir.is_dir() {
+    let mut out_dir = PathBuf::from(".");
+    let mut baseline_dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--compare" {
+            match args.next() {
+                Some(d) => baseline_dir = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("bench_export: --compare needs a baseline directory");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            out_dir = PathBuf::from(arg);
+        }
+    }
+    if !out_dir.is_dir() {
         eprintln!(
             "bench_export: output directory {} does not exist",
-            dir.display()
+            out_dir.display()
         );
         return ExitCode::FAILURE;
     }
-    for (name, value) in [
+    let artifacts = [
         ("BENCH_pf.json", bench_pf()),
         ("BENCH_acopf.json", bench_acopf()),
         ("BENCH_e2e.json", bench_e2e()),
-    ] {
-        match write_artifact(&dir, name, &value) {
+    ];
+    for (name, value) in &artifacts {
+        match write_artifact(&out_dir, name, value) {
             Ok(path) => println!("wrote {}", path.display()),
             Err(e) => {
                 eprintln!("bench_export: writing {name}: {e}");
@@ -165,6 +192,41 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    if let Some(base_dir) = baseline_dir {
+        let mut baselines = Vec::new();
+        for (name, _) in &artifacts {
+            match read_artifact(&base_dir, name) {
+                Ok(doc) => baselines.push(doc),
+                Err(e) => {
+                    eprintln!("bench_export: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let triples: Vec<(&str, &Value, &Value)> = artifacts
+            .iter()
+            .zip(&baselines)
+            .map(|((name, current), baseline)| (*name, baseline, current))
+            .collect();
+        let tolerance = tolerance_from_env();
+        let report = compare_all(&triples, tolerance);
+        println!(
+            "compared {} wall stats and {} counters against {} (tolerance {:.0}%)",
+            report.walls_checked,
+            report.counters_checked,
+            base_dir.display(),
+            tolerance * 100.0
+        );
+        if !report.passed() {
+            for line in report.failures() {
+                eprintln!("bench_export: REGRESSION {line}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("no regressions");
+    }
+
     println!("inspect with: cargo run -p gm-telemetry --bin gm-trace -- BENCH_e2e.json --check");
     ExitCode::SUCCESS
 }

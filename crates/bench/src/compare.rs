@@ -1,0 +1,288 @@
+//! Benchmark regression comparison — the CI gate behind
+//! `bench_export --compare <baseline_dir>`.
+//!
+//! A fresh benchmark artifact is compared against its committed
+//! baseline (`BENCH_baseline/BENCH_*.json`) under two rules:
+//!
+//! 1. **Wall-time regression**: any tracked wall statistic (`mean_s`
+//!    per case for pf/acopf, `wall_elapsed_s` for e2e) more than
+//!    `tolerance` (default 25%, `BENCH_REGRESSION_TOLERANCE` env
+//!    override) above its baseline fails.
+//! 2. **Counter liveness**: any telemetry counter that was nonzero in
+//!    the baseline but is zero or absent in the current run fails —
+//!    a solver path silently going dark is a regression even when the
+//!    wall clock looks fine.
+//!
+//! Improvements (faster, more counters) never fail.
+
+use serde_json::Value;
+
+/// Default allowed relative slow-down before failing (25%).
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// One detected regression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Artifact the metric came from (e.g. `BENCH_pf.json`).
+    pub artifact: String,
+    /// Dotted metric path (e.g. `cases.Ieee118.mean_s`).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+}
+
+impl Regression {
+    /// Relative change versus baseline (`0.30` = 30% slower; for
+    /// counters, `-1.0` = went to zero).
+    pub fn ratio(&self) -> f64 {
+        if self.baseline == 0.0 {
+            0.0
+        } else {
+            self.current / self.baseline - 1.0
+        }
+    }
+}
+
+/// Outcome of comparing one current artifact against its baseline.
+#[derive(Clone, Debug, Default)]
+pub struct CompareReport {
+    /// Wall statistics checked.
+    pub walls_checked: usize,
+    /// Counters checked for liveness.
+    pub counters_checked: usize,
+    /// Wall-time regressions beyond tolerance.
+    pub slower: Vec<Regression>,
+    /// Counters nonzero in baseline but zero/absent now.
+    pub dead_counters: Vec<Regression>,
+}
+
+impl CompareReport {
+    /// True when no rule fired.
+    pub fn passed(&self) -> bool {
+        self.slower.is_empty() && self.dead_counters.is_empty()
+    }
+
+    /// Human-readable failure lines (empty when passed).
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for r in &self.slower {
+            out.push(format!(
+                "{}: {} regressed {:.0}% ({:.4}s -> {:.4}s)",
+                r.artifact,
+                r.metric,
+                r.ratio() * 100.0,
+                r.baseline,
+                r.current
+            ));
+        }
+        for r in &self.dead_counters {
+            out.push(format!(
+                "{}: counter {} went dark (baseline {}, now {})",
+                r.artifact, r.metric, r.baseline, r.current
+            ));
+        }
+        out
+    }
+
+    fn merge(&mut self, other: CompareReport) {
+        self.walls_checked += other.walls_checked;
+        self.counters_checked += other.counters_checked;
+        self.slower.extend(other.slower);
+        self.dead_counters.extend(other.dead_counters);
+    }
+}
+
+/// The effective tolerance: `BENCH_REGRESSION_TOLERANCE` when set and
+/// parseable, [`DEFAULT_TOLERANCE`] otherwise.
+pub fn tolerance_from_env() -> f64 {
+    std::env::var("BENCH_REGRESSION_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|t| t.is_finite() && *t >= 0.0)
+        .unwrap_or(DEFAULT_TOLERANCE)
+}
+
+fn wall_paths(artifact: &str, doc: &Value) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    match doc.get("bench").and_then(Value::as_str) {
+        Some("pf") | Some("acopf") => {
+            if let Some(cases) = doc.get("cases").and_then(Value::as_object) {
+                for (case, v) in cases {
+                    if let Some(mean) = v.get("mean_s").and_then(Value::as_f64) {
+                        out.push((format!("cases.{case}.mean_s"), mean));
+                    }
+                }
+            }
+        }
+        Some("e2e") => {
+            if let Some(w) = doc.get("wall_elapsed_s").and_then(Value::as_f64) {
+                out.push(("wall_elapsed_s".to_string(), w));
+            }
+        }
+        _ => {
+            let _ = artifact; // unknown artifact shape: nothing to check
+        }
+    }
+    out
+}
+
+fn counters(doc: &Value) -> Vec<(String, f64)> {
+    doc.get("telemetry")
+        .and_then(|t| t.get("counters"))
+        .and_then(Value::as_object)
+        .map(|m| {
+            m.iter()
+                .filter_map(|(k, v)| v.as_f64().map(|x| (k.clone(), x)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Compares one artifact pair under the two rules.
+pub fn compare_artifact(
+    artifact: &str,
+    baseline: &Value,
+    current: &Value,
+    tolerance: f64,
+) -> CompareReport {
+    let mut rep = CompareReport::default();
+    let current_walls = wall_paths(artifact, current);
+    for (metric, base) in wall_paths(artifact, baseline) {
+        let Some((_, cur)) = current_walls.iter().find(|(m, _)| *m == metric) else {
+            continue; // case removed: the counter rule will notice dead paths
+        };
+        rep.walls_checked += 1;
+        if base > 0.0 && *cur > base * (1.0 + tolerance) {
+            rep.slower.push(Regression {
+                artifact: artifact.to_string(),
+                metric,
+                baseline: base,
+                current: *cur,
+            });
+        }
+    }
+    let current_counters = counters(current);
+    for (name, base) in counters(baseline) {
+        if base <= 0.0 {
+            continue;
+        }
+        rep.counters_checked += 1;
+        let now = current_counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0.0, |(_, v)| *v);
+        if now == 0.0 {
+            rep.dead_counters.push(Regression {
+                artifact: artifact.to_string(),
+                metric: name,
+                baseline: base,
+                current: 0.0,
+            });
+        }
+    }
+    rep
+}
+
+/// Compares a set of `(artifact name, baseline, current)` triples and
+/// folds the outcomes into one report.
+pub fn compare_all(triples: &[(&str, &Value, &Value)], tolerance: f64) -> CompareReport {
+    let mut rep = CompareReport::default();
+    for (artifact, baseline, current) in triples {
+        rep.merge(compare_artifact(artifact, baseline, current, tolerance));
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn pf_doc(mean: f64, newton_solves: u64) -> Value {
+        json!({
+            "bench": "pf",
+            "cases": { "Ieee14": { "mean_s": mean, "runs": 5 } },
+            "telemetry": { "counters": { "pf.newton.solves": newton_solves } },
+        })
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = pf_doc(0.010, 25);
+        let cur = pf_doc(0.012, 40); // +20% < 25%
+        let rep = compare_artifact("BENCH_pf.json", &base, &cur, 0.25);
+        assert!(rep.passed(), "{:?}", rep.failures());
+        assert_eq!(rep.walls_checked, 1);
+        assert_eq!(rep.counters_checked, 1);
+    }
+
+    #[test]
+    fn wall_regression_beyond_tolerance_fails() {
+        let base = pf_doc(0.010, 25);
+        let cur = pf_doc(0.014, 25); // +40% > 25%
+        let rep = compare_artifact("BENCH_pf.json", &base, &cur, 0.25);
+        assert!(!rep.passed());
+        assert_eq!(rep.slower.len(), 1);
+        assert_eq!(rep.slower[0].metric, "cases.Ieee14.mean_s");
+        assert!((rep.slower[0].ratio() - 0.4).abs() < 1e-9);
+        assert!(rep.failures()[0].contains("regressed"));
+    }
+
+    #[test]
+    fn speedup_never_fails() {
+        let base = pf_doc(0.010, 25);
+        let cur = pf_doc(0.001, 25);
+        assert!(compare_artifact("BENCH_pf.json", &base, &cur, 0.25).passed());
+    }
+
+    #[test]
+    fn counter_going_to_zero_fails_even_when_fast() {
+        let base = pf_doc(0.010, 25);
+        let mut cur = pf_doc(0.010, 0);
+        let rep = compare_artifact("BENCH_pf.json", &base, &cur, 0.25);
+        assert_eq!(rep.dead_counters.len(), 1);
+        assert_eq!(rep.dead_counters[0].metric, "pf.newton.solves");
+
+        // Absent counts the same as zero.
+        cur["telemetry"]["counters"] = json!({});
+        let rep = compare_artifact("BENCH_pf.json", &base, &cur, 0.25);
+        assert_eq!(rep.dead_counters.len(), 1);
+        assert!(!rep.passed());
+    }
+
+    #[test]
+    fn e2e_wall_and_multi_artifact_fold() {
+        let base_e2e = json!({
+            "bench": "e2e",
+            "wall_elapsed_s": 1.0,
+            "telemetry": { "counters": { "llm.turns": 6 } },
+        });
+        let cur_e2e = json!({
+            "bench": "e2e",
+            "wall_elapsed_s": 1.6,
+            "telemetry": { "counters": { "llm.turns": 6 } },
+        });
+        let base_pf = pf_doc(0.010, 25);
+        let cur_pf = pf_doc(0.010, 25);
+        let rep = compare_all(
+            &[
+                ("BENCH_e2e.json", &base_e2e, &cur_e2e),
+                ("BENCH_pf.json", &base_pf, &cur_pf),
+            ],
+            0.25,
+        );
+        assert_eq!(rep.slower.len(), 1);
+        assert_eq!(rep.slower[0].artifact, "BENCH_e2e.json");
+        assert_eq!(rep.walls_checked, 2);
+    }
+
+    #[test]
+    fn new_counters_in_current_are_ignored() {
+        let base = pf_doc(0.010, 25);
+        let mut cur = pf_doc(0.010, 25);
+        cur["telemetry"]["counters"]["brand.new.counter"] = json!(7);
+        assert!(compare_artifact("BENCH_pf.json", &base, &cur, 0.25).passed());
+    }
+}

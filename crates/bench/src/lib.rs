@@ -17,6 +17,8 @@
 //! | `sparse_lu` (bench) | sparse vs dense factorization crossover |
 //! | `agent_pipeline` (bench) | end-to-end agent turn (real compute) |
 
+pub mod compare;
+
 use gridmind_core::{GridMind, ModelProfile};
 
 /// Runs one scripted conversation and returns `(virtual seconds, success,

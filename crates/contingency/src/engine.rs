@@ -55,6 +55,28 @@ impl Default for CaOptions {
     }
 }
 
+impl CaOptions {
+    /// Deterministic fingerprint of every sweep control that can affect
+    /// the report (voltage band, thermal threshold, scope, ranking
+    /// strategy, inner power-flow options), for cross-session
+    /// solver-cache keys (gm-serve). FNV-1a over the canonical debug
+    /// rendering; `parallel` is excluded because serial and parallel
+    /// sweeps produce identical reports.
+    pub fn fingerprint(&self) -> u64 {
+        let scrubbed = CaOptions {
+            parallel: true,
+            ..self.clone()
+        };
+        let text = format!("{scrubbed:?}");
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in text.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
 /// Solves the base case (no outages) with the sweep's power flow options.
 pub fn solve_base(net: &Network, opts: &CaOptions) -> Result<PfReport, gm_powerflow::PfError> {
     gm_powerflow::solve(net, &opts.pf)

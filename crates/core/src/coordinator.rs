@@ -89,7 +89,13 @@ pub struct GridMind {
 impl GridMind {
     /// Builds the system with a model profile shared by every agent.
     pub fn new(profile: ModelProfile) -> GridMind {
-        let session = SessionContext::new();
+        GridMind::with_session(profile, SessionContext::new())
+    }
+
+    /// Builds the system around an externally constructed session —
+    /// the gm-serve entry point, where the session carries a shared
+    /// cross-session solver cache.
+    pub fn with_session(profile: ModelProfile, session: SharedSession) -> GridMind {
         let clock = VirtualClock::new();
         // Telemetry timestamps follow the session's virtual timeline.
         session.telemetry.attach_clock(clock.clone());

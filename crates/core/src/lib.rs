@@ -42,6 +42,7 @@ pub mod planners;
 pub mod quality;
 pub mod repl;
 pub mod session;
+pub mod solver_cache;
 pub mod tools_acopf;
 pub mod tools_ca;
 pub mod validators;
@@ -51,3 +52,6 @@ pub use coordinator::{AgentKind, CoordinatedResponse, GridMind, TurnMetric, Work
 pub use gm_agents::ModelProfile;
 pub use quality::{assess, SolutionQuality};
 pub use session::{SessionContext, SessionError, SessionState, SharedSession, Stamped};
+pub use solver_cache::{
+    QueryKind, SharedSolverCache, SolverCache, SolverCacheKey, SolverCacheStats, SolverResult,
+};

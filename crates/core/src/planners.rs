@@ -73,7 +73,7 @@ impl AcopfPlanner {
              Case summary: {} buses, {} generators, {} lines, {} transformers, {} loads; \
              total system load {:.1} MW against {:.1} MW installed capacity.\n\
              \n\
-             OPF solution: converged in {} interior-point iterations ({:.2} s solver time). \
+             OPF solution: converged in {} interior-point iterations. \
              Objective value (generation cost): {:.2} $/h. Total generation dispatched {:.2} MW, \
              network losses {:.2} MW, power balance error {:.3} MW.\n\
              Voltage profile: min {:.4} p.u., max {:.4} p.u.; no limits violated. \
@@ -89,7 +89,6 @@ impl AcopfPlanner {
             f(net, "total_load_mw"),
             f(net, "total_gen_capacity_mw"),
             sol["iterations"],
-            f(sol, "solve_time_s"),
             f(sol, "objective_cost"),
             f(sol, "total_generation_mw"),
             f(sol, "losses_mw"),

@@ -37,6 +37,9 @@ pub struct SessionContext {
     /// routing decision of this session lands here, and [`SessionContext::save`]
     /// embeds the snapshot so saved sessions carry their own trace.
     pub telemetry: gm_telemetry::Registry,
+    /// Cross-session solver result cache, injected by gm-serve. `None`
+    /// for standalone sessions — every solve then runs the solver.
+    pub solver_cache: Option<crate::solver_cache::SharedSolverCache>,
 }
 
 /// Serializable core of the session.
@@ -90,6 +93,16 @@ impl SessionContext {
     /// Fresh empty session.
     pub fn new() -> SharedSession {
         Arc::new(SessionContext::default())
+    }
+
+    /// Fresh session wired to a shared cross-session solver cache: tool
+    /// invocations consult the cache before running a solver, and
+    /// deposit their results into it afterwards.
+    pub fn new_with_solver_cache(cache: crate::solver_cache::SharedSolverCache) -> SharedSession {
+        Arc::new(SessionContext {
+            solver_cache: Some(cache),
+            ..Default::default()
+        })
     }
 
     /// Loads (or switches to) a case by fuzzy name, returning the
@@ -277,6 +290,7 @@ impl SessionContext {
             inner: RwLock::new(state),
             cache: ContingencyCache::new(),
             telemetry: gm_telemetry::Registry::new(),
+            solver_cache: None,
         }))
     }
 }

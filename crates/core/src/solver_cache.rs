@@ -1,0 +1,478 @@
+//! Cross-session solver result cache (the gm-serve tentpole).
+//!
+//! The deterministic solvers are pure functions of `(network, options)`:
+//! identical ACOPF / power-flow / N-1 requests from *different* sessions
+//! re-derive byte-identical results. A [`SolverCache`] shared across
+//! sessions memoizes those results under a composite key —
+//!
+//! ```text
+//! (network content hash, query kind, solver-option fingerprint)
+//! ```
+//!
+//! — so the second session asking "solve case30" reuses the first
+//! session's interior-point solution instead of re-running the IPM.
+//! Conversational state stays per-session: the cache stores only solver
+//! *outcomes* (solutions, reports), never narration, memory, or session
+//! artifacts, and the tool layer still deposits the (cached) artifact
+//! into its own session, so freshness tracking and status queries behave
+//! identically whether a value was computed or recalled.
+//!
+//! Soundness rests on what the key hashes (see DESIGN.md "Cache-key
+//! soundness"): [`gm_network::Network::content_hash`] covers every
+//! electrical parameter including per-branch ratings and service flags,
+//! and the option fingerprints cover every solver control that can alter
+//! the result. Wall-clock fields embedded in cached values
+//! (`solve_time_s`, `sweep_time_s`) are the *original* computation's
+//! timings, which keeps replayed answers deterministic.
+//!
+//! The cache is LRU-bounded with hit/miss/eviction accounting, mirrored
+//! to the installed telemetry collector as `serve.cache.{hits,misses,
+//! evictions,inserts}`.
+
+use gm_acopf::{
+    solve_acopf, solve_scopf, AcopfError, AcopfOptions, AcopfSolution, ScopfOptions, ScopfSolution,
+};
+use gm_contingency::{solve_base, CaOptions, ContingencyCache, ContingencyReport};
+use gm_network::Network;
+use gm_powerflow::{PfError, PfReport};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Normalized query kind — the middle component of the cache key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// AC optimal power flow.
+    Acopf,
+    /// Security-constrained OPF.
+    Scopf,
+    /// Base-case AC power flow.
+    BasePf,
+    /// Full N-1 branch-outage sweep.
+    ContingencyN1,
+}
+
+/// Composite cache key: network content × query kind × solver options.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SolverCacheKey {
+    /// [`gm_network::Network::content_hash`] of the exact network solved.
+    pub net_hash: u64,
+    /// Normalized query kind.
+    pub kind: QueryKind,
+    /// Option fingerprint (`AcopfOptions::fingerprint` & friends).
+    pub params: u64,
+}
+
+/// A memoized solver outcome.
+#[derive(Clone, Debug)]
+pub enum SolverResult {
+    /// A solved ACOPF.
+    Acopf(AcopfSolution),
+    /// A solved SCOPF.
+    Scopf(ScopfSolution),
+    /// A solved base power flow.
+    Pf(PfReport),
+    /// A completed N-1 sweep report.
+    Contingency(ContingencyReport),
+}
+
+/// Cumulative cache statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverCacheStats {
+    /// Lookups that found a memoized result.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by the LRU capacity bound.
+    pub evictions: u64,
+    /// Successful inserts.
+    pub inserts: u64,
+}
+
+struct LruState {
+    map: HashMap<SolverCacheKey, SolverResult>,
+    /// Keys in recency order: front = least recently used.
+    order: Vec<SolverCacheKey>,
+}
+
+/// Thread-safe, LRU-bounded, cross-session solver result cache.
+pub struct SolverCache {
+    inner: Mutex<LruState>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    inserts: AtomicU64,
+}
+
+/// Shared cache handle, one per server, referenced by every session.
+pub type SharedSolverCache = Arc<SolverCache>;
+
+impl std::fmt::Debug for SolverCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "SolverCache(len {}, cap {}, {} hits / {} misses / {} evictions)",
+            self.len(),
+            self.capacity,
+            s.hits,
+            s.misses,
+            s.evictions
+        )
+    }
+}
+
+impl SolverCache {
+    /// Empty cache bounded to `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> SharedSolverCache {
+        Arc::new(SolverCache {
+            inner: Mutex::new(LruState {
+                map: HashMap::new(),
+                order: Vec::new(),
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        })
+    }
+
+    /// Fetches a memoized result, refreshing its recency and counting
+    /// the hit/miss into both the local stats and the installed
+    /// telemetry collector.
+    pub fn get(&self, key: &SolverCacheKey) -> Option<SolverResult> {
+        let mut state = self.inner.lock();
+        let found = state.map.get(key).cloned();
+        if found.is_some() {
+            if let Some(pos) = state.order.iter().position(|k| k == key) {
+                let k = state.order.remove(pos);
+                state.order.push(k);
+            }
+            drop(state);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            gm_telemetry::counter_add("serve.cache.hits", 1);
+        } else {
+            drop(state);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            gm_telemetry::counter_add("serve.cache.misses", 1);
+        }
+        found
+    }
+
+    /// Stores a result, evicting the least-recently-used entry when the
+    /// capacity bound is reached.
+    pub fn put(&self, key: SolverCacheKey, result: SolverResult) {
+        let mut state = self.inner.lock();
+        if state.map.insert(key, result).is_none() {
+            state.order.push(key);
+            while state.map.len() > self.capacity {
+                let victim = state.order.remove(0);
+                state.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                gm_telemetry::counter_add("serve.cache.evictions", 1);
+            }
+        } else if let Some(pos) = state.order.iter().position(|k| k == &key) {
+            // Overwrite refreshes recency.
+            let k = state.order.remove(pos);
+            state.order.push(k);
+        }
+        drop(state);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        gm_telemetry::counter_add("serve.cache.inserts", 1);
+    }
+
+    /// Number of memoized entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum entry count before LRU eviction.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cumulative statistics snapshot.
+    pub fn stats(&self) -> SolverCacheStats {
+        SolverCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Keys in recency order (front = next eviction victim). Test and
+    /// diagnostics hook.
+    pub fn recency_order(&self) -> Vec<SolverCacheKey> {
+        self.inner.lock().order.clone()
+    }
+}
+
+/// ACOPF through the cache: a hit recalls the memoized interior-point
+/// solution; a miss solves and memoizes. `None` cache always solves.
+pub fn solve_acopf_cached(
+    cache: Option<&SharedSolverCache>,
+    net: &Network,
+    opts: &AcopfOptions,
+) -> Result<AcopfSolution, AcopfError> {
+    let Some(cache) = cache else {
+        return solve_acopf(net, opts);
+    };
+    let key = SolverCacheKey {
+        net_hash: net.content_hash(),
+        kind: QueryKind::Acopf,
+        params: opts.fingerprint(),
+    };
+    if let Some(SolverResult::Acopf(sol)) = cache.get(&key) {
+        return Ok(sol);
+    }
+    let sol = solve_acopf(net, opts)?;
+    cache.put(key, SolverResult::Acopf(sol.clone()));
+    Ok(sol)
+}
+
+/// SCOPF through the cache.
+pub fn solve_scopf_cached(
+    cache: Option<&SharedSolverCache>,
+    net: &Network,
+    opts: &ScopfOptions,
+) -> Result<ScopfSolution, AcopfError> {
+    let Some(cache) = cache else {
+        return solve_scopf(net, opts);
+    };
+    let key = SolverCacheKey {
+        net_hash: net.content_hash(),
+        kind: QueryKind::Scopf,
+        params: opts.fingerprint(),
+    };
+    if let Some(SolverResult::Scopf(sol)) = cache.get(&key) {
+        return Ok(sol);
+    }
+    let sol = solve_scopf(net, opts)?;
+    cache.put(key, SolverResult::Scopf(sol.clone()));
+    Ok(sol)
+}
+
+/// Base-case power flow through the cache.
+pub fn solve_base_cached(
+    cache: Option<&SharedSolverCache>,
+    net: &Network,
+    opts: &CaOptions,
+) -> Result<PfReport, PfError> {
+    let Some(cache) = cache else {
+        return solve_base(net, opts);
+    };
+    let key = SolverCacheKey {
+        net_hash: net.content_hash(),
+        kind: QueryKind::BasePf,
+        params: opts.fingerprint(),
+    };
+    if let Some(SolverResult::Pf(rep)) = cache.get(&key) {
+        return Ok(rep);
+    }
+    let rep = solve_base(net, opts)?;
+    cache.put(key, SolverResult::Pf(rep.clone()));
+    Ok(rep)
+}
+
+/// N-1 sweep through the cache. The `screened` mode and its threshold
+/// fold into the parameter fingerprint so full and screened sweeps of
+/// the same network never alias. On a miss the sweep runs with the
+/// session's per-outage cache (`session_cache`) exactly as before.
+#[allow(clippy::too_many_arguments)]
+pub fn run_n1_cached_shared(
+    cache: Option<&SharedSolverCache>,
+    net: &Network,
+    opts: &CaOptions,
+    base: Option<&PfReport>,
+    session_cache: Option<(&ContingencyCache, u64)>,
+    screened: bool,
+    screen_threshold: f64,
+) -> Result<ContingencyReport, PfError> {
+    let run = |net: &Network| {
+        if screened {
+            gm_contingency::engine::run_n1_screened(net, opts, base, screen_threshold)
+        } else {
+            gm_contingency::engine::run_n1_cached(net, opts, base, session_cache)
+        }
+    };
+    let Some(cache) = cache else {
+        return run(net);
+    };
+    let params = {
+        let mut h = opts.fingerprint();
+        h ^= u64::from(screened);
+        h = h.wrapping_mul(0x100000001b3);
+        h ^= screen_threshold.to_bits();
+        h.wrapping_mul(0x100000001b3)
+    };
+    let key = SolverCacheKey {
+        net_hash: net.content_hash(),
+        kind: QueryKind::ContingencyN1,
+        params,
+    };
+    if let Some(SolverResult::Contingency(rep)) = cache.get(&key) {
+        return Ok(rep);
+    }
+    let rep = run(net)?;
+    cache.put(key, SolverResult::Contingency(rep.clone()));
+    Ok(rep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_network::cases;
+
+    fn key(net_hash: u64, params: u64) -> SolverCacheKey {
+        SolverCacheKey {
+            net_hash,
+            kind: QueryKind::Acopf,
+            params,
+        }
+    }
+
+    fn pf_stub(iterations: usize) -> SolverResult {
+        let net = cases::load(gm_network::CaseId::Ieee14);
+        let mut rep =
+            gm_powerflow::solve(&net, &gm_powerflow::PfOptions::default()).expect("converges");
+        rep.iterations = iterations;
+        SolverResult::Pf(rep)
+    }
+
+    #[test]
+    fn same_network_same_key_different_rating_different_key() {
+        let a = cases::load(gm_network::CaseId::Ieee14);
+        let b = cases::load(gm_network::CaseId::Ieee14);
+        let opts = gm_acopf::AcopfOptions::default();
+        let ka = SolverCacheKey {
+            net_hash: a.content_hash(),
+            kind: QueryKind::Acopf,
+            params: opts.fingerprint(),
+        };
+        let kb = SolverCacheKey {
+            net_hash: b.content_hash(),
+            kind: QueryKind::Acopf,
+            params: opts.fingerprint(),
+        };
+        assert_eq!(ka, kb, "identical case loads must key identically");
+
+        // Perturbing one line rating must change the key.
+        let mut c = cases::load(gm_network::CaseId::Ieee14);
+        c.branches[0].rating_mva += 1.0;
+        let kc = SolverCacheKey {
+            net_hash: c.content_hash(),
+            kind: QueryKind::Acopf,
+            params: opts.fingerprint(),
+        };
+        assert_ne!(ka, kc, "a one-line rating perturbation must miss");
+
+        // Different solver options must also miss.
+        let mut warm = gm_acopf::AcopfOptions::default();
+        warm.warm_start = !warm.warm_start;
+        let kw = SolverCacheKey {
+            net_hash: a.content_hash(),
+            kind: QueryKind::Acopf,
+            params: warm.fingerprint(),
+        };
+        assert_ne!(ka, kw, "option changes must miss");
+
+        // And the same inputs under a different query kind must miss.
+        let kk = SolverCacheKey {
+            kind: QueryKind::Scopf,
+            ..ka
+        };
+        assert_ne!(ka, kk);
+    }
+
+    #[test]
+    fn hit_miss_accounting_and_roundtrip() {
+        let cache = SolverCache::new(8);
+        assert!(cache.get(&key(1, 1)).is_none());
+        cache.put(key(1, 1), pf_stub(3));
+        match cache.get(&key(1, 1)) {
+            Some(SolverResult::Pf(rep)) => assert_eq!(rep.iterations, 3),
+            other => panic!("expected cached pf, got {other:?}"),
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        let cache = SolverCache::new(2);
+        cache.put(key(1, 0), pf_stub(1));
+        cache.put(key(2, 0), pf_stub(2));
+        // Touch key 1 so key 2 becomes the LRU entry.
+        assert!(cache.get(&key(1, 0)).is_some());
+        cache.put(key(3, 0), pf_stub(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(2, 0)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(1, 0)).is_some(), "recently used survives");
+        assert!(cache.get(&key(3, 0)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn eviction_order_follows_recency_not_insertion() {
+        let cache = SolverCache::new(3);
+        for i in 1..=3 {
+            cache.put(key(i, 0), pf_stub(i as usize));
+        }
+        assert_eq!(
+            cache
+                .recency_order()
+                .iter()
+                .map(|k| k.net_hash)
+                .collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        // Touching 1 moves it to most-recent; 2 is now the victim.
+        cache.get(&key(1, 0));
+        cache.put(key(4, 0), pf_stub(4));
+        cache.put(key(5, 0), pf_stub(5));
+        let have: Vec<u64> = cache.recency_order().iter().map(|k| k.net_hash).collect();
+        assert_eq!(have, vec![1, 4, 5]);
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn overwrite_refreshes_recency_without_eviction() {
+        let cache = SolverCache::new(2);
+        cache.put(key(1, 0), pf_stub(1));
+        cache.put(key(2, 0), pf_stub(2));
+        cache.put(key(1, 0), pf_stub(10)); // overwrite, no eviction
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 0);
+        // Key 2 is now LRU.
+        cache.put(key(3, 0), pf_stub(3));
+        assert!(cache.get(&key(2, 0)).is_none());
+        match cache.get(&key(1, 0)) {
+            Some(SolverResult::Pf(rep)) => assert_eq!(rep.iterations, 10),
+            other => panic!("expected overwritten pf, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn telemetry_counters_mirror_stats() {
+        let reg = gm_telemetry::Registry::new();
+        let _g = reg.install();
+        let cache = SolverCache::new(1);
+        cache.get(&key(1, 0));
+        cache.put(key(1, 0), pf_stub(1));
+        cache.get(&key(1, 0));
+        cache.put(key(2, 0), pf_stub(2)); // evicts key 1
+        assert_eq!(reg.counter_value("serve.cache.misses"), 1);
+        assert_eq!(reg.counter_value("serve.cache.hits"), 1);
+        assert_eq!(reg.counter_value("serve.cache.inserts"), 2);
+        assert_eq!(reg.counter_value("serve.cache.evictions"), 1);
+    }
+}

@@ -9,7 +9,8 @@
 
 use crate::quality;
 use crate::session::SharedSession;
-use gm_acopf::{solve_acopf, solve_scopf, AcopfOptions, AcopfSolution, ScopfOptions};
+use crate::solver_cache::{solve_acopf_cached, solve_scopf_cached};
+use gm_acopf::{AcopfOptions, AcopfSolution, ScopfOptions};
 use gm_agents::{Field, FnTool, Schema, ToolError, ToolSpec, VirtualClock};
 use gm_network::Modification;
 use serde_json::{json, Value};
@@ -94,11 +95,14 @@ pub fn solve_acopf_case_tool(session: SharedSession, clock: VirtualClock) -> FnT
                 message: e.to_string(),
                 recoverable: false,
             })?;
-            let sol = solve_acopf(&net, &AcopfOptions::default()).map_err(|e| {
-                ToolError::Execution {
-                    message: e.to_string(),
-                    recoverable: true,
-                }
+            let sol = solve_acopf_cached(
+                session.solver_cache.as_ref(),
+                &net,
+                &AcopfOptions::default(),
+            )
+            .map_err(|e| ToolError::Execution {
+                message: e.to_string(),
+                recoverable: true,
             })?;
             let q = quality::assess(&net, &sol);
             session.put_acopf(sol.clone(), clock.now());
@@ -157,11 +161,14 @@ pub fn modify_bus_load_tool(session: SharedSession, clock: VirtualClock) -> FnTo
                 message: e.to_string(),
                 recoverable: false,
             })?;
-            let sol = solve_acopf(&net, &AcopfOptions::default()).map_err(|e| {
-                ToolError::Execution {
-                    message: format!("re-solve after modification failed: {e}"),
-                    recoverable: true,
-                }
+            let sol = solve_acopf_cached(
+                session.solver_cache.as_ref(),
+                &net,
+                &AcopfOptions::default(),
+            )
+            .map_err(|e| ToolError::Execution {
+                message: format!("re-solve after modification failed: {e}"),
+                recoverable: true,
             })?;
             let q = quality::assess(&net, &sol);
             session.put_acopf(sol.clone(), clock.now());
@@ -241,11 +248,14 @@ pub fn modify_gen_limits_tool(session: SharedSession, clock: VirtualClock) -> Fn
                 message: e.to_string(),
                 recoverable: false,
             })?;
-            let sol = solve_acopf(&net, &AcopfOptions::default()).map_err(|e| {
-                ToolError::Execution {
-                    message: format!("re-solve after limit change failed: {e}"),
-                    recoverable: true,
-                }
+            let sol = solve_acopf_cached(
+                session.solver_cache.as_ref(),
+                &net,
+                &AcopfOptions::default(),
+            )
+            .map_err(|e| ToolError::Execution {
+                message: format!("re-solve after limit change failed: {e}"),
+                recoverable: true,
             })?;
             let q = quality::assess(&net, &sol);
             session.put_acopf(sol.clone(), clock.now());
@@ -300,11 +310,14 @@ pub fn solve_security_constrained_tool(session: SharedSession, clock: VirtualClo
                 message: e.to_string(),
                 recoverable: false,
             })?;
-            let scopf = solve_scopf(&net, &ScopfOptions::default()).map_err(|e| {
-                ToolError::Execution {
-                    message: e.to_string(),
-                    recoverable: true,
-                }
+            let scopf = solve_scopf_cached(
+                session.solver_cache.as_ref(),
+                &net,
+                &ScopfOptions::default(),
+            )
+            .map_err(|e| ToolError::Execution {
+                message: e.to_string(),
+                recoverable: true,
             })?;
             let q = quality::assess(&net, &scopf.solution);
             session.put_acopf(scopf.solution.clone(), clock.now());

@@ -3,6 +3,7 @@
 //! `analyze_specific_contingency`, `get_contingency_status`.
 
 use crate::session::SharedSession;
+use crate::solver_cache::{run_n1_cached_shared, solve_base_cached};
 use gm_agents::{Field, FnTool, Schema, ToolError, ToolSpec, VirtualClock};
 use gm_contingency::{
     evaluate_outage, run_gen_n1, solve_base, CaOptions, ContingencyReport, Outage, RankingStrategy,
@@ -90,10 +91,12 @@ pub fn solve_base_case_tool(session: SharedSession, clock: VirtualClock) -> FnTo
                 recoverable: false,
             })?;
             let opts = CaOptions::default();
-            let rep = solve_base(&net, &opts).map_err(|e| ToolError::Execution {
-                message: e.to_string(),
-                recoverable: true,
-            })?;
+            let rep = solve_base_cached(session.solver_cache.as_ref(), &net, &opts).map_err(
+                |e| ToolError::Execution {
+                    message: e.to_string(),
+                    recoverable: true,
+                },
+            )?;
             session.put_base_pf(rep.clone(), clock.now());
             Ok(json!({
                 "converged": rep.converged,
@@ -160,16 +163,15 @@ pub fn run_n1_tool(session: SharedSession, clock: VirtualClock) -> FnTool {
             let base = session.fresh_base_pf();
             let diff_hash = session.diff_hash();
             let screened = args.get("mode").and_then(|v| v.as_str()) == Some("screened");
-            let rep = if screened {
-                gm_contingency::engine::run_n1_screened(&net, &opts, base.as_ref(), 0.85)
-            } else {
-                gm_contingency::engine::run_n1_cached(
-                    &net,
-                    &opts,
-                    base.as_ref(),
-                    Some((&session.cache, diff_hash)),
-                )
-            }
+            let rep = run_n1_cached_shared(
+                session.solver_cache.as_ref(),
+                &net,
+                &opts,
+                base.as_ref(),
+                Some((&session.cache, diff_hash)),
+                screened,
+                0.85,
+            )
             .map_err(|e| ToolError::Execution {
                 message: format!("base case power flow failed: {e}"),
                 recoverable: true,

@@ -420,6 +420,22 @@ impl Network {
         crate::audit::GridLint::default().check_model(self)
     }
 
+    /// Deterministic content hash of the full electrical model (FNV-1a
+    /// over the canonical serde serialization). Two networks hash equal
+    /// iff every bus, load, generator, branch, shunt, and rating is
+    /// identical — the network half of cross-session solver-cache keys
+    /// (gm-serve): any parameter perturbation, e.g. a single line
+    /// rating, produces a different hash and therefore a cache miss.
+    pub fn content_hash(&self) -> u64 {
+        let bytes = serde_json::to_vec(self).unwrap_or_default();
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
     /// One-line inventory summary (the paper's "network summary" log line).
     pub fn summary(&self) -> NetworkSummary {
         NetworkSummary {
@@ -496,6 +512,26 @@ mod tests {
     #[test]
     fn valid_network_passes() {
         assert!(two_bus().validate().is_ok());
+    }
+
+    #[test]
+    fn content_hash_is_deterministic_and_parameter_sensitive() {
+        let a = two_bus();
+        let b = two_bus();
+        assert_eq!(a.content_hash(), b.content_hash());
+        // A one-line rating perturbation must change the hash: solver
+        // results are rating-dependent, so the cache key must be too.
+        let mut c = two_bus();
+        c.branches[0].rating_mva += 1.0;
+        assert_ne!(a.content_hash(), c.content_hash());
+        // So must a load change…
+        let mut d = two_bus();
+        d.loads[0].p_mw += 0.5;
+        assert_ne!(a.content_hash(), d.content_hash());
+        // …and a service-status flip.
+        let mut e = two_bus();
+        e.branches[0].in_service = false;
+        assert_ne!(a.content_hash(), e.content_hash());
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! `gm-serve` — run the GridMind session service's deterministic
+//! workload soak.
+//!
+//! ```text
+//! gm-serve --workload [--workers N] [--sessions M] [--queries K]
+//!          [--queue-capacity Q] [--cache-capacity C]
+//!          [--out trace.json] [--check]
+//! ```
+//!
+//! Prints a JSON summary (losses, duplicates, determinism verdict,
+//! cache statistics) to stdout. `--out` writes the full server
+//! telemetry trace for `gm-trace`. With `--check`, a failed invariant
+//! exits nonzero — the CI soak gate.
+
+use gm_serve::workload::{self, WorkloadConfig};
+use std::process::ExitCode;
+
+struct Args {
+    workload: bool,
+    check: bool,
+    out: Option<String>,
+    config: WorkloadConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workload: false,
+        check: false,
+        out: None,
+        config: WorkloadConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut num = |name: &str| -> Result<usize, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match arg.as_str() {
+            "--workload" => args.workload = true,
+            "--check" => args.check = true,
+            "--workers" => args.config.workers = num("--workers")?,
+            "--sessions" => args.config.sessions = num("--sessions")?,
+            "--queries" => {
+                let k = num("--queries")?;
+                let script = workload::default_script();
+                args.config.script = (0..k).map(|i| script[i % script.len()].clone()).collect();
+            }
+            "--queue-capacity" => args.config.queue_capacity = num("--queue-capacity")?,
+            "--cache-capacity" => args.config.cache_capacity = num("--cache-capacity")?,
+            "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gm-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !args.workload {
+        eprintln!("gm-serve: only --workload mode is implemented; see --help header in source");
+        return ExitCode::FAILURE;
+    }
+
+    let report = workload::run(&args.config);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report.to_json()).expect("report serializes")
+    );
+
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(
+            path,
+            serde_json::to_string_pretty(&report.telemetry).expect("trace serializes"),
+        ) {
+            eprintln!("gm-serve: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("gm-serve: trace written to {path}");
+    }
+
+    if args.check && !report.passed() {
+        eprintln!("gm-serve: workload invariants FAILED");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

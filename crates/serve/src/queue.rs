@@ -1,0 +1,143 @@
+//! Bounded MPMC work queue with blocking consumers.
+//!
+//! The server's central dispatch structure: producers ([`crate::Server::submit`])
+//! push session tokens, worker threads block in [`BoundedQueue::pop`]
+//! until a token or shutdown arrives. Capacity overflow is reported to
+//! the producer (`Err(QueueFull)`) — the server maps it to a `Busy`
+//! rejection — while internal re-scheduling uses [`BoundedQueue::push_forced`],
+//! which is exempt from both the capacity bound and the closed flag so
+//! a draining server can still finish multi-request sessions.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Push rejected: the queue is at capacity or closed to new work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueFull;
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Empty queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues an item, failing when at capacity or closed.
+    pub fn push(&self, item: T) -> Result<(), QueueFull> {
+        let mut g = self.inner.lock().expect("queue lock");
+        if g.closed || g.items.len() >= self.capacity {
+            return Err(QueueFull);
+        }
+        g.items.push_back(item);
+        drop(g);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues unconditionally — the internal re-scheduling path, which
+    /// must succeed even during drain so queued sessions finish.
+    pub fn push_forced(&self, item: T) {
+        self.inner.lock().expect("queue lock").items.push_back(item);
+        self.ready.notify_one();
+    }
+
+    /// Blocks until an item is available (`Some`) or the queue is both
+    /// closed and empty (`None`).
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.ready.wait(g).expect("queue wait");
+        }
+    }
+
+    /// Closes the queue: new `push` calls fail, blocked consumers drain
+    /// the remainder and then observe `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_capacity_bound() {
+        let q = BoundedQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(QueueFull), "third push exceeds capacity");
+        assert_eq!(q.pop(), Some(1));
+        q.push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_then_signals_none() {
+        let q = BoundedQueue::new(4);
+        q.push("a").unwrap();
+        q.close();
+        assert_eq!(q.push("b"), Err(QueueFull), "closed queue rejects pushes");
+        q.push_forced("forced");
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("forced"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_push() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(42u32).unwrap();
+        assert_eq!(h.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_close() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+}

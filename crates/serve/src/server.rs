@@ -1,0 +1,360 @@
+//! The worker pool and its dispatch loop.
+//!
+//! ```text
+//!            submit()                 pop()
+//!  clients ───────────▶ BoundedQueue ──────▶ worker 0..N
+//!              │         (session tokens)      │
+//!              │                               │ take_next()
+//!              ▼                               ▼
+//!        SessionRegistry ────────────▶ SessionSlot { FIFO, GridMind }
+//!                                              │
+//!                                              ▼ solver calls
+//!                                     shared SolverCache (LRU)
+//! ```
+//!
+//! Admission control is request-count based: at most `queue_capacity`
+//! requests may be admitted-but-unanswered; beyond that [`Server::submit`]
+//! rejects with a synthesized `Busy` response. The global queue carries
+//! *session tokens*, never raw requests — a session's token is queued at
+//! most once, which serializes same-session requests while letting the
+//! pool run distinct sessions fully in parallel. Each request's
+//! deadline is checked at pickup: one that out-waited its budget is
+//! answered `TimedOut` without touching the engine.
+
+use crate::queue::BoundedQueue;
+use crate::registry::{QueuedRequest, SessionRegistry};
+use gm_agents::{ModelProfile, ServeRequest, ServeResponse, ServeStatus};
+use gridmind_core::{GridMind, SessionContext, SolverCache, SolverCacheStats};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server sizing knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Maximum admitted-but-unanswered requests before `Busy`.
+    pub queue_capacity: usize,
+    /// LRU capacity of the cross-session solver cache (entries).
+    pub cache_capacity: usize,
+    /// Model profile every session's agents simulate.
+    pub profile: ModelProfile,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 1024,
+            cache_capacity: 64,
+            profile: ModelProfile::by_name("GPT-5").expect("built-in profile"),
+        }
+    }
+}
+
+struct Shared {
+    queue: BoundedQueue<String>,
+    registry: SessionRegistry,
+    cache: gridmind_core::SharedSolverCache,
+    profile: ModelProfile,
+    responses: Sender<ServeResponse>,
+    /// Admitted requests not yet answered (admission control + drain).
+    outstanding: AtomicUsize,
+    accepting: AtomicBool,
+    queue_capacity: usize,
+    telemetry: gm_telemetry::Registry,
+}
+
+/// The running service.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the worker pool. Responses to every admitted request (and
+    /// nothing else) arrive on the returned channel.
+    pub fn start(config: ServerConfig) -> (Server, Receiver<ServeResponse>) {
+        let (tx, rx) = channel();
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity.max(1)),
+            registry: SessionRegistry::new(),
+            cache: SolverCache::new(config.cache_capacity),
+            profile: config.profile,
+            responses: tx,
+            outstanding: AtomicUsize::new(0),
+            accepting: AtomicBool::new(true),
+            queue_capacity: config.queue_capacity.max(1),
+            telemetry: gm_telemetry::Registry::new(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|w| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("gm-serve-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn worker")
+            })
+            .collect();
+        (Server { shared, workers }, rx)
+    }
+
+    /// Admits a request, or rejects it with a synthesized `Busy`
+    /// response when the server is at capacity or shutting down. A
+    /// rejected request is **not** reported on the response channel —
+    /// the `Err` is the whole answer.
+    pub fn submit(&self, req: ServeRequest) -> Result<(), ServeResponse> {
+        let s = &self.shared;
+        if !s.accepting.load(Ordering::SeqCst) {
+            s.telemetry.add("serve.busy_rejections", 1);
+            return Err(ServeResponse::busy(&req));
+        }
+        // Reserve an admission slot first; roll back on overflow.
+        let prev = s.outstanding.fetch_add(1, Ordering::SeqCst);
+        if prev >= s.queue_capacity {
+            s.outstanding.fetch_sub(1, Ordering::SeqCst);
+            s.telemetry.add("serve.busy_rejections", 1);
+            return Err(ServeResponse::busy(&req));
+        }
+        s.telemetry.add("serve.requests", 1);
+        let slot = s.registry.slot(&req.session);
+        let needs_token = slot.enqueue(QueuedRequest {
+            req,
+            submitted: Instant::now(),
+        });
+        if needs_token {
+            // Token counts are bounded by admitted requests, so the
+            // forced push cannot grow the queue past the admission cap.
+            s.queue.push_forced(slot.id.clone());
+        }
+        Ok(())
+    }
+
+    /// Live statistics of the shared solver cache.
+    pub fn cache_stats(&self) -> SolverCacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Number of sessions ever served.
+    pub fn session_count(&self) -> usize {
+        self.shared.registry.len()
+    }
+
+    /// Stops accepting work, drains every admitted request, joins the
+    /// pool, and returns the merged server telemetry (server-level
+    /// counters + every session's trace + final cache totals).
+    pub fn shutdown(self) -> gm_telemetry::Registry {
+        let s = &self.shared;
+        s.accepting.store(false, Ordering::SeqCst);
+        while s.outstanding.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        s.queue.close();
+        for h in self.workers {
+            let _ = h.join();
+        }
+        // Fold every session's trace into the server registry so the
+        // exported artifact carries solver metrics end to end.
+        for slot in s.registry.all() {
+            if let Some(gm) = slot.engine.lock().as_ref() {
+                s.telemetry.merge_metrics(&gm.session.telemetry);
+            }
+        }
+        let cs = s.cache.stats();
+        s.telemetry.add("serve.cache.final_hits", cs.hits);
+        s.telemetry.add("serve.cache.final_misses", cs.misses);
+        s.telemetry.add("serve.cache.final_evictions", cs.evictions);
+        s.telemetry.clone()
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, worker: usize) {
+    // Server-level spans/counters recorded outside `GridMind::ask`
+    // (which installs the session registry on top) land here.
+    let _collector = shared.telemetry.install();
+    while let Some(session_id) = shared.queue.pop() {
+        let slot = shared.registry.slot(&session_id);
+        let Some(queued) = slot.take_next() else {
+            // Defensive: a token without pending work retires itself
+            // (or re-circulates if work raced in).
+            if slot.finish_one() {
+                shared.queue.push_forced(session_id);
+            }
+            continue;
+        };
+        let span = gm_telemetry::span!("serve.request");
+        let queue_wait_s = queued.submitted.elapsed().as_secs_f64();
+        gm_telemetry::histogram_record("serve.queue_wait_s", queue_wait_s);
+
+        let expired = queued
+            .req
+            .deadline_ms
+            .is_some_and(|ms| queue_wait_s * 1e3 > ms as f64);
+        let response = if expired {
+            shared.telemetry.add("serve.timeouts", 1);
+            ServeResponse::timed_out(&queued.req, queue_wait_s, worker)
+        } else {
+            let started = Instant::now();
+            let mut engine = slot.engine.lock();
+            let gm = engine.get_or_insert_with(|| {
+                GridMind::with_session(
+                    shared.profile.clone(),
+                    SessionContext::new_with_solver_cache(shared.cache.clone()),
+                )
+            });
+            let reply = gm.ask(&queued.req.query);
+            drop(engine);
+            ServeResponse {
+                session: queued.req.session.clone(),
+                seq: queued.req.seq,
+                status: ServeStatus::Done,
+                text: reply.text,
+                queue_wait_s,
+                exec_s: started.elapsed().as_secs_f64(),
+                worker: Some(worker),
+            }
+        };
+        drop(span);
+
+        // Answer, then release the admission slot, then reschedule the
+        // session if it still has work.
+        let _ = shared.responses.send(response);
+        shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+        if slot.finish_one() {
+            shared.queue.push_forced(session_id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(session: &str, seq: u64, query: &str) -> ServeRequest {
+        ServeRequest {
+            session: session.into(),
+            seq,
+            query: query.into(),
+            deadline_ms: None,
+        }
+    }
+
+    fn small_config(workers: usize) -> ServerConfig {
+        ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn serves_one_session_in_order() {
+        let (server, rx) = Server::start(small_config(2));
+        server.submit(req("s", 0, "solve case14")).unwrap();
+        server
+            .submit(req("s", 1, "what is the network status"))
+            .unwrap();
+        let a = rx.recv().unwrap();
+        let b = rx.recv().unwrap();
+        assert_eq!((a.seq, b.seq), (0, 1), "per-session FIFO");
+        assert_eq!(a.status, ServeStatus::Done);
+        assert!(a.text.contains("14-bus"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn cross_session_parallelism_shares_the_cache() {
+        let (server, rx) = Server::start(small_config(4));
+        // Warm the cache with one session, then race three more: the
+        // parallel wave must hit the warmed entry, not re-solve.
+        server.submit(req("s0", 0, "solve case14")).unwrap();
+        let warm = rx.recv().unwrap();
+        for s in 1..4 {
+            server
+                .submit(req(&format!("s{s}"), 0, "solve case14"))
+                .unwrap();
+        }
+        let texts: Vec<String> = (0..3).map(|_| rx.recv().unwrap().text).collect();
+        for t in &texts {
+            assert_eq!(t, &warm.text, "identical queries answer identically");
+        }
+        let stats = server.cache_stats();
+        assert!(
+            stats.hits >= 3,
+            "warmed entry must serve the wave: {stats:?}"
+        );
+        assert_eq!(server.session_count(), 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_with_busy() {
+        let config = ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServerConfig::default()
+        };
+        let (server, rx) = Server::start(config);
+        // Occupy the worker long enough to observe the bound.
+        server.submit(req("a", 0, "solve case57")).unwrap();
+        let mut rejected = 0;
+        for i in 0..8 {
+            if let Err(resp) = server.submit(req("b", i, "solve case14")) {
+                assert_eq!(resp.status, ServeStatus::Busy);
+                assert_eq!(resp.seq, i);
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0, "capacity 1 must shed load");
+        let telemetry = {
+            let mut answered = 0;
+            while let Ok(r) = rx.recv_timeout(Duration::from_secs(60)) {
+                answered += 1;
+                assert_ne!(r.status, ServeStatus::Busy);
+                if answered == 9 - rejected {
+                    break;
+                }
+            }
+            server.shutdown()
+        };
+        assert_eq!(telemetry.counter_value("serve.busy_rejections"), rejected);
+    }
+
+    #[test]
+    fn expired_deadline_times_out_without_execution() {
+        let (server, rx) = Server::start(small_config(1));
+        // First request occupies the only worker; the second expires
+        // while queued (0 ms budget).
+        server.submit(req("a", 0, "solve case30")).unwrap();
+        server
+            .submit(ServeRequest {
+                deadline_ms: Some(0),
+                ..req("b", 1, "solve case30")
+            })
+            .unwrap();
+        let mut statuses = std::collections::HashMap::new();
+        for _ in 0..2 {
+            let r = rx.recv().unwrap();
+            statuses.insert(r.session.clone(), (r.status, r.text.clone()));
+        }
+        assert_eq!(statuses["a"].0, ServeStatus::Done);
+        assert_eq!(statuses["b"].0, ServeStatus::TimedOut);
+        assert!(statuses["b"].1.is_empty(), "timed-out work never ran");
+        let telemetry = server.shutdown();
+        assert_eq!(telemetry.counter_value("serve.timeouts"), 1);
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_work() {
+        let (server, rx) = Server::start(small_config(2));
+        for i in 0..6 {
+            server.submit(req("s", i, "solve case14")).unwrap();
+        }
+        let telemetry = server.shutdown();
+        let received: Vec<ServeResponse> = rx.try_iter().collect();
+        assert_eq!(received.len(), 6, "drain answers everything admitted");
+        assert_eq!(telemetry.counter_value("serve.requests"), 6);
+    }
+}

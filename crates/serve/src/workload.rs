@@ -1,0 +1,223 @@
+//! Deterministic workload driver: N sessions × M scripted queries.
+//!
+//! Every session submits the *same* script, so the soak invariants are
+//! sharp: each of the N×M requests must be answered exactly once (no
+//! losses, no duplicates), and for every script position the N answers
+//! must be **byte-identical** across sessions — the solvers are
+//! deterministic, narration carries no wall-clock text, and a cache hit
+//! recalls exactly what a fresh solve would have produced. Busy
+//! rejections are retried (with backoff) rather than dropped, so
+//! backpressure shows up as `busy_retries` instead of lost work.
+
+use crate::server::{Server, ServerConfig};
+use crate::ServeStatus;
+use gm_agents::{ModelProfile, ServeRequest, ServeResponse};
+use std::collections::{BTreeMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// Workload sizing.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Concurrent sessions, each running the full script.
+    pub sessions: usize,
+    /// Admission bound (requests admitted but unanswered).
+    pub queue_capacity: usize,
+    /// Solver-cache LRU capacity.
+    pub cache_capacity: usize,
+    /// The per-session query script.
+    pub script: Vec<String>,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> WorkloadConfig {
+        WorkloadConfig {
+            workers: 8,
+            sessions: 32,
+            queue_capacity: 64,
+            cache_capacity: 64,
+            script: default_script(),
+        }
+    }
+}
+
+/// The standard 4-query script: solve, sweep, mutate + re-solve, recall.
+pub fn default_script() -> Vec<String> {
+    vec![
+        "solve case14".into(),
+        "run the n-1 contingency analysis".into(),
+        "set the load at bus 9 to 45 MW".into(),
+        "what is the network status".into(),
+    ]
+}
+
+/// What the soak run observed, with the gating verdicts precomputed.
+#[derive(Clone, Debug)]
+pub struct WorkloadReport {
+    /// Requests the script implies (`sessions × script.len()`).
+    pub expected: usize,
+    /// Responses received.
+    pub received: usize,
+    /// Distinct `(session, seq)` pairs among them.
+    pub distinct: usize,
+    /// Responses that were not `Done`.
+    pub failed: usize,
+    /// `Busy` rejections that were retried into admission.
+    pub busy_retries: u64,
+    /// Script positions whose answers differed across sessions.
+    pub divergent_positions: Vec<u64>,
+    /// Final solver-cache statistics.
+    pub cache: gridmind_core::SolverCacheStats,
+    /// Sessions observed by the server.
+    pub sessions_served: usize,
+    /// Wall-clock duration of the run.
+    pub wall_s: f64,
+    /// Full server telemetry export (trace artifact).
+    pub telemetry: serde_json::Value,
+}
+
+impl WorkloadReport {
+    /// True when every soak invariant held: nothing lost, nothing
+    /// duplicated, nothing failed, byte-identical answers per script
+    /// position, and the shared cache actually hit.
+    pub fn passed(&self) -> bool {
+        self.received == self.expected
+            && self.distinct == self.expected
+            && self.failed == 0
+            && self.divergent_positions.is_empty()
+            && self.cache.hits > 0
+    }
+
+    /// JSON summary (the `gm-serve` binary's stdout contract).
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "expected": self.expected,
+            "received": self.received,
+            "distinct": self.distinct,
+            "failed": self.failed,
+            "busy_retries": self.busy_retries,
+            "divergent_positions": self.divergent_positions,
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+                "inserts": self.cache.inserts,
+            },
+            "sessions_served": self.sessions_served,
+            "wall_s": self.wall_s,
+            "passed": self.passed(),
+        })
+    }
+}
+
+/// Runs the N×M soak against a fresh server and checks the invariants.
+pub fn run(config: &WorkloadConfig) -> WorkloadReport {
+    let t0 = Instant::now();
+    let (server, rx) = Server::start(ServerConfig {
+        workers: config.workers,
+        queue_capacity: config.queue_capacity,
+        cache_capacity: config.cache_capacity,
+        profile: ModelProfile::by_name("GPT-5").expect("built-in profile"),
+    });
+
+    let expected = config.sessions * config.script.len();
+    let mut busy_retries: u64 = 0;
+    // Interleave submissions round-robin over sessions so the queue sees
+    // genuine cross-session contention, not one session at a time.
+    for (qi, query) in config.script.iter().enumerate() {
+        for s in 0..config.sessions {
+            let mut req = ServeRequest {
+                session: format!("session-{s:03}"),
+                seq: qi as u64,
+                query: query.clone(),
+                deadline_ms: None,
+            };
+            loop {
+                match server.submit(req) {
+                    Ok(()) => break,
+                    Err(rejected) => {
+                        busy_retries += 1;
+                        std::thread::sleep(Duration::from_millis(2));
+                        req = ServeRequest {
+                            session: rejected.session,
+                            seq: rejected.seq,
+                            query: query.clone(),
+                            deadline_ms: None,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    let mut responses: Vec<ServeResponse> = Vec::with_capacity(expected);
+    while responses.len() < expected {
+        match rx.recv_timeout(Duration::from_secs(600)) {
+            Ok(r) => responses.push(r),
+            Err(_) => break, // lost responses surface as received < expected
+        }
+    }
+
+    let cache = server.cache_stats();
+    let sessions_served = server.session_count();
+    let telemetry = server.shutdown().export();
+
+    // Cross-session determinism: per script position, one canonical text.
+    let mut by_position: BTreeMap<u64, HashSet<&str>> = BTreeMap::new();
+    for r in responses.iter().filter(|r| r.status == ServeStatus::Done) {
+        by_position
+            .entry(r.seq)
+            .or_default()
+            .insert(r.text.as_str());
+    }
+    let divergent_positions: Vec<u64> = by_position
+        .iter()
+        .filter(|(_, texts)| texts.len() > 1)
+        .map(|(seq, _)| *seq)
+        .collect();
+    let distinct = responses
+        .iter()
+        .map(|r| (r.session.as_str(), r.seq))
+        .collect::<HashSet<_>>()
+        .len();
+
+    WorkloadReport {
+        expected,
+        received: responses.len(),
+        distinct,
+        failed: responses
+            .iter()
+            .filter(|r| r.status != ServeStatus::Done)
+            .count(),
+        busy_retries,
+        divergent_positions,
+        cache,
+        sessions_served,
+        wall_s: t0.elapsed().as_secs_f64(),
+        telemetry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_workload_is_deterministic_and_lossless() {
+        let report = run(&WorkloadConfig {
+            workers: 4,
+            sessions: 6,
+            queue_capacity: 8, // force some Busy retries too
+            cache_capacity: 64,
+            script: default_script(),
+        });
+        assert!(report.passed(), "workload failed: {}", report.to_json());
+        assert_eq!(report.sessions_served, 6);
+        assert!(
+            report.cache.hits >= 5,
+            "5 of 6 identical first queries should hit; stats: {:?}",
+            report.cache
+        );
+    }
+}
