@@ -21,7 +21,14 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Crates whose non-test code must be panic-free.
-pub const SOLVER_CRATES: &[&str] = &["numeric", "sparse", "powerflow", "acopf", "contingency"];
+pub const SOLVER_CRATES: &[&str] = &[
+    "numeric",
+    "sparse",
+    "powerflow",
+    "acopf",
+    "contingency",
+    "faults",
+];
 
 /// Crates whose non-test code must not contain truncating float→int
 /// `as` casts (silent data-loss hazard in numeric kernels).
@@ -42,6 +49,7 @@ pub const NO_PRINTLN_CRATES: &[&str] = &[
     "telemetry",
     "core",
     "serve",
+    "faults",
 ];
 
 /// Repo-root directories holding test-support code (`tests/`,

@@ -40,6 +40,7 @@ pub mod agents;
 pub mod coordinator;
 pub mod planners;
 pub mod quality;
+pub mod recovery;
 pub mod repl;
 pub mod session;
 pub mod solver_cache;
@@ -51,6 +52,9 @@ pub use agents::{build_acopf_agent, build_ca_agent, ACOPF_SYSTEM_PROMPT, CA_SYST
 pub use coordinator::{AgentKind, CoordinatedResponse, GridMind, TurnMetric, WorkflowStep};
 pub use gm_agents::ModelProfile;
 pub use quality::{assess, SolutionQuality};
+pub use recovery::{
+    caveat, solve_acopf_recovered, solve_base_recovered, solve_scopf_recovered, CAVEAT_PREFIX,
+};
 pub use session::{SessionContext, SessionError, SessionState, SharedSession, Stamped};
 pub use solver_cache::{
     QueryKind, SharedSolverCache, SolverCache, SolverCacheKey, SolverCacheStats, SolverResult,

@@ -22,6 +22,28 @@ fn error_of(result: &Value) -> Option<&str> {
     result.get("error").and_then(|e| e.as_str())
 }
 
+/// Appends the distinct `degraded_caveat` lines carried by this turn's
+/// tool results to a narration. The recovery ladder
+/// ([`crate::recovery`]) attaches these when an answer was produced by a
+/// fallback solver; the contract is that they are surfaced verbatim —
+/// a degraded answer is never narrated as a clean one. Scanning *all*
+/// pending results (not just the narrated one) keeps the caveat alive
+/// across chained calls, e.g. a degraded base case feeding an N-1 sweep.
+fn with_caveats(view: &ConversationView, text: String) -> String {
+    let mut out = text;
+    let mut seen: Vec<&str> = Vec::new();
+    for (_, result) in &view.pending_results {
+        if let Some(c) = result.get("degraded_caveat").and_then(|v| v.as_str()) {
+            if !seen.contains(&c) {
+                seen.push(c);
+                out.push_str("\n\n");
+                out.push_str(c);
+            }
+        }
+    }
+    out
+}
+
 // ---------------------------------------------------------------------
 // ACOPF agent planner
 // ---------------------------------------------------------------------
@@ -227,28 +249,37 @@ impl Planner for AcopfPlanner {
                     }
                     return ModelTurn {
                         reasoning: vec!["(validate results)".into(), "(narrate findings)".into()],
-                        action: TurnAction::Respond(Self::narrate_solution(result)),
+                        action: TurnAction::Respond(with_caveats(
+                            view,
+                            Self::narrate_solution(result),
+                        )),
                     };
                 }
                 "modify_bus_load" => {
                     return ModelTurn {
                         reasoning: vec!["(validate results)".into(), "(summary)".into()],
-                        action: TurnAction::Respond(Self::narrate_modification(result)),
+                        action: TurnAction::Respond(with_caveats(
+                            view,
+                            Self::narrate_modification(result),
+                        )),
                     };
                 }
                 "modify_gen_limits" => {
                     return ModelTurn {
                         reasoning: vec!["(validate results)".into(), "(summary)".into()],
-                        action: TurnAction::Respond(format!(
-                            "Re-solved after changing the limits of {} unit(s) at bus {}. \
-                             New objective cost {:.2} $/h (a change of {:+.2} $/h); losses \
-                             {:.2} MW; max loading {:.1}%.",
-                            result["units_modified"],
-                            result["modified_bus"],
-                            f(result, "objective_cost"),
-                            f(result, "cost_delta"),
-                            f(result, "losses_mw"),
-                            f(result, "max_thermal_loading_pct"),
+                        action: TurnAction::Respond(with_caveats(
+                            view,
+                            format!(
+                                "Re-solved after changing the limits of {} unit(s) at bus {}. \
+                                 New objective cost {:.2} $/h (a change of {:+.2} $/h); losses \
+                                 {:.2} MW; max loading {:.1}%.",
+                                result["units_modified"],
+                                result["modified_bus"],
+                                f(result, "objective_cost"),
+                                f(result, "cost_delta"),
+                                f(result, "losses_mw"),
+                                f(result, "max_thermal_loading_pct"),
+                            ),
                         )),
                     };
                 }
@@ -258,13 +289,19 @@ impl Planner for AcopfPlanner {
                             "(validate the secure dispatch)".into(),
                             "(compare against the economic optimum)".into(),
                         ],
-                        action: TurnAction::Respond(Self::narrate_scopf(result)),
+                        action: TurnAction::Respond(with_caveats(
+                            view,
+                            Self::narrate_scopf(result),
+                        )),
                     };
                 }
                 "get_network_status" => {
                     return ModelTurn {
                         reasoning: vec!["(summarize current state)".into()],
-                        action: TurnAction::Respond(Self::narrate_status(result)),
+                        action: TurnAction::Respond(with_caveats(
+                            view,
+                            Self::narrate_status(result),
+                        )),
                     };
                 }
                 _ => {}
@@ -578,13 +615,19 @@ impl Planner for CaPlanner {
                             "(validate the sweep results)".into(),
                             "(rank critical elements and justify)".into(),
                         ],
-                        action: TurnAction::Respond(Self::narrate_report(result, top_k)),
+                        action: TurnAction::Respond(with_caveats(
+                            view,
+                            Self::narrate_report(result, top_k),
+                        )),
                     };
                 }
                 "analyze_specific_contingency" => {
                     return ModelTurn {
                         reasoning: vec!["(interpret the outage result)".into()],
-                        action: TurnAction::Respond(Self::narrate_specific(result)),
+                        action: TurnAction::Respond(with_caveats(
+                            view,
+                            Self::narrate_specific(result),
+                        )),
                     };
                 }
                 "run_generator_contingency_analysis" => {
@@ -614,14 +657,17 @@ impl Planner for CaPlanner {
                         .collect();
                     return ModelTurn {
                         reasoning: vec!["(rank unit outages by system stress)".into()],
-                        action: TurnAction::Respond(format!(
-                            "I simulated the outage of all {} in-service generating units. \
-                             {} did not converge and {} caused violations. Most critical unit \
-                             outages:\n{}",
-                            result["n_units"],
-                            result["units_not_converged"],
-                            result["units_with_violations"],
-                            lines.join("\n"),
+                        action: TurnAction::Respond(with_caveats(
+                            view,
+                            format!(
+                                "I simulated the outage of all {} in-service generating units. \
+                                 {} did not converge and {} caused violations. Most critical unit \
+                                 outages:\n{}",
+                                result["n_units"],
+                                result["units_not_converged"],
+                                result["units_with_violations"],
+                                lines.join("\n"),
+                            ),
                         )),
                     };
                 }
@@ -635,7 +681,7 @@ impl Planner for CaPlanner {
                     };
                     return ModelTurn {
                         reasoning: vec!["(summarize cached analysis)".into()],
-                        action: TurnAction::Respond(text),
+                        action: TurnAction::Respond(with_caveats(view, text)),
                     };
                 }
                 _ => {}
@@ -831,6 +877,38 @@ mod tests {
         assert!(text.contains("137"));
         assert!(text.contains("line 6"));
         assert!(text.contains("Recommendations"));
+    }
+
+    #[test]
+    fn degraded_results_carry_their_caveat_into_narration() {
+        let caveat = crate::recovery::caveat(
+            "AC optimal power flow",
+            "barrier stall",
+            "DC optimal power flow",
+        );
+        let memory = AgentMemory::new("t", "p");
+        let mut view = memory.view("solve case14");
+        // A degraded base case earlier in the turn, then a clean sweep:
+        // the caveat must survive the chain into the final narration.
+        view.pending_results.push((
+            "solve_base_case".into(),
+            json!({"converged": true, "degraded_caveat": caveat}),
+        ));
+        view.pending_results.push((
+            "run_n1_contingency_analysis".into(),
+            json!({"case_name": "case14", "n_contingencies": 20, "ranking": []}),
+        ));
+        let t = CaPlanner.plan(&view, AnalysisStyle::Composite);
+        match t.action {
+            TurnAction::Respond(text) => {
+                assert!(
+                    text.contains(crate::recovery::CAVEAT_PREFIX),
+                    "degraded answers must be caveated, got: {text}"
+                );
+                assert!(text.contains("barrier stall"));
+            }
+            other => panic!("expected respond, got {other:?}"),
+        }
     }
 
     #[test]

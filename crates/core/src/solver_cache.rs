@@ -216,6 +216,26 @@ impl SolverCache {
     }
 }
 
+/// Cache lookup with fault-injection hooks (site `cache.get`): an
+/// injected [`gm_faults::FaultKind::CacheMiss`] makes the entry
+/// invisible (forcing a re-solve), an injected `CachePoison` simulates a
+/// corrupted entry — it is discarded, counted as
+/// `serve.cache.poison_detected`, and recomputed. With no injector
+/// installed this is exactly `cache.get(key)`.
+fn cache_lookup(cache: &SolverCache, key: &SolverCacheKey) -> Option<SolverResult> {
+    match gm_faults::inject("cache.get") {
+        Some(gm_faults::FaultKind::CacheMiss) => None,
+        Some(gm_faults::FaultKind::CachePoison) => {
+            // The poisoned entry must not be served: drop it and fall
+            // through to a fresh solve (whose `put` overwrites it).
+            let _ = cache.get(key);
+            gm_telemetry::counter_add("serve.cache.poison_detected", 1);
+            None
+        }
+        _ => cache.get(key),
+    }
+}
+
 /// ACOPF through the cache: a hit recalls the memoized interior-point
 /// solution; a miss solves and memoizes. `None` cache always solves.
 pub fn solve_acopf_cached(
@@ -231,7 +251,7 @@ pub fn solve_acopf_cached(
         kind: QueryKind::Acopf,
         params: opts.fingerprint(),
     };
-    if let Some(SolverResult::Acopf(sol)) = cache.get(&key) {
+    if let Some(SolverResult::Acopf(sol)) = cache_lookup(cache, &key) {
         return Ok(sol);
     }
     let sol = solve_acopf(net, opts)?;
@@ -253,7 +273,7 @@ pub fn solve_scopf_cached(
         kind: QueryKind::Scopf,
         params: opts.fingerprint(),
     };
-    if let Some(SolverResult::Scopf(sol)) = cache.get(&key) {
+    if let Some(SolverResult::Scopf(sol)) = cache_lookup(cache, &key) {
         return Ok(sol);
     }
     let sol = solve_scopf(net, opts)?;
@@ -275,12 +295,41 @@ pub fn solve_base_cached(
         kind: QueryKind::BasePf,
         params: opts.fingerprint(),
     };
-    if let Some(SolverResult::Pf(rep)) = cache.get(&key) {
+    if let Some(SolverResult::Pf(rep)) = cache_lookup(cache, &key) {
         return Ok(rep);
     }
     let rep = solve_base(net, opts)?;
     cache.put(key, SolverResult::Pf(rep.clone()));
     Ok(rep)
+}
+
+/// Folds the N-1 parameter triple into one fingerprint via a canonical
+/// **length-prefixed** byte encoding hashed with FNV-1a. Each field is
+/// serialized as `len byte ‖ little-endian bytes`, so the byte stream
+/// parses back to exactly one `(fingerprint, screened, threshold)`
+/// triple and distinct triples can only collide through the hash itself
+/// — unlike the previous xor/multiply mix, where the `screened` bit and
+/// the threshold bits occupied overlapping lanes and a crafted
+/// `(screened, threshold)` pair could alias a `(full, threshold')` key
+/// (see `old_mix_collision_is_fixed`).
+fn n1_params_fingerprint(opts_fp: u64, screened: bool, screen_threshold: f64) -> u64 {
+    let fields: [&[u8]; 3] = [
+        &opts_fp.to_le_bytes(),
+        &[u8::from(screened)],
+        &screen_threshold.to_bits().to_le_bytes(),
+    ];
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    };
+    for field in fields {
+        eat(field.len() as u8);
+        for &b in field {
+            eat(b);
+        }
+    }
+    h
 }
 
 /// N-1 sweep through the cache. The `screened` mode and its threshold
@@ -307,19 +356,13 @@ pub fn run_n1_cached_shared(
     let Some(cache) = cache else {
         return run(net);
     };
-    let params = {
-        let mut h = opts.fingerprint();
-        h ^= u64::from(screened);
-        h = h.wrapping_mul(0x100000001b3);
-        h ^= screen_threshold.to_bits();
-        h.wrapping_mul(0x100000001b3)
-    };
+    let params = n1_params_fingerprint(opts.fingerprint(), screened, screen_threshold);
     let key = SolverCacheKey {
         net_hash: net.content_hash(),
         kind: QueryKind::ContingencyN1,
         params,
     };
-    if let Some(SolverResult::Contingency(rep)) = cache.get(&key) {
+    if let Some(SolverResult::Contingency(rep)) = cache_lookup(cache, &key) {
         return Ok(rep);
     }
     let rep = run(net)?;
@@ -459,6 +502,82 @@ mod tests {
             Some(SolverResult::Pf(rep)) => assert_eq!(rep.iterations, 10),
             other => panic!("expected overwritten pf, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn old_mix_collision_is_fixed() {
+        // The pre-canonical key derivation xor-folded the screened flag
+        // and the threshold bits into the fingerprint:
+        //   old(fp, s, t) = (((fp ^ s) * P) ^ t.bits) * P
+        // For any fingerprint and threshold t1, the screened key
+        // old(fp, 1, t1) collides with the *full-sweep* key
+        // old(fp, 0, t2) at t2.bits = t1.bits ^ ((fp^1)*P) ^ (fp*P):
+        // a screened sweep could be served a cached full sweep (or vice
+        // versa). The canonical length-prefixed encoding keeps the two
+        // keys distinct.
+        const P: u64 = 0x100000001b3;
+        let old_mix = |fp: u64, screened: bool, t: f64| -> u64 {
+            let mut h = fp;
+            h ^= u64::from(screened);
+            h = h.wrapping_mul(P);
+            h ^= t.to_bits();
+            h.wrapping_mul(P)
+        };
+        let fp = CaOptions::default().fingerprint();
+        let t1 = 0.85f64;
+        let t2 = f64::from_bits(t1.to_bits() ^ (fp ^ 1).wrapping_mul(P) ^ fp.wrapping_mul(P));
+        assert_ne!(t1.to_bits(), t2.to_bits(), "a genuinely distinct threshold");
+        assert_eq!(
+            old_mix(fp, true, t1),
+            old_mix(fp, false, t2),
+            "the ad-hoc mix collapsed this screened/full pair"
+        );
+        assert_ne!(
+            n1_params_fingerprint(fp, true, t1),
+            n1_params_fingerprint(fp, false, t2),
+            "the canonical encoding must separate it"
+        );
+        // And the canonical encoding still distinguishes the ordinary
+        // neighbours: mode flips and threshold changes.
+        assert_ne!(
+            n1_params_fingerprint(fp, true, t1),
+            n1_params_fingerprint(fp, false, t1)
+        );
+        assert_ne!(
+            n1_params_fingerprint(fp, true, t1),
+            n1_params_fingerprint(fp, true, 0.9)
+        );
+    }
+
+    #[test]
+    fn injected_cache_faults_force_resolve_and_poison_detection() {
+        let net = cases::load(gm_network::CaseId::Ieee14);
+        let cache = SolverCache::new(8);
+        let opts = CaOptions::default();
+        let warm = solve_base_cached(Some(&cache), &net, &opts).unwrap();
+        assert_eq!(cache.stats().hits, 0);
+
+        // Fault-free: the warmed entry hits and recalls identical bytes.
+        let hit = solve_base_cached(Some(&cache), &net, &opts).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(format!("{hit:?}"), format!("{warm:?}"));
+
+        // CacheMiss then CachePoison: both force a re-solve; the poison
+        // path additionally counts its detection. Results stay
+        // byte-identical — recomputation is deterministic.
+        let reg = gm_telemetry::Registry::new();
+        let _t = reg.install();
+        let inj = gm_faults::FaultInjector::scripted(vec![
+            gm_faults::FaultRule::new("cache.get", gm_faults::FaultKind::CacheMiss, 0, 1),
+            gm_faults::FaultRule::new("cache.get", gm_faults::FaultKind::CachePoison, 1, 1),
+        ]);
+        let _g = inj.install();
+        let missed = solve_base_cached(Some(&cache), &net, &opts).unwrap();
+        let poisoned = solve_base_cached(Some(&cache), &net, &opts).unwrap();
+        assert_eq!(format!("{missed:?}"), format!("{warm:?}"));
+        assert_eq!(format!("{poisoned:?}"), format!("{warm:?}"));
+        assert_eq!(reg.counter_value("serve.cache.poison_detected"), 1);
+        assert_eq!(inj.injected_total(), 2);
     }
 
     #[test]

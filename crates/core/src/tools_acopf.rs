@@ -8,8 +8,8 @@
 //! `min_voltage_pu`, …), and deposits typed artifacts for other agents.
 
 use crate::quality;
+use crate::recovery::{solve_acopf_recovered, solve_scopf_recovered};
 use crate::session::SharedSession;
-use crate::solver_cache::{solve_acopf_cached, solve_scopf_cached};
 use gm_acopf::{AcopfOptions, AcopfSolution, ScopfOptions};
 use gm_agents::{Field, FnTool, Schema, ToolError, ToolSpec, VirtualClock};
 use gm_network::Modification;
@@ -95,7 +95,7 @@ pub fn solve_acopf_case_tool(session: SharedSession, clock: VirtualClock) -> FnT
                 message: e.to_string(),
                 recoverable: false,
             })?;
-            let sol = solve_acopf_cached(
+            let (sol, degraded) = solve_acopf_recovered(
                 session.solver_cache.as_ref(),
                 &net,
                 &AcopfOptions::default(),
@@ -107,6 +107,9 @@ pub fn solve_acopf_case_tool(session: SharedSession, clock: VirtualClock) -> FnT
             let q = quality::assess(&net, &sol);
             session.put_acopf(sol.clone(), clock.now());
             let mut out = solution_to_json(&sol, q.overall_score);
+            if let Some(c) = degraded {
+                out["degraded_caveat"] = json!(c);
+            }
             out["identification_confidence"] = json!(confidence);
             out["network_summary"] = serde_json::to_value(net.summary()).unwrap();
             Ok(out)
@@ -161,7 +164,7 @@ pub fn modify_bus_load_tool(session: SharedSession, clock: VirtualClock) -> FnTo
                 message: e.to_string(),
                 recoverable: false,
             })?;
-            let sol = solve_acopf_cached(
+            let (sol, degraded) = solve_acopf_recovered(
                 session.solver_cache.as_ref(),
                 &net,
                 &AcopfOptions::default(),
@@ -173,6 +176,9 @@ pub fn modify_bus_load_tool(session: SharedSession, clock: VirtualClock) -> FnTo
             let q = quality::assess(&net, &sol);
             session.put_acopf(sol.clone(), clock.now());
             let mut out = solution_to_json(&sol, q.overall_score);
+            if let Some(c) = degraded {
+                out["degraded_caveat"] = json!(c);
+            }
             out["previous_cost"] = json!(previous_cost);
             out["cost_delta"] = json!(sol.objective_cost - previous_cost);
             out["modified_bus"] = json!(bus_id);
@@ -248,7 +254,7 @@ pub fn modify_gen_limits_tool(session: SharedSession, clock: VirtualClock) -> Fn
                 message: e.to_string(),
                 recoverable: false,
             })?;
-            let sol = solve_acopf_cached(
+            let (sol, degraded) = solve_acopf_recovered(
                 session.solver_cache.as_ref(),
                 &net,
                 &AcopfOptions::default(),
@@ -260,6 +266,9 @@ pub fn modify_gen_limits_tool(session: SharedSession, clock: VirtualClock) -> Fn
             let q = quality::assess(&net, &sol);
             session.put_acopf(sol.clone(), clock.now());
             let mut out = solution_to_json(&sol, q.overall_score);
+            if let Some(c) = degraded {
+                out["degraded_caveat"] = json!(c);
+            }
             out["previous_cost"] = json!(previous_cost);
             out["cost_delta"] = json!(sol.objective_cost - previous_cost);
             out["modified_bus"] = json!(bus_id);
@@ -310,7 +319,7 @@ pub fn solve_security_constrained_tool(session: SharedSession, clock: VirtualClo
                 message: e.to_string(),
                 recoverable: false,
             })?;
-            let scopf = solve_scopf_cached(
+            let (scopf, degraded) = solve_scopf_recovered(
                 session.solver_cache.as_ref(),
                 &net,
                 &ScopfOptions::default(),
@@ -322,6 +331,9 @@ pub fn solve_security_constrained_tool(session: SharedSession, clock: VirtualClo
             let q = quality::assess(&net, &scopf.solution);
             session.put_acopf(scopf.solution.clone(), clock.now());
             let mut out = solution_to_json(&scopf.solution, q.overall_score);
+            if let Some(c) = degraded {
+                out["degraded_caveat"] = json!(c);
+            }
             out["economic_cost"] = json!(scopf.economic_cost);
             out["security_premium"] = json!(scopf.security_premium);
             out["n_security_constraints"] = json!(scopf.n_security_constraints);

@@ -2,8 +2,9 @@
 //! `solve_base_case`, `run_n1_contingency_analysis`,
 //! `analyze_specific_contingency`, `get_contingency_status`.
 
+use crate::recovery::solve_base_recovered;
 use crate::session::SharedSession;
-use crate::solver_cache::{run_n1_cached_shared, solve_base_cached};
+use crate::solver_cache::run_n1_cached_shared;
 use gm_agents::{Field, FnTool, Schema, ToolError, ToolSpec, VirtualClock};
 use gm_contingency::{
     evaluate_outage, run_gen_n1, solve_base, CaOptions, ContingencyReport, Outage, RankingStrategy,
@@ -91,14 +92,13 @@ pub fn solve_base_case_tool(session: SharedSession, clock: VirtualClock) -> FnTo
                 recoverable: false,
             })?;
             let opts = CaOptions::default();
-            let rep = solve_base_cached(session.solver_cache.as_ref(), &net, &opts).map_err(
-                |e| ToolError::Execution {
+            let (rep, degraded) = solve_base_recovered(session.solver_cache.as_ref(), &net, &opts)
+                .map_err(|e| ToolError::Execution {
                     message: e.to_string(),
                     recoverable: true,
-                },
-            )?;
+                })?;
             session.put_base_pf(rep.clone(), clock.now());
-            Ok(json!({
+            let mut out = json!({
                 "converged": rep.converged,
                 "iterations": rep.iterations,
                 "losses_mw": rep.losses_mw,
@@ -108,7 +108,11 @@ pub fn solve_base_case_tool(session: SharedSession, clock: VirtualClock) -> FnTo
                 "max_loading_pct": rep.max_loading.0,
                 "total_load_mw": net.total_load_mw(),
                 "network_summary": serde_json::to_value(net.summary()).unwrap(),
-            }))
+            });
+            if let Some(c) = degraded {
+                out["degraded_caveat"] = json!(c);
+            }
+            Ok(out)
         },
     )
 }
@@ -163,21 +167,63 @@ pub fn run_n1_tool(session: SharedSession, clock: VirtualClock) -> FnTool {
             let base = session.fresh_base_pf();
             let diff_hash = session.diff_hash();
             let screened = args.get("mode").and_then(|v| v.as_str()) == Some("screened");
-            let rep = run_n1_cached_shared(
-                session.solver_cache.as_ref(),
-                &net,
-                &opts,
-                base.as_ref(),
-                Some((&session.cache, diff_hash)),
-                screened,
-                0.85,
-            )
-            .map_err(|e| ToolError::Execution {
-                message: format!("base case power flow failed: {e}"),
-                recoverable: true,
-            })?;
+            // An injected `pf.base` fault imitates the sweep's own base
+            // solve diverging (the session warm start is bypassed too).
+            let primary = match gm_faults::inject("pf.base") {
+                Some(gm_faults::FaultKind::NewtonDiverge | gm_faults::FaultKind::LuSingular) => {
+                    Err(gm_powerflow::PfError::Diverged {
+                        iterations: 0,
+                        mismatch_pu: f64::INFINITY,
+                    })
+                }
+                _ => run_n1_cached_shared(
+                    session.solver_cache.as_ref(),
+                    &net,
+                    &opts,
+                    base.as_ref(),
+                    Some((&session.cache, diff_hash)),
+                    screened,
+                    0.85,
+                ),
+            };
+            let (rep, degraded) = match primary {
+                Ok(rep) => (rep, None),
+                Err(
+                    e @ (gm_powerflow::PfError::Diverged { .. }
+                    | gm_powerflow::PfError::SingularJacobian { .. }),
+                ) => {
+                    // Recovery: rebuild the base case down the ladder and
+                    // sweep from it. The degraded sweep bypasses both the
+                    // shared solver cache and the per-outage session cache
+                    // so approximate outcomes can never be recalled as
+                    // exact ones.
+                    gm_telemetry::counter_add("recovery.attempts", 1);
+                    let (rbase, cav) = crate::recovery::pf_ladder(&net, &opts.pf, &e.to_string())
+                        .ok_or_else(|| ToolError::Execution {
+                        message: format!("base case power flow failed: {e}"),
+                        recoverable: true,
+                    })?;
+                    let rep =
+                        run_n1_cached_shared(None, &net, &opts, Some(&rbase), None, screened, 0.85)
+                            .map_err(|e| ToolError::Execution {
+                                message: format!("base case power flow failed: {e}"),
+                                recoverable: true,
+                            })?;
+                    (rep, Some(cav))
+                }
+                Err(e) => {
+                    return Err(ToolError::Execution {
+                        message: format!("base case power flow failed: {e}"),
+                        recoverable: true,
+                    })
+                }
+            };
             session.put_contingency(rep.clone(), clock.now());
-            Ok(report_to_json(&rep, top_k))
+            let mut out = report_to_json(&rep, top_k);
+            if let Some(c) = degraded {
+                out["degraded_caveat"] = json!(c);
+            }
+            Ok(out)
         },
     )
 }

@@ -14,8 +14,10 @@ use gm_sparse::{SparseLu, Triplets};
 ///
 /// Reuses [`crate::newton`]'s reporting by polishing the decoupled solution
 /// with a final report build; convergence control follows `opts.tol_pu` and
-/// `opts.max_iter` (each P or Q half-sweep counts as one iteration of the
-/// pair).
+/// `opts.max_iter`. One **P-θ + Q-V pair** counts as one iteration — the
+/// same "one corrective update per iteration" accounting the Newton
+/// solver uses, so `max_iter` budgets the two solvers comparably and the
+/// reported `iterations` are measured in the same unit.
 pub fn solve_fast_decoupled(net: &Network, opts: &PfOptions) -> Result<PfReport, PfError> {
     let _span = gm_telemetry::span!("pf.fdlf.solve", case = net.name);
     gm_telemetry::counter_add("pf.fdlf.solves", 1);
@@ -122,7 +124,7 @@ pub fn solve_fast_decoupled(net: &Network, opts: &PfOptions) -> Result<PfReport,
     let mut history = Vec::new();
     let mut iterations = 0usize;
     let mut converged = false;
-    for _ in 0..(2 * opts.max_iter) {
+    loop {
         let v: Vec<Complex> = (0..n).map(|i| Complex::from_polar(vm[i], th[i])).collect();
         let s = ybus.injections(&v);
         let mut norm = 0.0f64;
@@ -137,6 +139,9 @@ pub fn solve_fast_decoupled(net: &Network, opts: &PfOptions) -> Result<PfReport,
         history.push(norm);
         if norm < opts.tol_pu {
             converged = true;
+            break;
+        }
+        if iterations >= opts.max_iter {
             break;
         }
         iterations += 1;
@@ -238,6 +243,42 @@ mod tests {
         let fd = solve_fast_decoupled(&net, &opts).unwrap();
         assert!(fd.converged);
         assert!(fd.losses_mw > 0.0);
+    }
+
+    #[test]
+    fn iteration_accounting_counts_pairs_on_case14() {
+        // Pins the unified accounting: one P-θ + Q-V pair = one
+        // iteration, and `max_iter` bounds exactly that count. The
+        // Newton polish runs from the converged point, so it adds zero
+        // iterations and the reported total equals the pair count.
+        let net = cases::load(CaseId::Ieee14);
+        let opts = PfOptions {
+            enforce_q_limits: false,
+            ..Default::default()
+        };
+        let fd = solve_fast_decoupled(&net, &opts).unwrap();
+        assert_eq!(fd.iterations, 8, "pair count on case14 at tol 1e-8");
+
+        // A budget exactly one pair short must diverge; the exact budget
+        // must converge — `max_iter: N` means N pairs, nothing else.
+        let short = PfOptions {
+            max_iter: fd.iterations - 1,
+            ..opts.clone()
+        };
+        match solve_fast_decoupled(&net, &short) {
+            Err(PfError::Diverged { iterations, .. }) => {
+                assert_eq!(iterations, fd.iterations - 1)
+            }
+            other => panic!("one pair short must diverge, got {other:?}"),
+        }
+        let exact = PfOptions {
+            max_iter: fd.iterations,
+            ..opts
+        };
+        assert_eq!(
+            solve_fast_decoupled(&net, &exact).unwrap().iterations,
+            fd.iterations
+        );
     }
 
     #[test]

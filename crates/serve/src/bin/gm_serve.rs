@@ -4,13 +4,18 @@
 //! ```text
 //! gm-serve --workload [--workers N] [--sessions M] [--queries K]
 //!          [--queue-capacity Q] [--cache-capacity C]
+//!          [--chaos SEED] [--chaos-rate PER_MILLE]
 //!          [--out trace.json] [--check]
 //! ```
 //!
 //! Prints a JSON summary (losses, duplicates, determinism verdict,
 //! cache statistics) to stdout. `--out` writes the full server
 //! telemetry trace for `gm-trace`. With `--check`, a failed invariant
-//! exits nonzero — the CI soak gate.
+//! exits nonzero — the CI soak gate. `--chaos SEED` turns the soak into
+//! the chaos run: a seeded fault injector fires at the solver and serve
+//! layers (`--chaos-rate` per-mille per site hit, default 100) and the
+//! gate switches to the fault-tolerance invariants (no losses, no
+//! duplicates, no silent downgrades — see `workload::WorkloadReport`).
 
 use gm_serve::workload::{self, WorkloadConfig};
 use std::process::ExitCode;
@@ -19,6 +24,8 @@ struct Args {
     workload: bool,
     check: bool,
     out: Option<String>,
+    chaos_seed: Option<u64>,
+    chaos_per_mille: u32,
     config: WorkloadConfig,
 }
 
@@ -27,6 +34,8 @@ fn parse_args() -> Result<Args, String> {
         workload: false,
         check: false,
         out: None,
+        chaos_seed: None,
+        chaos_per_mille: 100,
         config: WorkloadConfig::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -49,6 +58,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--queue-capacity" => args.config.queue_capacity = num("--queue-capacity")?,
             "--cache-capacity" => args.config.cache_capacity = num("--cache-capacity")?,
+            "--chaos" => args.chaos_seed = Some(num("--chaos")? as u64),
+            "--chaos-rate" => {
+                let r = num("--chaos-rate")?;
+                if r > 1000 {
+                    return Err("--chaos-rate is per-mille (0..=1000)".into());
+                }
+                args.chaos_per_mille = r as u32;
+            }
             "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -57,13 +74,16 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let mut args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("gm-serve: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(seed) = args.chaos_seed {
+        args.config.faults = Some(gm_faults::FaultInjector::chaos(seed, args.chaos_per_mille));
+    }
     if !args.workload {
         eprintln!("gm-serve: only --workload mode is implemented; see --help header in source");
         return ExitCode::FAILURE;

@@ -5,8 +5,11 @@
 //! until a token or shutdown arrives. Capacity overflow is reported to
 //! the producer (`Err(QueueFull)`) — the server maps it to a `Busy`
 //! rejection — while internal re-scheduling uses [`BoundedQueue::push_forced`],
-//! which is exempt from both the capacity bound and the closed flag so
-//! a draining server can still finish multi-request sessions.
+//! whose only exemption is the **closed** flag, so a draining server can
+//! still finish multi-request sessions. Before close, forced pushes obey
+//! the capacity bound like everyone else: the old behavior of bypassing
+//! both checks let a buggy or adversarial scheduling path grow the queue
+//! without limit.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -52,11 +55,25 @@ impl<T> BoundedQueue<T> {
         Ok(())
     }
 
-    /// Enqueues unconditionally — the internal re-scheduling path, which
-    /// must succeed even during drain so queued sessions finish.
-    pub fn push_forced(&self, item: T) {
-        self.inner.lock().expect("queue lock").items.push_back(item);
+    /// Enqueues on the internal re-scheduling path. Unlike [`push`],
+    /// this succeeds on a **closed** queue — a draining server must
+    /// still re-circulate session tokens so queued sessions finish —
+    /// but the capacity bound holds until close: before the queue is
+    /// closed an over-capacity forced push fails with `Err(QueueFull)`.
+    /// `Ok(true)` flags a push that landed over capacity during drain
+    /// (exported as `serve.queue.forced_over_capacity`).
+    ///
+    /// [`push`]: BoundedQueue::push
+    pub fn push_forced(&self, item: T) -> Result<bool, QueueFull> {
+        let mut g = self.inner.lock().expect("queue lock");
+        let over = g.items.len() >= self.capacity;
+        if over && !g.closed {
+            return Err(QueueFull);
+        }
+        g.items.push_back(item);
+        drop(g);
         self.ready.notify_one();
+        Ok(over)
     }
 
     /// Blocks until an item is available (`Some`) or the queue is both
@@ -115,9 +132,36 @@ mod tests {
         q.push("a").unwrap();
         q.close();
         assert_eq!(q.push("b"), Err(QueueFull), "closed queue rejects pushes");
-        q.push_forced("forced");
+        assert_eq!(
+            q.push_forced("forced"),
+            Ok(false),
+            "forced push bypasses only the closed flag"
+        );
         assert_eq!(q.pop(), Some("a"));
         assert_eq!(q.pop(), Some("forced"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn forced_push_respects_capacity_before_close() {
+        // Regression: `push_forced` used to bypass the capacity bound
+        // as well as the closed flag, so a scheduling bug could grow
+        // the queue without limit on a live server. The drain-only
+        // exemption keeps capacity enforced until `close()`.
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.push_forced(1), Ok(false));
+        assert_eq!(q.push_forced(2), Ok(false));
+        assert_eq!(q.push_forced(3), Err(QueueFull), "at capacity, not closed");
+        assert_eq!(q.len(), 2);
+        q.close();
+        assert_eq!(
+            q.push_forced(3),
+            Ok(true),
+            "drain exemption: over-capacity push allowed and flagged"
+        );
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
         assert_eq!(q.pop(), None);
     }
 

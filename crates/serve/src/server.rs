@@ -18,12 +18,16 @@
 //! *session tokens*, never raw requests — a session's token is queued at
 //! most once, which serializes same-session requests while letting the
 //! pool run distinct sessions fully in parallel. Each request's
-//! deadline is checked at pickup: one that out-waited its budget is
-//! answered `TimedOut` without touching the engine.
+//! deadline is checked at pickup — one that out-waited its budget is
+//! answered `TimedOut` without touching the engine — and **re-checked
+//! after the engine call**: a request whose budget expired while the
+//! solver ran is answered `TimedOut` rather than handed a stale answer
+//! (counted as `serve.deadline.expired_in_flight`).
 
 use crate::queue::BoundedQueue;
 use crate::registry::{QueuedRequest, SessionRegistry};
 use gm_agents::{ModelProfile, ServeRequest, ServeResponse, ServeStatus};
+use gm_faults::FaultInjector;
 use gridmind_core::{GridMind, SessionContext, SolverCache, SolverCacheStats};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -42,6 +46,11 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Model profile every session's agents simulate.
     pub profile: ModelProfile,
+    /// Optional fault injector (chaos testing). Installed in every
+    /// worker thread so solver-layer sites observe it, and consulted by
+    /// the admission and deadline paths. `None` — the default — leaves
+    /// the fault harness entirely out of the request path.
+    pub faults: Option<FaultInjector>,
 }
 
 impl Default for ServerConfig {
@@ -51,6 +60,7 @@ impl Default for ServerConfig {
             queue_capacity: 1024,
             cache_capacity: 64,
             profile: ModelProfile::by_name("GPT-5").expect("built-in profile"),
+            faults: None,
         }
     }
 }
@@ -66,6 +76,7 @@ struct Shared {
     accepting: AtomicBool,
     queue_capacity: usize,
     telemetry: gm_telemetry::Registry,
+    faults: Option<FaultInjector>,
 }
 
 /// The running service.
@@ -89,6 +100,7 @@ impl Server {
             accepting: AtomicBool::new(true),
             queue_capacity: config.queue_capacity.max(1),
             telemetry: gm_telemetry::Registry::new(),
+            faults: config.faults,
         });
         let workers = (0..config.workers.max(1))
             .map(|w| {
@@ -112,6 +124,14 @@ impl Server {
             s.telemetry.add("serve.busy_rejections", 1);
             return Err(ServeResponse::busy(&req));
         }
+        // Injected queue saturation: the admission path reports `Busy`
+        // exactly as if the capacity check below had tripped.
+        if let Some(inj) = &s.faults {
+            if inj.fire("serve.queue") == Some(gm_faults::FaultKind::QueueSaturate) {
+                s.telemetry.add("serve.busy_rejections", 1);
+                return Err(ServeResponse::busy(&req));
+            }
+        }
         // Reserve an admission slot first; roll back on overflow.
         let prev = s.outstanding.fetch_add(1, Ordering::SeqCst);
         if prev >= s.queue_capacity {
@@ -126,9 +146,25 @@ impl Server {
             submitted: Instant::now(),
         });
         if needs_token {
-            // Token counts are bounded by admitted requests, so the
-            // forced push cannot grow the queue past the admission cap.
-            s.queue.push_forced(slot.id.clone());
+            // Tokens in the queue are bounded by scheduled sessions ≤
+            // admitted requests ≤ `queue_capacity`, so before close this
+            // push cannot overflow. Should that invariant ever break,
+            // spinning until a worker frees a slot (rather than dropping
+            // the token) keeps the admitted request servable.
+            loop {
+                match s.queue.push_forced(slot.id.clone()) {
+                    Ok(over) => {
+                        if over {
+                            s.telemetry.add("serve.queue.forced_over_capacity", 1);
+                        }
+                        break;
+                    }
+                    Err(crate::queue::QueueFull) => {
+                        s.telemetry.add("serve.queue.forced_rejected", 1);
+                        std::thread::yield_now();
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -173,60 +209,115 @@ impl Server {
 
 fn worker_loop(shared: &Arc<Shared>, worker: usize) {
     // Server-level spans/counters recorded outside `GridMind::ask`
-    // (which installs the session registry on top) land here.
+    // (which installs the session registry on top) land here. The fault
+    // injector (if any) is installed per worker thread so solver-layer
+    // sites inside the engine observe it.
     let _collector = shared.telemetry.install();
+    let _faults = shared.faults.as_ref().map(FaultInjector::install);
     while let Some(session_id) = shared.queue.pop() {
         let slot = shared.registry.slot(&session_id);
-        let Some(queued) = slot.take_next() else {
-            // Defensive: a token without pending work retires itself
-            // (or re-circulates if work raced in).
-            if slot.finish_one() {
-                shared.queue.push_forced(session_id);
+        // Inner loop: normally one iteration per token, but when the
+        // session still has work and its token cannot re-enter the
+        // queue, the worker keeps serving the session inline instead of
+        // stranding admitted requests (drain safety).
+        loop {
+            let Some(queued) = slot.take_next() else {
+                // Defensive: a token without pending work retires itself
+                // (or re-circulates if work raced in).
+                if slot.finish_one() && !requeue(shared, &session_id) {
+                    continue;
+                }
+                break;
+            };
+            serve_one(shared, worker, &slot, queued);
+            if slot.finish_one() && !requeue(shared, &session_id) {
+                continue;
             }
-            continue;
-        };
-        let span = gm_telemetry::span!("serve.request");
-        let queue_wait_s = queued.submitted.elapsed().as_secs_f64();
-        gm_telemetry::histogram_record("serve.queue_wait_s", queue_wait_s);
+            break;
+        }
+    }
+}
 
-        let expired = queued
+/// Re-circulates a session token. Returns `false` when the queue
+/// refused it (capacity pressure before close) — the caller must then
+/// serve the session inline rather than drop the token.
+fn requeue(shared: &Shared, session_id: &str) -> bool {
+    match shared.queue.push_forced(session_id.to_string()) {
+        Ok(over) => {
+            if over {
+                shared.telemetry.add("serve.queue.forced_over_capacity", 1);
+            }
+            true
+        }
+        Err(crate::queue::QueueFull) => {
+            shared.telemetry.add("serve.queue.forced_rejected", 1);
+            false
+        }
+    }
+}
+
+fn serve_one(
+    shared: &Shared,
+    worker: usize,
+    slot: &Arc<crate::registry::SessionSlot>,
+    queued: QueuedRequest,
+) {
+    let span = gm_telemetry::span!("serve.request");
+    let queue_wait_s = queued.submitted.elapsed().as_secs_f64();
+    gm_telemetry::histogram_record("serve.queue_wait_s", queue_wait_s);
+
+    let expired = queued
+        .req
+        .deadline_ms
+        .is_some_and(|ms| queue_wait_s * 1e3 > ms as f64)
+        || gm_faults::inject("serve.deadline.pickup") == Some(gm_faults::FaultKind::DeadlineStorm);
+    let response = if expired {
+        shared.telemetry.add("serve.timeouts", 1);
+        ServeResponse::timed_out(&queued.req, queue_wait_s, worker)
+    } else {
+        let started = Instant::now();
+        let mut engine = slot.engine.lock();
+        let gm = engine.get_or_insert_with(|| {
+            GridMind::with_session(
+                shared.profile.clone(),
+                SessionContext::new_with_solver_cache(shared.cache.clone()),
+            )
+        });
+        let reply = gm.ask(&queued.req.query);
+        drop(engine);
+        let exec_s = started.elapsed().as_secs_f64();
+        // Deadlines used to be checked only at pickup: a request whose
+        // budget ran out *while the engine was solving* was answered as
+        // if on time. Re-check after the engine call and return an
+        // honest `TimedOut` instead of a stale answer.
+        let expired_in_flight = queued
             .req
             .deadline_ms
-            .is_some_and(|ms| queue_wait_s * 1e3 > ms as f64);
-        let response = if expired {
+            .is_some_and(|ms| (queue_wait_s + exec_s) * 1e3 > ms as f64)
+            || gm_faults::inject("serve.deadline.inflight")
+                == Some(gm_faults::FaultKind::DeadlineStorm);
+        if expired_in_flight {
             shared.telemetry.add("serve.timeouts", 1);
+            shared.telemetry.add("serve.deadline.expired_in_flight", 1);
             ServeResponse::timed_out(&queued.req, queue_wait_s, worker)
         } else {
-            let started = Instant::now();
-            let mut engine = slot.engine.lock();
-            let gm = engine.get_or_insert_with(|| {
-                GridMind::with_session(
-                    shared.profile.clone(),
-                    SessionContext::new_with_solver_cache(shared.cache.clone()),
-                )
-            });
-            let reply = gm.ask(&queued.req.query);
-            drop(engine);
             ServeResponse {
                 session: queued.req.session.clone(),
                 seq: queued.req.seq,
                 status: ServeStatus::Done,
                 text: reply.text,
                 queue_wait_s,
-                exec_s: started.elapsed().as_secs_f64(),
+                exec_s,
                 worker: Some(worker),
             }
-        };
-        drop(span);
-
-        // Answer, then release the admission slot, then reschedule the
-        // session if it still has work.
-        let _ = shared.responses.send(response);
-        shared.outstanding.fetch_sub(1, Ordering::SeqCst);
-        if slot.finish_one() {
-            shared.queue.push_forced(session_id);
         }
-    }
+    };
+    drop(span);
+
+    // Answer, then release the admission slot; the caller reschedules
+    // the session if it still has work.
+    let _ = shared.responses.send(response);
+    shared.outstanding.fetch_sub(1, Ordering::SeqCst);
 }
 
 #[cfg(test)]
@@ -344,6 +435,68 @@ mod tests {
         assert!(statuses["b"].1.is_empty(), "timed-out work never ran");
         let telemetry = server.shutdown();
         assert_eq!(telemetry.counter_value("serve.timeouts"), 1);
+    }
+
+    #[test]
+    fn injected_inflight_deadline_returns_timed_out_not_stale_answer() {
+        // Script: the first in-flight deadline check storms. The work
+        // runs to completion, but the response must be an honest
+        // TimedOut — never the stale answer — and the regression
+        // counter must record it.
+        let inj = gm_faults::FaultInjector::scripted(vec![gm_faults::FaultRule::new(
+            "serve.deadline.inflight",
+            gm_faults::FaultKind::DeadlineStorm,
+            0,
+            1,
+        )]);
+        let config = ServerConfig {
+            workers: 1,
+            faults: Some(inj.clone()),
+            ..ServerConfig::default()
+        };
+        let (server, rx) = Server::start(config);
+        server.submit(req("s", 0, "solve case14")).unwrap();
+        server.submit(req("s", 1, "solve case14")).unwrap();
+        let a = rx.recv().unwrap();
+        let b = rx.recv().unwrap();
+        assert_eq!(a.status, ServeStatus::TimedOut);
+        assert!(a.text.is_empty(), "stale answer must be withheld");
+        assert_eq!(b.status, ServeStatus::Done, "window of 1: next is clean");
+        assert!(!b.text.is_empty());
+        let telemetry = server.shutdown();
+        assert_eq!(
+            telemetry.counter_value("serve.deadline.expired_in_flight"),
+            1
+        );
+        assert_eq!(telemetry.counter_value("serve.timeouts"), 1);
+        assert_eq!(inj.hits_at("serve.deadline.inflight"), 2);
+    }
+
+    #[test]
+    fn injected_queue_saturation_rejects_at_admission() {
+        let inj = gm_faults::FaultInjector::scripted(vec![gm_faults::FaultRule::new(
+            "serve.queue",
+            gm_faults::FaultKind::QueueSaturate,
+            1,
+            1,
+        )]);
+        let config = ServerConfig {
+            workers: 2,
+            faults: Some(inj),
+            ..ServerConfig::default()
+        };
+        let (server, rx) = Server::start(config);
+        server.submit(req("a", 0, "solve case14")).unwrap();
+        let rejected = server
+            .submit(req("b", 0, "solve case14"))
+            .expect_err("scripted saturation on second admission");
+        assert_eq!(rejected.status, ServeStatus::Busy);
+        server.submit(req("c", 0, "solve case14")).unwrap();
+        let answered: Vec<ServeResponse> = (0..2).map(|_| rx.recv().unwrap()).collect();
+        assert!(answered.iter().all(|r| r.status == ServeStatus::Done));
+        let telemetry = server.shutdown();
+        assert_eq!(telemetry.counter_value("serve.busy_rejections"), 1);
+        assert_eq!(telemetry.counter_value("serve.requests"), 2);
     }
 
     #[test]

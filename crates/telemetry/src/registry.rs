@@ -311,6 +311,19 @@ impl Registry {
         self.inner.counters.lock().clone()
     }
 
+    /// Sum of every counter whose name starts with `prefix` (0 when none
+    /// match). Counter families share a dotted prefix — e.g.
+    /// `sum_prefix("recovery.")` totals all recovery-ladder rungs.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.inner
+            .counters
+            .lock()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
     /// Snapshot of all histograms.
     pub fn histograms_snapshot(&self) -> BTreeMap<String, Histogram> {
         self.inner.histograms.lock().clone()
@@ -502,6 +515,19 @@ mod tests {
         // Nothing installed: recording is a no-op, not a panic.
         counter_add("x", 100);
         assert_eq!(a.counter_value("x"), 5);
+    }
+
+    #[test]
+    fn sum_prefix_totals_a_counter_family() {
+        let reg = Registry::new();
+        reg.add("recovery.attempts", 2);
+        reg.add("recovery.newton_flat", 1);
+        reg.add("recovery.dc", 1);
+        reg.add("recover", 50); // shorter name, not in the family
+        reg.add("recoveryx", 50); // no dot separator, not in the family
+        reg.add("serve.timeouts", 9);
+        assert_eq!(reg.sum_prefix("recovery."), 4);
+        assert_eq!(reg.sum_prefix("absent."), 0);
     }
 
     #[test]

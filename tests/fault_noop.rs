@@ -1,0 +1,77 @@
+//! The fault harness must be invisible when it injects nothing.
+//!
+//! Two flavors of "nothing": no injector installed at all (the
+//! production default — `gm_faults::inject` is a strict no-op), and a
+//! disabled injector installed (the harness is consulted at every site
+//! but never fires). In both cases every answer must be **byte
+//! identical** to the other, the recovery ladder must never engage, and
+//! no degraded-answer caveat may appear — a fault layer that perturbs
+//! the fault-free path would poison every baseline it is supposed to
+//! protect.
+
+use gm_faults::FaultInjector;
+use gridmind_core::{GridMind, ModelProfile, CAVEAT_PREFIX};
+use proptest::prelude::*;
+
+/// The query vocabulary the sequences are drawn from: solves, sweeps,
+/// mutations, recalls — every tool family the recovery ladder wraps.
+fn query_pool() -> Vec<&'static str> {
+    vec![
+        "solve case14",
+        "solve case30",
+        "run the n-1 contingency analysis",
+        "show me the critical contingencies",
+        "set the load at bus 9 to 45 MW",
+        "what is the network status",
+        "give me a report of the contingency analysis",
+    ]
+}
+
+fn run_session(
+    profile: &ModelProfile,
+    queries: &[&str],
+    faults: Option<&FaultInjector>,
+) -> Vec<String> {
+    let _guard = faults.map(FaultInjector::install);
+    let mut gm = GridMind::new(profile.clone());
+    let replies = queries.iter().map(|q| gm.ask(q).text).collect();
+    assert_eq!(
+        gm.session.telemetry.sum_prefix("recovery."),
+        0,
+        "recovery ladder engaged without any injected fault"
+    );
+    replies
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn disabled_harness_is_byte_invisible(
+        tail in prop::collection::vec(prop::sample::select(query_pool()), 0..5)
+    ) {
+        // Every sequence opens with a solve so at least one injection
+        // site is guaranteed to be consulted.
+        let mut picks = vec!["solve case14"];
+        picks.extend(tail);
+        let mut profiles = ModelProfile::paper_models();
+        prop_assert!(!profiles.is_empty());
+        let profile = profiles.remove(0);
+        let baseline = run_session(&profile, &picks, None);
+        let disabled = FaultInjector::disabled();
+        let with_harness = run_session(&profile, &picks, Some(&disabled));
+        prop_assert_eq!(&baseline, &with_harness, "disabled harness changed an answer");
+        prop_assert_eq!(disabled.injected_total(), 0, "disabled injector fired");
+        prop_assert!(
+            baseline.iter().all(|t| !t.contains(CAVEAT_PREFIX)),
+            "caveat appeared on the fault-free path"
+        );
+        // The harness was really in the loop: solver-layer sites were
+        // consulted (and declined) rather than bypassed.
+        prop_assert!(
+            disabled.hits_at("pf.base") + disabled.hits_at("cache.get")
+                + disabled.hits_at("acopf.ipm") > 0,
+            "no injection site was ever consulted"
+        );
+    }
+}

@@ -16,6 +16,7 @@ fn soak_8_workers_32_sessions_is_deterministic_and_lossless() {
         queue_capacity: 64,
         cache_capacity: 64,
         script: default_script(),
+        faults: None,
     };
     let report = run(&config);
 
