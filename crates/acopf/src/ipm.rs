@@ -18,7 +18,7 @@
 //! separate primal/dual step clipping, and the standard normalized
 //! convergence criteria (feasibility, gradient, complementarity, cost).
 
-use gm_sparse::{CsMat, Ordering, SparseLu, Triplets};
+use gm_sparse::{CsMat, LuEngine, ScatterMap, Triplets};
 
 /// A smooth nonlinear program the IPM can solve.
 pub trait Nlp {
@@ -135,6 +135,17 @@ pub fn solve<P: Nlp>(prob: &P, opts: &IpmOptions) -> IpmResult {
 
     let (mut feascond, mut gradcond, mut compcond) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
 
+    // KKT scratch, hoisted out of the barrier loop: the triplet buffer,
+    // assembled matrix, and scatter map are reused across iterations
+    // (the KKT pattern is stable once the active barrier terms settle),
+    // and the symbolic LU analysis is reused through the engine whenever
+    // the pattern repeats.
+    let mut engine = LuEngine::new();
+    let mut kkt_t: Triplets<f64> = Triplets::new(0, 0);
+    let mut kkt: Option<(CsMat<f64>, ScatterMap)> = None;
+    let mut sol: Vec<f64> = Vec::new();
+    let mut solve_ws: Vec<f64> = Vec::new();
+
     for it in 0..=opts.max_iter {
         iterations = it;
         // Lagrangian gradient Lx = df + Jgᵀλ + Jhᵀμ.
@@ -169,8 +180,17 @@ pub fn solve<P: Nlp>(prob: &P, opts: &IpmOptions) -> IpmResult {
         // ---- Reduced KKT assembly.
         let hess = prob.lagrangian_hessian(&x, &lam, &mu);
         let n_kkt = nx + neq;
-        let mut t =
-            Triplets::with_capacity(n_kkt, n_kkt, hess.nnz() + 2 * jg.nnz() + jh.nnz() * 4 + nx);
+        if kkt_t.shape() != (n_kkt, n_kkt) {
+            kkt_t = Triplets::with_capacity(
+                n_kkt,
+                n_kkt,
+                hess.nnz() + 2 * jg.nnz() + jh.nnz() * 4 + nx,
+            );
+            kkt = None;
+        } else {
+            kkt_t.clear();
+        }
+        let t = &mut kkt_t;
         for (i, j, v) in hess.iter() {
             t.push(i, j, v);
         }
@@ -203,30 +223,45 @@ pub fn solve<P: Nlp>(prob: &P, opts: &IpmOptions) -> IpmResult {
         for r in 0..neq {
             t.push(nx + r, nx + r, -1e-11);
         }
-        let kkt = t.to_csr();
+        // Scatter the fresh values into the cached CSC/CSR storage when
+        // the triplet pattern repeats; rebuild the matrix and map when it
+        // doesn't (the stamping skips exact-zero barrier weights, so the
+        // pattern is value-dependent).
+        let reusable = match &mut kkt {
+            Some((m, map)) => map.scatter(&kkt_t, m),
+            None => false,
+        };
+        if !reusable {
+            kkt = None;
+        }
+        let tref = &kkt_t;
+        let (kkt_m, _) = kkt.get_or_insert_with(|| tref.to_csr_with_map());
 
         // RHS: [−N; −g], N = Lx + Jhᵀ·Z⁻¹·(γe + M·h).
         let zinv_term: Vec<f64> = (0..niq).map(|r| (gamma + mu[r] * h[r]) / z[r]).collect();
         let jht_zt = jh.mul_vec_t(&zinv_term);
         // N = Lx + Jhᵀ·Z⁻¹(γe + M·h), exactly as in MIPS: eliminating Δz
         // and Δμ folds the current duals (Z⁻¹·M·z = μ) back into the
-        // barrier term.
-        let mut rhs = vec![0.0f64; n_kkt];
+        // barrier term. Built directly in the reusable solution buffer:
+        // `sol` holds the rhs going into the in-place solve, the step
+        // coming out.
+        sol.resize(n_kkt, 0.0);
         for i in 0..nx {
-            rhs[i] = -(lx[i] + jht_zt[i]);
+            sol[i] = -(lx[i] + jht_zt[i]);
         }
         for r in 0..neq {
-            rhs[nx + r] = -g[r];
+            sol[nx + r] = -g[r];
         }
 
-        let lu = match SparseLu::factor_with(&kkt, Ordering::MinDegree, 0.1) {
+        let lu = match engine.factorize(kkt_m) {
             Ok(lu) => lu,
             Err(_) => {
                 message = format!("singular KKT system at iteration {it}");
                 break;
             }
         };
-        let sol = lu.solve(&rhs);
+        solve_ws.resize(n_kkt, 0.0);
+        lu.solve_in_place(&mut sol, &mut solve_ws);
         let dx = &sol[..nx];
         let dlam = &sol[nx..];
 

@@ -20,7 +20,7 @@ use crate::acopf::{unpack_solution, AcopfOptions, AcopfProblem};
 use crate::ipm::{self, Nlp};
 use crate::types::{AcopfError, AcopfSolution};
 use gm_network::Network;
-use gm_powerflow::sensitivities;
+use gm_powerflow::sensitivities_for_screening;
 use gm_sparse::{CsMat, Triplets};
 
 /// One screened security constraint.
@@ -172,7 +172,7 @@ pub fn solve_scopf(net: &Network, opts: &ScopfOptions) -> Result<ScopfSolution, 
     let _span = gm_telemetry::span!("acopf.scopf.solve", case = net.name);
     gm_telemetry::counter_add("acopf.scopf.solves", 1);
     let economic = crate::solve_acopf(net, &opts.acopf)?;
-    let sens = sensitivities(net).map_err(|e| AcopfError::InvalidNetwork {
+    let sens = sensitivities_for_screening(net).map_err(|e| AcopfError::InvalidNetwork {
         problems: vec![e.to_string()],
     })?;
     let base = net.base_mva;

@@ -1,5 +1,6 @@
 //! Emits the machine-readable benchmark artifacts consumed by CI:
-//! `BENCH_pf.json`, `BENCH_acopf.json`, and `BENCH_e2e.json`.
+//! `BENCH_pf.json`, `BENCH_acopf.json`, `BENCH_sparse.json`, and
+//! `BENCH_e2e.json`.
 //!
 //! Each file pairs wall-clock statistics with the full telemetry export
 //! (counters, histograms, span tree) under a `"telemetry"` key, so
@@ -37,6 +38,7 @@ use serde_json::{json, Value};
 
 const PF_RUNS: usize = 5;
 const ACOPF_RUNS: usize = 3;
+const SPARSE_RUNS: usize = 20;
 
 fn stats_value(samples: &[f64]) -> Value {
     let s = stats(samples);
@@ -103,6 +105,79 @@ fn bench_acopf() -> Value {
         per_case.insert(format!("{id:?}"), v);
     }
     let mut out = json!({ "bench": "acopf", "cases": Value::Object(per_case) });
+    out["telemetry"] = reg.export();
+    out
+}
+
+/// Symbolic-analysis vs pattern-reuse refactorization microbenchmark on
+/// the Ybus sparsity of the small and large paper cases — the structure
+/// every Newton Jacobian inherits. `analyze` times a full factorization
+/// (ordering + symbolic + numeric); `refactor` times the [`LuEngine`]
+/// cache-hit path on perturbed values of the same pattern.
+fn bench_sparse() -> Value {
+    use gm_network::YBus;
+    use gm_sparse::{CsMat, LuEngine, Ordering, SparseLu, Triplets};
+    let reg = Registry::new();
+    let _guard = reg.install();
+    let mut per_case = serde_json::Map::new();
+    for id in [CaseId::Ieee14, CaseId::Ieee118] {
+        let net = cases::load(id);
+        let ybus = YBus::assemble(&net);
+        let n = net.n_bus();
+        // Real-valued stand-in with the Ybus pattern; the boosted
+        // diagonal keeps the pivot sequence stable under the per-run
+        // value perturbation, so every engine hit stays on the
+        // refactorization path.
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            let (cols, vals) = ybus.matrix.row(i);
+            for (&j, &y) in cols.iter().zip(vals) {
+                let mag = (y.re * y.re + y.im * y.im).sqrt();
+                t.push(i, j, if i == j { 8.0 + mag } else { -0.1 * mag });
+            }
+        }
+        let mut a: CsMat<f64> = t.to_csr();
+
+        let mut analyze_secs = Vec::with_capacity(SPARSE_RUNS);
+        for _ in 0..SPARSE_RUNS {
+            let t0 = Instant::now();
+            let lu = SparseLu::factor_with(&a, Ordering::MinDegree, 0.1).expect("ybus factors");
+            analyze_secs.push(t0.elapsed().as_secs_f64());
+            std::hint::black_box(lu);
+        }
+
+        let mut engine = LuEngine::new();
+        engine.factorize(&a).expect("ybus factors"); // untimed cache fill
+        let mut refactor_secs = Vec::with_capacity(SPARSE_RUNS);
+        for run in 0..SPARSE_RUNS {
+            for (k, v) in a.values_mut().iter_mut().enumerate() {
+                *v *= 1.0 + 1e-9 * (((run * 31 + k) as f64) * 0.7).sin();
+            }
+            let t0 = Instant::now();
+            let lu = engine.factorize(&a).expect("refactor succeeds");
+            refactor_secs.push(t0.elapsed().as_secs_f64());
+            std::hint::black_box(lu);
+        }
+
+        let analyze = stats_value(&analyze_secs);
+        let refactor = stats_value(&refactor_secs);
+        let speedup = analyze["mean_s"].as_f64().unwrap_or(0.0)
+            / refactor["mean_s"]
+                .as_f64()
+                .unwrap_or(f64::INFINITY)
+                .max(1e-12);
+        per_case.insert(
+            format!("{id:?}"),
+            json!({
+                "n_bus": n,
+                "nnz": a.nnz(),
+                "analyze": analyze,
+                "refactor": refactor,
+                "refactor_speedup": speedup,
+            }),
+        );
+    }
+    let mut out = json!({ "bench": "sparse", "cases": Value::Object(per_case) });
     out["telemetry"] = reg.export();
     out
 }
@@ -181,6 +256,7 @@ fn main() -> ExitCode {
     let artifacts = [
         ("BENCH_pf.json", bench_pf()),
         ("BENCH_acopf.json", bench_acopf()),
+        ("BENCH_sparse.json", bench_sparse()),
         ("BENCH_e2e.json", bench_e2e()),
     ];
     for (name, value) in &artifacts {

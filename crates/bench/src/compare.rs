@@ -116,6 +116,29 @@ fn wall_paths(artifact: &str, doc: &Value) -> Vec<(String, f64)> {
                 }
             }
         }
+        Some("sparse") => {
+            // Nested per-case stats: analyze (full factorization) and
+            // refactor (pattern-reuse path) are gated independently.
+            // Microsecond-scale means (small cases) sit inside timer
+            // noise where a 25% band would flake, so only statistics
+            // above a measurement floor are gated.
+            const SPARSE_WALL_FLOOR_S: f64 = 50e-6;
+            if let Some(cases) = doc.get("cases").and_then(Value::as_object) {
+                for (case, v) in cases {
+                    for kind in ["analyze", "refactor"] {
+                        if let Some(mean) = v
+                            .get(kind)
+                            .and_then(|s| s.get("mean_s"))
+                            .and_then(Value::as_f64)
+                        {
+                            if mean >= SPARSE_WALL_FLOOR_S {
+                                out.push((format!("cases.{case}.{kind}.mean_s"), mean));
+                            }
+                        }
+                    }
+                }
+            }
+        }
         Some("e2e") => {
             if let Some(w) = doc.get("wall_elapsed_s").and_then(Value::as_f64) {
                 out.push(("wall_elapsed_s".to_string(), w));
@@ -276,6 +299,40 @@ mod tests {
         assert_eq!(rep.slower.len(), 1);
         assert_eq!(rep.slower[0].artifact, "BENCH_e2e.json");
         assert_eq!(rep.walls_checked, 2);
+    }
+
+    #[test]
+    fn sparse_doc_gates_analyze_and_refactor_separately() {
+        let sparse_doc = |analyze: f64, refactor: f64| {
+            json!({
+                "bench": "sparse",
+                "cases": { "Ieee14": {
+                    "analyze": { "mean_s": analyze, "runs": 20 },
+                    "refactor": { "mean_s": refactor, "runs": 20 },
+                } },
+                "telemetry": { "counters": { "sparse.symbolic.reuse": 20 } },
+            })
+        };
+        let base = sparse_doc(0.010, 0.002);
+        let ok = sparse_doc(0.011, 0.002);
+        let rep = compare_artifact("BENCH_sparse.json", &base, &ok, 0.25);
+        assert!(rep.passed(), "{:?}", rep.failures());
+        assert_eq!(rep.walls_checked, 2);
+
+        // The refactor path regressing alone must fail, even with the
+        // full analysis unchanged.
+        let slow_refactor = sparse_doc(0.010, 0.004);
+        let rep = compare_artifact("BENCH_sparse.json", &base, &slow_refactor, 0.25);
+        assert_eq!(rep.slower.len(), 1);
+        assert_eq!(rep.slower[0].metric, "cases.Ieee14.refactor.mean_s");
+
+        // Microsecond-scale means sit below the measurement floor and
+        // are not wall-gated at all — a 3x swing there is timer noise.
+        let tiny_base = sparse_doc(5e-6, 2e-6);
+        let tiny_cur = sparse_doc(15e-6, 6e-6);
+        let rep = compare_artifact("BENCH_sparse.json", &tiny_base, &tiny_cur, 0.25);
+        assert!(rep.passed(), "{:?}", rep.failures());
+        assert_eq!(rep.walls_checked, 0);
     }
 
     #[test]

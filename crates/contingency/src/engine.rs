@@ -11,8 +11,16 @@ use crate::ranking::rank;
 use crate::types::{ContingencyOutcome, ContingencyReport, Outage, RankingStrategy, Violation};
 use gm_network::{topology, BranchKind, Network};
 use gm_numeric::Complex;
-use gm_powerflow::{solve_from, PfOptions, PfReport};
+use gm_powerflow::{solve_from_with_engine, PfOptions, PfReport};
+use gm_sparse::LuEngine;
 use rayon::prelude::*;
+
+/// Symbolic-LU cache depth for sweep workers. Within one outage
+/// evaluation every Newton iteration (and the flat-start retry) shares a
+/// post-outage Jacobian pattern; across outages, parallel branch pairs
+/// collide onto the same pattern. A handful of slots per worker captures
+/// both without unbounded growth.
+const SWEEP_ENGINE_SLOTS: usize = 8;
 
 /// Sweep options.
 #[derive(Clone, Debug)]
@@ -152,7 +160,9 @@ pub fn run_n1_cached(
         }
     }
 
-    let eval = |&(outage, kind_index): &(Outage, usize)| -> ContingencyOutcome {
+    let eval = |engine: &mut LuEngine,
+                &(outage, kind_index): &(Outage, usize)|
+     -> ContingencyOutcome {
         if let Some((cache, diff_hash)) = cache {
             let key = crate::cache::CacheKey {
                 case: net.name.clone(),
@@ -162,27 +172,36 @@ pub fn run_n1_cached(
             if let Some(hit) = cache.get(&key) {
                 return hit;
             }
-            let outcome = evaluate_outage(net, opts, &v0, outage, kind_index);
+            let outcome = evaluate_outage_with_engine(net, opts, &v0, outage, kind_index, engine);
             cache.put(key, outcome.clone());
             return outcome;
         }
-        evaluate_outage(net, opts, &v0, outage, kind_index)
+        evaluate_outage_with_engine(net, opts, &v0, outage, kind_index, engine)
     };
     let outcomes: Vec<ContingencyOutcome> = if opts.parallel {
         // Rayon workers have their own collector stacks: re-install the
-        // sweep thread's registry in each closure so worker-side metrics
-        // and spans join this trace under the sweep span.
+        // sweep thread's registry per worker so worker-side metrics and
+        // spans join this trace under the sweep span. The per-worker
+        // state also carries a symbolic-LU cache keyed by post-outage
+        // Jacobian pattern, so repeated patterns inside a worker's chunk
+        // skip the fill-reducing analysis.
         let collector = gm_telemetry::current();
         let parent = sweep_span.id();
         targets
             .par_iter()
-            .map(|t| {
-                let _worker = collector.as_ref().map(|reg| reg.install_scoped(parent));
-                eval(t)
-            })
+            .map_init(
+                || {
+                    (
+                        collector.as_ref().map(|reg| reg.install_scoped(parent)),
+                        LuEngine::with_capacity(SWEEP_ENGINE_SLOTS),
+                    )
+                },
+                |(_worker, engine), t| eval(engine, t),
+            )
             .collect()
     } else {
-        targets.iter().map(eval).collect()
+        let mut engine = LuEngine::with_capacity(SWEEP_ENGINE_SLOTS);
+        targets.iter().map(|t| eval(&mut engine, t)).collect()
     };
 
     let total_violations: usize = outcomes.iter().map(|o| o.violations.len()).sum();
@@ -248,7 +267,7 @@ pub fn run_n1_screened(
         .iter()
         .map(|b| Complex::from_polar(b.vm_pu, b.va_deg.to_radians()))
         .collect();
-    let sens = gm_powerflow::sensitivities(net)?;
+    let sens = gm_powerflow::sensitivities_for_screening(net)?;
     let base_p: Vec<f64> = base.branches.iter().map(|b| b.p_from_mw).collect();
     let base_q: Vec<f64> = base
         .branches
@@ -283,42 +302,49 @@ pub fn run_n1_screened(
         }
     }
 
-    let eval = |&(outage, kind_index): &(Outage, usize)| -> ContingencyOutcome {
-        match sens.worst_post_outage_loading_mva(net, &base_p, &base_q, outage.branch) {
-            // Islanding (or unscreenable): always full evaluation.
-            None => evaluate_outage(net, opts, &v0, outage, kind_index),
-            Some(worst) if worst >= screen_threshold => {
-                evaluate_outage(net, opts, &v0, outage, kind_index)
-            }
-            Some(worst) => {
-                gm_telemetry::counter_add("ca.screen.skipped", 1);
-                ContingencyOutcome {
-                    outage,
-                    kind_index,
-                    converged: true,
-                    islands: false,
-                    stranded_buses: 0,
-                    violations: Vec::new(),
-                    max_loading_pct: 100.0 * worst,
-                    min_vm: base.min_vm,
-                    load_shed_mw: 0.0,
-                    ac_solved: false,
+    let eval =
+        |engine: &mut LuEngine, &(outage, kind_index): &(Outage, usize)| -> ContingencyOutcome {
+            match sens.worst_post_outage_loading_mva(net, &base_p, &base_q, outage.branch) {
+                // Islanding (or unscreenable): always full evaluation.
+                None => evaluate_outage_with_engine(net, opts, &v0, outage, kind_index, engine),
+                Some(worst) if worst >= screen_threshold => {
+                    evaluate_outage_with_engine(net, opts, &v0, outage, kind_index, engine)
+                }
+                Some(worst) => {
+                    gm_telemetry::counter_add("ca.screen.skipped", 1);
+                    ContingencyOutcome {
+                        outage,
+                        kind_index,
+                        converged: true,
+                        islands: false,
+                        stranded_buses: 0,
+                        violations: Vec::new(),
+                        max_loading_pct: 100.0 * worst,
+                        min_vm: base.min_vm,
+                        load_shed_mw: 0.0,
+                        ac_solved: false,
+                    }
                 }
             }
-        }
-    };
+        };
     let outcomes: Vec<ContingencyOutcome> = if opts.parallel {
         let collector = gm_telemetry::current();
         let parent = sweep_span.id();
         targets
             .par_iter()
-            .map(|t| {
-                let _worker = collector.as_ref().map(|reg| reg.install_scoped(parent));
-                eval(t)
-            })
+            .map_init(
+                || {
+                    (
+                        collector.as_ref().map(|reg| reg.install_scoped(parent)),
+                        LuEngine::with_capacity(SWEEP_ENGINE_SLOTS),
+                    )
+                },
+                |(_worker, engine), t| eval(engine, t),
+            )
             .collect()
     } else {
-        targets.iter().map(eval).collect()
+        let mut engine = LuEngine::with_capacity(SWEEP_ENGINE_SLOTS);
+        targets.iter().map(|t| eval(&mut engine, t)).collect()
     };
 
     let total_violations: usize = outcomes.iter().map(|o| o.violations.len()).sum();
@@ -362,6 +388,21 @@ pub fn evaluate_outage(
     outage: Outage,
     kind_index: usize,
 ) -> ContingencyOutcome {
+    evaluate_outage_with_engine(net, opts, v0, outage, kind_index, &mut LuEngine::new())
+}
+
+/// Like [`evaluate_outage`], but factoring through a caller-owned
+/// [`LuEngine`]: the warm-started solve and its flat-start retry share
+/// one symbolic analysis of the post-outage Jacobian, and sweep workers
+/// keep the analysis across outages with the same pattern.
+pub fn evaluate_outage_with_engine(
+    net: &Network,
+    opts: &CaOptions,
+    v0: &[Complex],
+    outage: Outage,
+    kind_index: usize,
+    engine: &mut LuEngine,
+) -> ContingencyOutcome {
     gm_telemetry::counter_add("ca.outages_evaluated", 1);
     // Island screening before any solve.
     let stranded = topology::stranded_buses(net, outage.branch);
@@ -392,14 +433,14 @@ pub fn evaluate_outage(
 
     // Warm start from the base voltages; fall back to a flat start if the
     // warm-started Newton fails (automatic recovery, §3.2.1).
-    let report = solve_from(&work, &opts.pf, Some(v0)).or_else(|_| {
+    let report = solve_from_with_engine(&work, &opts.pf, Some(v0), engine).or_else(|_| {
         gm_telemetry::counter_add("ca.warm_start_retries", 1);
         let flat = PfOptions {
             init: gm_powerflow::InitStrategy::Flat,
             max_iter: opts.pf.max_iter + 15,
             ..opts.pf.clone()
         };
-        gm_powerflow::solve(&work, &flat)
+        solve_from_with_engine(&work, &flat, None, engine)
     });
 
     match report {

@@ -114,6 +114,11 @@ pub fn solve_base_recovered(
 /// a base case after the sweep's own base solve fails — callers there
 /// must bump `recovery.attempts` themselves.
 pub(crate) fn pf_ladder(net: &Network, pf: &PfOptions, reason: &str) -> Option<(PfReport, String)> {
+    // One symbolic-LU engine spans the whole ladder: the flat-Newton
+    // retry and the FDLF rung's Newton polish share the same Jacobian
+    // pattern, so descending a rung reuses the analysis the rung above
+    // already paid for.
+    let mut engine = gm_sparse::LuEngine::new();
     // Rung 2: flat-start damped Newton, doubled budget. An injected
     // `pf.retry` fault forces the ladder past this rung.
     if gm_faults::inject("pf.retry").is_none() {
@@ -123,7 +128,7 @@ pub(crate) fn pf_ladder(net: &Network, pf: &PfOptions, reason: &str) -> Option<(
             max_iter: pf.max_iter.saturating_mul(2),
             ..pf.clone()
         };
-        if let Ok(rep) = gm_powerflow::solve(net, &retry) {
+        if let Ok(rep) = gm_powerflow::solve_from_with_engine(net, &retry, None, &mut engine) {
             gm_telemetry::counter_add("recovery.newton_flat", 1);
             return Some((
                 rep,
@@ -143,7 +148,7 @@ pub(crate) fn pf_ladder(net: &Network, pf: &PfOptions, reason: &str) -> Option<(
             max_iter: pf.max_iter.max(30).saturating_mul(2),
             ..pf.clone()
         };
-        if let Ok(rep) = gm_powerflow::solve_fast_decoupled(net, &fd) {
+        if let Ok(rep) = gm_powerflow::solve_fast_decoupled_with_engine(net, &fd, &mut engine) {
             gm_telemetry::counter_add("recovery.fdlf", 1);
             return Some((
                 rep,

@@ -177,6 +177,10 @@ fn seeded_kind(site: &str, z: u64) -> Option<FaultKind> {
             FaultKind::LuSingular
         }),
         "acopf.ipm" => Some(FaultKind::IpmStall),
+        // Pattern-reuse refactorization: a fired fault forces the
+        // symbolic cache down its full re-analysis fallback, which must
+        // stay invisible to answers (caught below the recovery ladder).
+        "sparse.refactor" => Some(FaultKind::LuSingular),
         "cache.get" => Some(if z & (1 << 32) == 0 {
             FaultKind::CacheMiss
         } else {

@@ -8,7 +8,7 @@
 use crate::types::{PfError, PfOptions, PfReport};
 use gm_network::{BusKind, Network, YBus};
 use gm_numeric::Complex;
-use gm_sparse::{SparseLu, Triplets};
+use gm_sparse::{LuEngine, Triplets};
 
 /// Solves the power flow with the fast-decoupled XB scheme.
 ///
@@ -19,6 +19,19 @@ use gm_sparse::{SparseLu, Triplets};
 /// solver uses, so `max_iter` budgets the two solvers comparably and the
 /// reported `iterations` are measured in the same unit.
 pub fn solve_fast_decoupled(net: &Network, opts: &PfOptions) -> Result<PfReport, PfError> {
+    solve_fast_decoupled_with_engine(net, opts, &mut LuEngine::new())
+}
+
+/// Like [`solve_fast_decoupled`], but running the final Newton polish
+/// through a caller-owned [`LuEngine`]. The polish Jacobian shares its
+/// pattern with the plain Newton solve of the same network, so the
+/// recovery ladder's FDLF rung reuses the symbolic analysis its Newton
+/// rungs already paid for.
+pub fn solve_fast_decoupled_with_engine(
+    net: &Network,
+    opts: &PfOptions,
+    engine: &mut LuEngine,
+) -> Result<PfReport, PfError> {
     let _span = gm_telemetry::span!("pf.fdlf.solve", case = net.name);
     gm_telemetry::counter_add("pf.fdlf.solves", 1);
     if let Err(problems) = net.validate() {
@@ -94,9 +107,21 @@ pub fn solve_fast_decoupled(net: &Network, opts: &PfOptions) -> Result<PfReport,
     }
     let bpp = tpp.to_csr();
 
-    let lup = SparseLu::factor(&bp).map_err(|_| PfError::SingularJacobian { iteration: 0 })?;
+    // B′ and B″ are constant: factored once through the shared
+    // symbolic/numeric API and then reused by in-place solves for every
+    // half iteration. Each factor gets its own engine so both stay
+    // resident simultaneously.
+    let mut engine_p = LuEngine::with_capacity(1);
+    let lup = engine_p
+        .factorize(&bp)
+        .map_err(|_| PfError::SingularJacobian { iteration: 0 })?;
+    let mut engine_pp = LuEngine::with_capacity(1);
     let lupp = if n_vm > 0 {
-        Some(SparseLu::factor(&bpp).map_err(|_| PfError::SingularJacobian { iteration: 0 })?)
+        Some(
+            engine_pp
+                .factorize(&bpp)
+                .map_err(|_| PfError::SingularJacobian { iteration: 0 })?,
+        )
     } else {
         None
     };
@@ -124,6 +149,10 @@ pub fn solve_fast_decoupled(net: &Network, opts: &PfOptions) -> Result<PfReport,
     let mut history = Vec::new();
     let mut iterations = 0usize;
     let mut converged = false;
+    // Caller-owned buffers for the in-place half-step solves.
+    let mut dth = vec![0.0f64; n_th];
+    let mut dvm = vec![0.0f64; n_vm];
+    let mut solve_ws = vec![0.0f64; n_th.max(n_vm)];
     loop {
         let v: Vec<Complex> = (0..n).map(|i| Complex::from_polar(vm[i], th[i])).collect();
         let s = ybus.injections(&v);
@@ -146,14 +175,14 @@ pub fn solve_fast_decoupled(net: &Network, opts: &PfOptions) -> Result<PfReport,
         }
         iterations += 1;
 
-        // P-θ half step.
-        let mut rhs = vec![0.0f64; n_th];
+        // P-θ half step: `dth` holds the rhs going in, the update
+        // coming out.
         for i in 0..n {
             if col_th[i] != usize::MAX {
-                rhs[col_th[i]] = (s[i].re - p_spec[i]) / vm[i];
+                dth[col_th[i]] = (s[i].re - p_spec[i]) / vm[i];
             }
         }
-        let dth = lup.solve(&rhs);
+        lup.solve_in_place(&mut dth, &mut solve_ws[..n_th]);
         for i in 0..n {
             if col_th[i] != usize::MAX {
                 th[i] -= dth[col_th[i]];
@@ -164,13 +193,12 @@ pub fn solve_fast_decoupled(net: &Network, opts: &PfOptions) -> Result<PfReport,
         if let Some(lupp) = &lupp {
             let v2: Vec<Complex> = (0..n).map(|i| Complex::from_polar(vm[i], th[i])).collect();
             let s2 = ybus.injections(&v2);
-            let mut rhs = vec![0.0f64; n_vm];
             for i in 0..n {
                 if col_vm[i] != usize::MAX {
-                    rhs[col_vm[i]] = (s2[i].im - q_spec[i]) / vm[i];
+                    dvm[col_vm[i]] = (s2[i].im - q_spec[i]) / vm[i];
                 }
             }
-            let dvm = lupp.solve(&rhs);
+            lupp.solve_in_place(&mut dvm, &mut solve_ws[..n_vm]);
             for i in 0..n {
                 if col_vm[i] != usize::MAX {
                     vm[i] = (vm[i] - dvm[col_vm[i]]).max(0.1);
@@ -197,7 +225,7 @@ pub fn solve_fast_decoupled(net: &Network, opts: &PfOptions) -> Result<PfReport,
         max_iter: 2,
         ..opts.clone()
     };
-    let mut report = crate::newton::solve_from(net, &polish, Some(&v))?;
+    let mut report = crate::newton::solve_from_with_engine(net, &polish, Some(&v), engine)?;
     report.iterations += iterations;
     let mut full_history = history;
     full_history.append(&mut report.mismatch_history);

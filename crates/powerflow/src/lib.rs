@@ -41,9 +41,9 @@ pub mod sensitivity;
 pub mod types;
 
 pub use dc::{solve_dc, DcReport};
-pub use decoupled::solve_fast_decoupled;
-pub use newton::{solve, solve_from};
-pub use sensitivity::{sensitivities, Sensitivities};
+pub use decoupled::{solve_fast_decoupled, solve_fast_decoupled_with_engine};
+pub use newton::{solve, solve_from, solve_from_with_engine};
+pub use sensitivity::{sensitivities, sensitivities_for_screening, Sensitivities};
 pub use types::{BranchFlow, BusResult, GenResult, InitStrategy, PfError, PfOptions, PfReport};
 
 #[cfg(test)]

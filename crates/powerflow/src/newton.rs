@@ -9,7 +9,7 @@
 use crate::types::{BranchFlow, BusResult, GenResult, InitStrategy, PfError, PfOptions, PfReport};
 use gm_network::{BusKind, Network, YBus};
 use gm_numeric::Complex;
-use gm_sparse::{SparseLu, Triplets};
+use gm_sparse::{CsMat, LuEngine, ScatterMap, Triplets};
 
 /// Effective bus role during the solve (PV buses can be demoted to PQ when
 /// their units hit reactive limits).
@@ -31,6 +31,21 @@ pub fn solve_from(
     net: &Network,
     opts: &PfOptions,
     start: Option<&[Complex]>,
+) -> Result<PfReport, PfError> {
+    solve_from_with_engine(net, opts, start, &mut LuEngine::new())
+}
+
+/// Like [`solve_from`], but factoring through a caller-owned
+/// [`LuEngine`] so the Jacobian's symbolic analysis is shared across
+/// Newton iterations, Q-limit rounds, repeated warm-started solves (the
+/// recovery ladder), and — in the N-1 sweep — across outages with the
+/// same post-outage pattern. Results are bit-identical to
+/// [`solve_from`] regardless of the engine's cache state.
+pub fn solve_from_with_engine(
+    net: &Network,
+    opts: &PfOptions,
+    start: Option<&[Complex]>,
+    engine: &mut LuEngine,
 ) -> Result<PfReport, PfError> {
     let _span = gm_telemetry::span!("pf.newton.solve", case = net.name, n_bus = net.n_bus());
     gm_telemetry::counter_add("pf.newton.solves", 1);
@@ -119,6 +134,7 @@ pub fn solve_from(
     let mut mismatch_history = Vec::new();
     let mut multipliers = Vec::new();
     let mut at_limit: Vec<bool> = vec![false; net.gens.len()];
+    let mut scratch = JacScratch::new();
 
     loop {
         let converged = newton_inner(
@@ -133,6 +149,8 @@ pub fn solve_from(
             &mut iterations,
             &mut mismatch_history,
             &mut multipliers,
+            engine,
+            &mut scratch,
         )?;
         if !converged {
             gm_telemetry::counter_add("pf.newton.diverged", 1);
@@ -206,6 +224,56 @@ fn gen_q_range(net: &Network, bus: usize) -> (f64, f64) {
     (lo / net.base_mva, hi / net.base_mva)
 }
 
+/// Reusable Jacobian assembly state for one power-flow solve: the
+/// triplet stamping buffer, the assembled matrix with its scatter map
+/// (in-place numeric refresh when the pattern holds, rebuild when it
+/// does not), and the update/scratch vectors for the in-place LU solve.
+struct JacScratch {
+    tj: Triplets<f64>,
+    jac: Option<(CsMat<f64>, ScatterMap)>,
+    dx: Vec<f64>,
+    solve_ws: Vec<f64>,
+}
+
+impl JacScratch {
+    fn new() -> JacScratch {
+        JacScratch {
+            tj: Triplets::new(0, 0),
+            jac: None,
+            dx: Vec::new(),
+            solve_ws: Vec::new(),
+        }
+    }
+
+    /// Readies the stamping buffer for an `nvar × nvar` Jacobian,
+    /// invalidating the cached matrix when the variable layout changed
+    /// (e.g. a PV→PQ switch between Q-limit rounds).
+    fn begin(&mut self, nvar: usize, cap: usize) {
+        if self.tj.shape() != (nvar, nvar) {
+            self.tj = Triplets::with_capacity(nvar, nvar, cap);
+            self.jac = None;
+        } else {
+            self.tj.clear();
+        }
+    }
+
+    /// Scatters the stamped values into the cached matrix, rebuilding it
+    /// when the pattern changed. Returns the assembled Jacobian; the
+    /// result equals `tj.to_csr()` bit-for-bit either way.
+    fn assemble(&mut self) -> &CsMat<f64> {
+        let reusable = match &mut self.jac {
+            Some((jac, map)) => map.scatter(&self.tj, jac),
+            None => false,
+        };
+        if !reusable {
+            self.jac = None;
+        }
+        let tj = &self.tj;
+        let (jac, _) = self.jac.get_or_insert_with(|| tj.to_csr_with_map());
+        jac
+    }
+}
+
 /// Runs Newton iterations until convergence or the iteration budget is
 /// spent. Returns `Ok(true)` on convergence.
 #[allow(clippy::too_many_arguments)]
@@ -221,6 +289,8 @@ fn newton_inner(
     iterations: &mut usize,
     mismatch_history: &mut Vec<f64>,
     multipliers: &mut Vec<f64>,
+    engine: &mut LuEngine,
+    scratch: &mut JacScratch,
 ) -> Result<bool, PfError> {
     let n = net.n_bus();
 
@@ -279,7 +349,8 @@ fn newton_inner(
 
         // ---- Jacobian assembly over the Ybus sparsity pattern.
         let s_calc = ybus.injections(v);
-        let mut tj = Triplets::with_capacity(nvar, nvar, 4 * ybus.matrix.nnz());
+        scratch.begin(nvar, 4 * ybus.matrix.nnz());
+        let tj = &mut scratch.tj;
         for i in 0..n {
             let (cols, vals) = ybus.matrix.row(i);
             let vi = v[i].abs();
@@ -323,11 +394,17 @@ fn newton_inner(
                 }
             }
         }
-        let jac = tj.to_csr();
-        let lu = SparseLu::factor(&jac).map_err(|_| PfError::SingularJacobian {
-            iteration: *iterations,
-        })?;
-        let dx = lu.solve(&f);
+        let jac = scratch.assemble();
+        let lu = engine
+            .factorize(jac)
+            .map_err(|_| PfError::SingularJacobian {
+                iteration: *iterations,
+            })?;
+        scratch.dx.clear();
+        scratch.dx.extend_from_slice(&f);
+        scratch.solve_ws.resize(nvar, 0.0);
+        lu.solve_in_place(&mut scratch.dx, &mut scratch.solve_ws);
+        let dx = &scratch.dx;
 
         // ---- Step with optional Iwamoto-style optimal multiplier.
         let apply = |v: &[Complex], mu: f64| -> Vec<Complex> {

@@ -30,11 +30,42 @@ pub struct Sensitivities {
 /// Computes PTDF and LODF matrices.
 ///
 /// Factorizes the reduced DC susceptance matrix once, then performs one
-/// solve per bus. O(n · nnz-factor) — comfortably fast for the case
-/// library sizes. Fails with [`PfError::InvalidNetwork`] when there is
-/// no slack bus and [`PfError::SingularJacobian`] when the reduced B
-/// matrix cannot be factorized (islanded network).
+/// in-place solve per bus against that single factorization (rhs and
+/// scratch buffers are reused across columns, so the column loop
+/// allocates nothing). O(n · nnz-factor) — comfortably fast for the
+/// case library sizes. Buses left without any in-service branch are
+/// pinned in the factorization and their (identically zero) PTDF
+/// columns are skipped. Fails with [`PfError::InvalidNetwork`] when
+/// there is no slack bus and [`PfError::SingularJacobian`] when the
+/// reduced B matrix cannot be factorized (islanded network).
 pub fn sensitivities(net: &Network) -> Result<Sensitivities, PfError> {
+    sensitivities_impl(net, None)
+}
+
+/// [`sensitivities`] restricted to the PTDF columns that screening and
+/// security-constraint construction actually read: buses incident to an
+/// in-service branch, plus buses with a nonzero scheduled injection.
+/// Columns for other buses (out-of-service-only endpoints, isolated or
+/// zero-injection buses) are skipped — their PTDF columns stay zero —
+/// and the LODF is bit-identical to the full computation, because every
+/// column it consumes is included.
+pub fn sensitivities_for_screening(net: &Network) -> Result<Sensitivities, PfError> {
+    let n = net.n_bus();
+    let mut wanted = vec![false; n];
+    for br in net.branches.iter().filter(|b| b.in_service) {
+        wanted[br.from_bus] = true;
+        wanted[br.to_bus] = true;
+    }
+    let (p_mw, q_mvar) = net.scheduled_injections();
+    for i in 0..n {
+        if p_mw[i] != 0.0 || q_mvar[i] != 0.0 {
+            wanted[i] = true;
+        }
+    }
+    sensitivities_impl(net, Some(&wanted))
+}
+
+fn sensitivities_impl(net: &Network, wanted: Option<&[bool]>) -> Result<Sensitivities, PfError> {
     let n = net.n_bus();
     let nb = net.branches.len();
     let Some(slack) = net.slack() else {
@@ -45,9 +76,12 @@ pub fn sensitivities(net: &Network) -> Result<Sensitivities, PfError> {
 
     // Reduced B with the slack pinned, as in the DC power flow.
     let mut t = Triplets::new(n, n);
+    let mut connected = vec![false; n];
     for br in net.branches.iter().filter(|b| b.in_service) {
         let b = 1.0 / br.x_pu;
         let (i, j) = (br.from_bus, br.to_bus);
+        connected[i] = true;
+        connected[j] = true;
         if i != slack && j != slack {
             t.push(i, i, b);
             t.push(j, j, b);
@@ -60,21 +94,47 @@ pub fn sensitivities(net: &Network) -> Result<Sensitivities, PfError> {
         }
     }
     t.push(slack, slack, 1.0);
+    // Buses with no in-service branch would leave a zero row; pin them
+    // like the slack so B stays factorizable. Their PTDF columns are
+    // forced to zero below (no in-service branch can see them), so the
+    // pin value never reaches a result.
+    for i in 0..n {
+        if i != slack && !connected[i] {
+            t.push(i, i, 1.0);
+        }
+    }
     let lu =
         SparseLu::factor(&t.to_csr()).map_err(|_| PfError::SingularJacobian { iteration: 0 })?;
 
-    // θ response per unit injection at each bus.
+    // θ response per unit injection at each bus: one in-place solve per
+    // column against the single factorization above.
     let mut theta = DMat::zeros(n, n); // column i = θ for e_i
+    let mut rhs = vec![0.0f64; n];
+    let mut ws = vec![0.0f64; n];
+    let mut skipped = 0u64;
     for i in 0..n {
         if i == slack {
             continue; // zero column: injecting at the slack moves nothing
         }
-        let mut rhs = vec![0.0; n];
+        if !connected[i] {
+            skipped += 1;
+            continue; // zero column: no in-service branch to carry flow
+        }
+        if let Some(w) = wanted {
+            if !w[i] {
+                skipped += 1;
+                continue; // column never read downstream
+            }
+        }
+        rhs.fill(0.0);
         rhs[i] = 1.0;
-        let x = lu.solve(&rhs);
-        for (r, v) in x.iter().enumerate() {
+        lu.solve_in_place(&mut rhs, &mut ws);
+        for (r, v) in rhs.iter().enumerate() {
             theta[(r, i)] = *v;
         }
+    }
+    if skipped > 0 {
+        gm_telemetry::counter_add("pf.ptdf.columns_skipped", skipped);
     }
 
     let mut ptdf = DMat::zeros(nb, n);
@@ -259,6 +319,110 @@ mod tests {
         assert!(s.lodf[(radial, radial)].is_nan());
         let base = solve_dc(&net).unwrap();
         assert!(s.post_outage_flows(&base.flow_mw, radial).is_none());
+    }
+
+    #[test]
+    fn sparse_ptdf_pinned_against_dense_path() {
+        // Regression pin: the factorization-reuse column loop must agree
+        // with a straightforward dense solve of the same reduced-B
+        // system, column by column.
+        use gm_numeric::DenseLu;
+        let net = cases::load(CaseId::Ieee30);
+        let s = sensitivities(&net).unwrap();
+        let n = net.n_bus();
+        let slack = net.slack().unwrap();
+        let mut bd = DMat::zeros(n, n);
+        for br in net.branches.iter().filter(|b| b.in_service) {
+            let b = 1.0 / br.x_pu;
+            let (i, j) = (br.from_bus, br.to_bus);
+            if i != slack && j != slack {
+                bd[(i, i)] += b;
+                bd[(j, j)] += b;
+                bd[(i, j)] -= b;
+                bd[(j, i)] -= b;
+            } else if i != slack {
+                bd[(i, i)] += b;
+            } else if j != slack {
+                bd[(j, j)] += b;
+            }
+        }
+        bd[(slack, slack)] += 1.0;
+        let dlu = DenseLu::factor(&bd).unwrap();
+        for col in 0..n {
+            if col == slack {
+                continue;
+            }
+            let mut e = vec![0.0; n];
+            e[col] = 1.0;
+            let theta = dlu.solve(&e);
+            for (l, br) in net.branches.iter().enumerate() {
+                if !br.in_service {
+                    continue;
+                }
+                let dense = (theta[br.from_bus] - theta[br.to_bus]) / br.x_pu;
+                assert!(
+                    (s.ptdf[(l, col)] - dense).abs() < 1e-9,
+                    "branch {l}, col {col}: sparse {} vs dense {}",
+                    s.ptdf[(l, col)],
+                    dense
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn screening_variant_matches_full_lodf_and_skips_columns() {
+        let mut net = cases::load(CaseId::Ieee14);
+        // Manufacture a skippable column: an isolated, injection-free bus
+        // only reachable over an out-of-service branch.
+        let dangling = net
+            .branches
+            .iter()
+            .position(|b| {
+                let f = net.buses[b.from_bus].id;
+                let t = net.buses[b.to_bus].id;
+                (f, t) == (7, 8) || (t, f) == (7, 8)
+            })
+            .unwrap();
+        let stub = if net.buses[net.branches[dangling].from_bus].id == 8 {
+            net.branches[dangling].from_bus
+        } else {
+            net.branches[dangling].to_bus
+        };
+        net.branches[dangling].in_service = false;
+        net.loads.retain(|l| l.bus != stub);
+        net.gens.retain(|g| g.bus != stub);
+
+        let full = sensitivities(&net).unwrap();
+        let reg = gm_telemetry::Registry::new();
+        let scoped = {
+            let _g = reg.install();
+            sensitivities_for_screening(&net).unwrap()
+        };
+        assert!(
+            reg.counters()["pf.ptdf.columns_skipped"] >= 1,
+            "no column was skipped"
+        );
+        // LODF identical (NaN columns included), PTDF identical on every
+        // column the scoped variant computed.
+        for k in 0..net.branches.len() {
+            for l in 0..net.branches.len() {
+                let (a, b) = (full.lodf[(l, k)], scoped.lodf[(l, k)]);
+                assert!(
+                    a == b || (a.is_nan() && b.is_nan()),
+                    "lodf[{l},{k}]: {a} vs {b}"
+                );
+            }
+        }
+        for i in 0..net.n_bus() {
+            if i == stub {
+                assert!((0..net.branches.len()).all(|l| scoped.ptdf[(l, i)] == 0.0));
+                continue;
+            }
+            for l in 0..net.branches.len() {
+                assert_eq!(full.ptdf[(l, i)], scoped.ptdf[(l, i)], "ptdf[{l},{i}]");
+            }
+        }
     }
 
     #[test]

@@ -99,6 +99,46 @@ impl<T: Scalar> CsMat<T> {
         &self.indptr
     }
 
+    /// Raw column-index array (all rows concatenated).
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Raw value array, aligned with [`CsMat::indices`].
+    pub fn values(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable access to the stored values only. The sparsity pattern is
+    /// untouched, so the CSR invariants cannot be violated; this is the
+    /// hook for in-place numeric re-assembly of a fixed-pattern matrix.
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// FNV-1a fingerprint of the sparsity pattern — shape, `indptr` and
+    /// `indices`, values excluded. Equal fingerprints are used to key
+    /// symbolic-factorization caches; callers should still cross-check
+    /// shape and nnz, which the factorization layer does.
+    pub fn pattern_fingerprint(&self) -> u64 {
+        fn mix(mut h: u64, x: usize) -> u64 {
+            for b in (x as u64).to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        h = mix(h, self.rows);
+        h = mix(h, self.cols);
+        for &p in &self.indptr {
+            h = mix(h, p);
+        }
+        for &j in &self.indices {
+            h = mix(h, j);
+        }
+        h
+    }
+
     /// Value at `(i, j)`, `zero()` if not stored. Binary-searches the row.
     pub fn get(&self, i: usize, j: usize) -> T {
         let (cols, vals) = self.row(i);

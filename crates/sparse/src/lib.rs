@@ -49,10 +49,12 @@ pub mod csmat;
 pub mod lu;
 pub mod order;
 pub mod scalar;
+pub mod symbolic;
 pub mod triplets;
 
 pub use csmat::CsMat;
 pub use lu::{SparseLu, SparseLuError};
 pub use order::Ordering;
 pub use scalar::Scalar;
-pub use triplets::Triplets;
+pub use symbolic::{LuEngine, SymbolicLu};
+pub use triplets::{ScatterMap, Triplets};

@@ -27,6 +27,15 @@ pub enum SparseLuError {
         /// Actual shape.
         shape: (usize, usize),
     },
+    /// A pattern-reuse refactorization could not reproduce the captured
+    /// pivot sequence on the new values: the pivot quality degraded past
+    /// the threshold-partial-pivoting criterion. Recover by running a
+    /// fresh full analysis — [`crate::LuEngine`] does this
+    /// automatically.
+    RefactorUnstable {
+        /// Elimination step at which the replay diverged.
+        step: usize,
+    },
 }
 
 impl std::fmt::Display for SparseLuError {
@@ -38,6 +47,12 @@ impl std::fmt::Display for SparseLuError {
             SparseLuError::NotSquare { shape } => {
                 write!(f, "sparse LU requires a square matrix, got {shape:?}")
             }
+            SparseLuError::RefactorUnstable { step } => {
+                write!(
+                    f,
+                    "pattern-reuse refactorization unstable at step {step}; full re-analysis required"
+                )
+            }
         }
     }
 }
@@ -47,10 +62,10 @@ impl std::error::Error for SparseLuError {}
 /// Column-compressed factor storage (diagonal-first for `L`,
 /// diagonal-last for `U`).
 #[derive(Clone, Debug)]
-struct CscFactor {
-    colptr: Vec<usize>,
-    rows: Vec<usize>,
-    vals: Vec<f64>,
+pub(crate) struct CscFactor {
+    pub(crate) colptr: Vec<usize>,
+    pub(crate) rows: Vec<usize>,
+    pub(crate) vals: Vec<f64>,
 }
 
 impl CscFactor {
@@ -64,26 +79,113 @@ impl CscFactor {
         }
     }
 
-    fn close_col(&mut self) {
+    /// Empties the factor while keeping its allocations for reuse.
+    pub(crate) fn reset(&mut self) {
+        self.colptr.clear();
+        self.colptr.push(0);
+        self.rows.clear();
+        self.vals.clear();
+    }
+
+    pub(crate) fn close_col(&mut self) {
         self.colptr.push(self.rows.len());
     }
 
-    fn col(&self, j: usize) -> (&[usize], &[f64]) {
+    pub(crate) fn col(&self, j: usize) -> (&[usize], &[f64]) {
         let span = self.colptr[j]..self.colptr[j + 1];
         (&self.rows[span.clone()], &self.vals[span])
     }
 }
 
+/// Column-major access plan into a CSR matrix: for elimination step `k`
+/// (column `q[k]`), `rows/src[colptr[k]..colptr[k+1]]` list the original
+/// row indices, ascending, and the offsets of their values in the CSR
+/// `data` array. Replaces the per-factorization transpose allocation and
+/// lets a refactorization read fresh values straight out of the matrix.
+#[derive(Clone, Debug)]
+pub(crate) struct ColAccess {
+    pub(crate) colptr: Vec<usize>,
+    pub(crate) rows: Vec<usize>,
+    pub(crate) src: Vec<usize>,
+}
+
+impl ColAccess {
+    /// Builds the access plan for `a`'s columns taken in order `q`.
+    /// Row indices within each column come out ascending — the same
+    /// order `CsMat::transpose` produces — so factorizations driven by
+    /// this plan are bit-identical to the transpose-based path.
+    pub(crate) fn build(a: &CsMat<f64>, q: &[usize]) -> ColAccess {
+        let n = a.rows();
+        let nnz = a.nnz();
+        // Count per original column, prefix-sum, then fill row-by-row so
+        // each column's rows stay ascending.
+        let mut head = vec![0usize; n + 1];
+        for &j in a.indices() {
+            head[j + 1] += 1;
+        }
+        for j in 0..n {
+            head[j + 1] += head[j];
+        }
+        let col_of = head.clone();
+        let mut next = head;
+        let mut rows = vec![0usize; nnz];
+        let mut src = vec![0usize; nnz];
+        let indptr = a.indptr();
+        let indices = a.indices();
+        for i in 0..n {
+            for p in indptr[i]..indptr[i + 1] {
+                let j = indices[p];
+                rows[next[j]] = i;
+                src[next[j]] = p;
+                next[j] += 1;
+            }
+        }
+        // Re-order columns into elimination order `q` so step `k` reads
+        // a contiguous span.
+        let mut colptr = Vec::with_capacity(n + 1);
+        let mut qrows = Vec::with_capacity(nnz);
+        let mut qsrc = Vec::with_capacity(nnz);
+        colptr.push(0);
+        for &col in q {
+            let span = col_of[col]..col_of[col + 1];
+            qrows.extend_from_slice(&rows[span.clone()]);
+            qsrc.extend_from_slice(&src[span]);
+            colptr.push(qrows.len());
+        }
+        ColAccess {
+            colptr,
+            rows: qrows,
+            src: qsrc,
+        }
+    }
+
+    pub(crate) fn col(&self, k: usize) -> (&[usize], &[usize]) {
+        let span = self.colptr[k]..self.colptr[k + 1];
+        (&self.rows[span.clone()], &self.src[span])
+    }
+}
+
+/// Structure captured during an analysis factorization, consumed by
+/// [`crate::SymbolicLu`]: the per-step reach patterns in DFS postorder,
+/// exactly as the numeric loop iterates them. Because the stored factors
+/// keep explicit zeros (see [`factor_core`]), the pattern together with
+/// the pivot permutation fully determines the `L`/`U` fill structure.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PatternCapture {
+    pub(crate) pat_ptr: Vec<usize>,
+    pub(crate) pat_rows: Vec<usize>,
+}
+
 /// A sparse LU factorization `A[:, q] = P⁻¹ L U` usable for repeated solves.
 #[derive(Clone, Debug)]
 pub struct SparseLu {
-    n: usize,
-    l: CscFactor,
-    u: CscFactor,
+    pub(crate) n: usize,
+    pub(crate) l: CscFactor,
+    pub(crate) u: CscFactor,
     /// `pinv[original_row] = pivot position`.
-    pinv: Vec<usize>,
+    pub(crate) pinv: Vec<usize>,
     /// Column order: column `q[k]` eliminated at step `k`.
-    q: Vec<usize>,
+    pub(crate) q: Vec<usize>,
 }
 
 impl SparseLu {
@@ -103,146 +205,9 @@ impl SparseLu {
         if a.rows() != a.cols() {
             return Err(SparseLuError::NotSquare { shape: a.shape() });
         }
-        gm_telemetry::counter_add("sparse.lu.factorizations", 1);
-        let n = a.rows();
         let q = ordering.permutation(a);
-        // Column access: CSC of A == CSR of Aᵀ.
-        let at = a.transpose();
-
-        let mut l = CscFactor::with_capacity(n, 4 * a.nnz().max(n));
-        let mut u = CscFactor::with_capacity(n, 4 * a.nnz().max(n));
-        let mut pinv = vec![usize::MAX; n];
-
-        // Workspaces.
-        let mut x = vec![0.0f64; n];
-        let mut marked = vec![false; n];
-        let mut pattern: Vec<usize> = Vec::with_capacity(n); // topological order (reverse)
-        let mut dfs_stack: Vec<(usize, usize)> = Vec::with_capacity(n);
-
-        for k in 0..n {
-            let col = q[k];
-            let (bcols, bvals) = at.row(col); // A(:, col)
-
-            // --- Symbolic: pattern of x = L \ A(:,col) via DFS. ---
-            pattern.clear();
-            for &i in bcols {
-                if !marked[i] {
-                    dfs_stack.push((i, 0));
-                    marked[i] = true;
-                    while let Some(top) = dfs_stack.last_mut() {
-                        let node = top.0;
-                        let jcol = pinv[node];
-                        let mut next_child = None;
-                        if jcol != usize::MAX {
-                            let (lrows, _) = l.col(jcol);
-                            while top.1 < lrows.len() {
-                                let r = lrows[top.1];
-                                top.1 += 1;
-                                if !marked[r] {
-                                    next_child = Some(r);
-                                    break;
-                                }
-                            }
-                        }
-                        match next_child {
-                            Some(r) => {
-                                marked[r] = true;
-                                dfs_stack.push((r, 0));
-                            }
-                            None => {
-                                // Leaf or children exhausted: emit postorder.
-                                dfs_stack.pop();
-                                pattern.push(node);
-                            }
-                        }
-                    }
-                }
-            }
-            // `pattern` is now in topological order for the numeric solve
-            // when traversed in reverse.
-
-            // --- Numeric: scatter b, then eliminate. ---
-            for &i in &pattern {
-                x[i] = 0.0;
-            }
-            for (&i, &v) in bcols.iter().zip(bvals) {
-                x[i] = v;
-            }
-            for idx in (0..pattern.len()).rev() {
-                let i = pattern[idx];
-                let jcol = pinv[i];
-                if jcol == usize::MAX {
-                    continue;
-                }
-                // L column jcol is diagonal-first with unit diagonal.
-                let (lrows, lvals) = l.col(jcol);
-                let xi = x[i]; // already fully updated (topological order)
-                if xi != 0.0 {
-                    for (&r, &lv) in lrows.iter().zip(lvals).skip(1) {
-                        x[r] -= lv * xi;
-                    }
-                }
-            }
-
-            // --- Pivot selection (threshold partial pivoting). ---
-            let mut ipiv = usize::MAX;
-            let mut amax = 0.0f64;
-            for &i in &pattern {
-                if pinv[i] == usize::MAX {
-                    let t = x[i].abs();
-                    if t > amax {
-                        amax = t;
-                        ipiv = i;
-                    }
-                }
-            }
-            if ipiv == usize::MAX || amax <= 0.0 {
-                // Clean up marks before returning.
-                for &i in &pattern {
-                    marked[i] = false;
-                }
-                return Err(SparseLuError::Singular { step: k });
-            }
-            // Prefer the diagonal candidate when acceptable.
-            if pinv[col] == usize::MAX && x[col].abs() >= pivot_tol * amax && x[col] != 0.0 {
-                ipiv = col;
-            }
-            let pivot = x[ipiv];
-
-            // --- Store U column k (rows already pivoted), diagonal last. ---
-            for &i in &pattern {
-                if pinv[i] != usize::MAX && x[i] != 0.0 {
-                    u.rows.push(pinv[i]);
-                    u.vals.push(x[i]);
-                }
-            }
-            u.rows.push(k);
-            u.vals.push(pivot);
-            u.close_col();
-
-            // --- Store L column k (unpivoted rows), unit diagonal first. ---
-            pinv[ipiv] = k;
-            l.rows.push(ipiv);
-            l.vals.push(1.0);
-            for &i in &pattern {
-                if pinv[i] == usize::MAX && x[i] != 0.0 {
-                    l.rows.push(i);
-                    l.vals.push(x[i] / pivot);
-                }
-            }
-            l.close_col();
-
-            for &i in &pattern {
-                marked[i] = false;
-            }
-        }
-
-        // Rewrite L's row indices into pivot order so solves are plain
-        // triangular sweeps.
-        for r in &mut l.rows {
-            *r = pinv[*r];
-        }
-        Ok(SparseLu { n, l, u, pinv, q })
+        let acc = ColAccess::build(a, &q);
+        factor_core(a.rows(), a.nnz(), &acc, a.values(), q, pivot_tol, None)
     }
 
     /// Matrix dimension.
@@ -255,12 +220,29 @@ impl SparseLu {
         self.l.rows.len() + self.u.rows.len()
     }
 
-    /// Solves `A·x = b`.
+    /// Solves `A·x = b`, allocating the result. Thin wrapper over
+    /// [`SparseLu::solve_in_place`]; hot loops should own their buffers
+    /// and call that directly.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut out = b.to_vec();
+        let mut scratch = vec![0.0f64; self.n];
+        self.solve_in_place(&mut out, &mut scratch);
+        out
+    }
+
+    /// Solves `A·x = b` in place: `b` holds the right-hand side on entry
+    /// and the solution on return. `scratch` is caller-owned workspace of
+    /// length `n` (contents ignored on entry, clobbered on return), so
+    /// repeated solves allocate nothing.
+    ///
+    /// # Panics
+    /// Panics when `b` or `scratch` is not of length `n`.
+    pub fn solve_in_place(&self, b: &mut [f64], scratch: &mut [f64]) {
         assert_eq!(b.len(), self.n, "rhs length mismatch");
+        assert_eq!(scratch.len(), self.n, "scratch length mismatch");
         gm_telemetry::counter_add("sparse.lu.solves", 1);
         // x = P b
-        let mut x = vec![0.0f64; self.n];
+        let x = scratch;
         for (orig, &pk) in self.pinv.iter().enumerate() {
             x[pk] = b[orig];
         }
@@ -288,19 +270,177 @@ impl SparseLu {
             }
         }
         // Undo the column permutation: out[q[k]] = x[k].
-        let mut out = vec![0.0f64; self.n];
         for (k, &qk) in self.q.iter().enumerate() {
-            out[qk] = x[k];
+            b[qk] = x[k];
         }
-        out
+    }
+}
+
+/// The left-looking Gilbert–Peierls elimination loop shared by the
+/// one-shot [`SparseLu::factor_with`] path and the symbolic-capturing
+/// [`crate::SymbolicLu::analyze`] path. When `capture` is provided, the
+/// per-step reach patterns are recorded for later pattern-reuse
+/// refactorizations; the numeric result is bit-identical either way.
+///
+/// Every reached pattern entry is stored, including exact zeros — the
+/// fill structure depends only on the sparsity pattern and the pivot
+/// sequence, never on value cancellations, which is what lets a
+/// refactorization replay the structure without re-running the DFS.
+pub(crate) fn factor_core(
+    n: usize,
+    nnz: usize,
+    acc: &ColAccess,
+    avals: &[f64],
+    q: Vec<usize>,
+    pivot_tol: f64,
+    mut capture: Option<&mut PatternCapture>,
+) -> Result<SparseLu, SparseLuError> {
+    gm_telemetry::counter_add("sparse.lu.factorizations", 1);
+    let mut l = CscFactor::with_capacity(n, 4 * nnz.max(n));
+    let mut u = CscFactor::with_capacity(n, 4 * nnz.max(n));
+    let mut pinv = vec![usize::MAX; n];
+
+    // Workspaces.
+    let mut x = vec![0.0f64; n];
+    let mut marked = vec![false; n];
+    let mut pattern: Vec<usize> = Vec::with_capacity(n); // topological order (reverse)
+    let mut dfs_stack: Vec<(usize, usize)> = Vec::with_capacity(n);
+
+    if let Some(cap) = capture.as_deref_mut() {
+        cap.pat_ptr.clear();
+        cap.pat_ptr.push(0);
+        cap.pat_rows.clear();
     }
 
-    /// Solves in place, reusing the caller's buffer (hot path for Newton
-    /// iterations).
-    pub fn solve_in_place(&self, b: &mut Vec<f64>) {
-        let x = self.solve(b);
-        *b = x;
+    for k in 0..n {
+        let col = q[k];
+        let (bcols, bsrc) = acc.col(k); // A(:, col), rows ascending
+
+        // --- Symbolic: pattern of x = L \ A(:,col) via DFS. ---
+        pattern.clear();
+        for &i in bcols {
+            if !marked[i] {
+                dfs_stack.push((i, 0));
+                marked[i] = true;
+                while let Some(top) = dfs_stack.last_mut() {
+                    let node = top.0;
+                    let jcol = pinv[node];
+                    let mut next_child = None;
+                    if jcol != usize::MAX {
+                        let (lrows, _) = l.col(jcol);
+                        while top.1 < lrows.len() {
+                            let r = lrows[top.1];
+                            top.1 += 1;
+                            if !marked[r] {
+                                next_child = Some(r);
+                                break;
+                            }
+                        }
+                    }
+                    match next_child {
+                        Some(r) => {
+                            marked[r] = true;
+                            dfs_stack.push((r, 0));
+                        }
+                        None => {
+                            // Leaf or children exhausted: emit postorder.
+                            dfs_stack.pop();
+                            pattern.push(node);
+                        }
+                    }
+                }
+            }
+        }
+        // `pattern` is now in topological order for the numeric solve
+        // when traversed in reverse.
+        if let Some(cap) = capture.as_deref_mut() {
+            cap.pat_rows.extend_from_slice(&pattern);
+            cap.pat_ptr.push(cap.pat_rows.len());
+        }
+
+        // --- Numeric: scatter b, then eliminate. ---
+        for &i in &pattern {
+            x[i] = 0.0;
+        }
+        for (&i, &p) in bcols.iter().zip(bsrc) {
+            x[i] = avals[p];
+        }
+        for idx in (0..pattern.len()).rev() {
+            let i = pattern[idx];
+            let jcol = pinv[i];
+            if jcol == usize::MAX {
+                continue;
+            }
+            // L column jcol is diagonal-first with unit diagonal.
+            let (lrows, lvals) = l.col(jcol);
+            let xi = x[i]; // already fully updated (topological order)
+            if xi != 0.0 {
+                for (&r, &lv) in lrows.iter().zip(lvals).skip(1) {
+                    x[r] -= lv * xi;
+                }
+            }
+        }
+
+        // --- Pivot selection (threshold partial pivoting). ---
+        let mut ipiv = usize::MAX;
+        let mut amax = 0.0f64;
+        for &i in &pattern {
+            if pinv[i] == usize::MAX {
+                let t = x[i].abs();
+                if t > amax {
+                    amax = t;
+                    ipiv = i;
+                }
+            }
+        }
+        if ipiv == usize::MAX || amax <= 0.0 {
+            // Clean up marks before returning.
+            for &i in &pattern {
+                marked[i] = false;
+            }
+            return Err(SparseLuError::Singular { step: k });
+        }
+        // Prefer the diagonal candidate when acceptable.
+        if pinv[col] == usize::MAX && x[col].abs() >= pivot_tol * amax && x[col] != 0.0 {
+            ipiv = col;
+        }
+        let pivot = x[ipiv];
+
+        // --- Store U column k (rows already pivoted), diagonal last.
+        // Exact zeros are kept: structure must not depend on values. ---
+        for &i in &pattern {
+            if pinv[i] != usize::MAX {
+                u.rows.push(pinv[i]);
+                u.vals.push(x[i]);
+            }
+        }
+        u.rows.push(k);
+        u.vals.push(pivot);
+        u.close_col();
+
+        // --- Store L column k (unpivoted rows), unit diagonal first. ---
+        pinv[ipiv] = k;
+        l.rows.push(ipiv);
+        l.vals.push(1.0);
+        for &i in &pattern {
+            if pinv[i] == usize::MAX {
+                l.rows.push(i);
+                l.vals.push(x[i] / pivot);
+            }
+        }
+        l.close_col();
+
+        for &i in &pattern {
+            marked[i] = false;
+        }
     }
+
+    // Rewrite L's row indices into pivot order so solves are plain
+    // triangular sweeps.
+    for r in &mut l.rows {
+        *r = pinv[*r];
+    }
+    Ok(SparseLu { n, l, u, pinv, q })
 }
 
 #[cfg(test)]

@@ -34,6 +34,13 @@ impl<T: Scalar> Triplets<T> {
         }
     }
 
+    /// Removes all entries, keeping the allocation. Hot assembly loops
+    /// clear and re-stamp the same buffer instead of allocating a new
+    /// one per iteration.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Adds `value` at `(row, col)`. Duplicates accumulate on conversion.
     ///
     /// # Panics
@@ -111,6 +118,164 @@ impl<T: Scalar> Triplets<T> {
             indptr.push(out_cols.len());
         }
         CsMat::from_raw(self.rows, self.cols, indptr, out_cols, out_vals)
+    }
+
+    /// Converts to CSR like [`Triplets::to_csr`] — the returned matrix is
+    /// bit-identical, including the dropping of exact-zero cancellations —
+    /// and additionally returns a [`ScatterMap`] that can re-run the
+    /// numeric part of the conversion in place on a later stamping of the
+    /// same position sequence.
+    pub fn to_csr_with_map(&self) -> (CsMat<T>, ScatterMap) {
+        // Counting sort by row, tracking the raw entry index of each slot.
+        let mut counts = vec![0usize; self.rows + 1];
+        for &(r, _, _) in &self.entries {
+            counts[r + 1] += 1;
+        }
+        for i in 0..self.rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut slots = counts.clone();
+        let mut cols = vec![0usize; self.entries.len()];
+        let mut vals = vec![T::zero(); self.entries.len()];
+        let mut raw = vec![0usize; self.entries.len()];
+        for (idx, &(r, c, v)) in self.entries.iter().enumerate() {
+            let p = slots[r];
+            cols[p] = c;
+            vals[p] = v;
+            raw[p] = idx;
+            slots[r] += 1;
+        }
+
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut out_cols = Vec::with_capacity(self.entries.len());
+        let mut out_vals = Vec::with_capacity(self.entries.len());
+        indptr.push(0);
+        let mut ord: Vec<usize> = Vec::with_capacity(self.entries.len());
+        let mut grp_ptr = vec![0usize];
+        let mut grp_dst: Vec<usize> = Vec::new();
+        let mut order: Vec<usize> = Vec::new();
+        for r in 0..self.rows {
+            let (lo, hi) = (counts[r], counts[r + 1]);
+            order.clear();
+            order.extend(lo..hi);
+            order.sort_unstable_by_key(|&p| cols[p]);
+            let mut k = 0;
+            while k < order.len() {
+                let c = cols[order[k]];
+                let mut acc = T::zero();
+                while k < order.len() && cols[order[k]] == c {
+                    acc += vals[order[k]];
+                    ord.push(raw[order[k]]);
+                    k += 1;
+                }
+                grp_ptr.push(ord.len());
+                if !acc.is_zero() {
+                    grp_dst.push(out_cols.len());
+                    out_cols.push(c);
+                    out_vals.push(acc);
+                } else {
+                    grp_dst.push(usize::MAX);
+                }
+            }
+            indptr.push(out_cols.len());
+        }
+        let nnz = out_cols.len();
+        let mat = CsMat::from_raw(self.rows, self.cols, indptr, out_cols, out_vals);
+        let map = ScatterMap {
+            rows: self.rows,
+            cols: self.cols,
+            nnz,
+            raw_len: self.entries.len(),
+            pos_fp: position_fingerprint(&self.entries),
+            ord,
+            grp_ptr,
+            grp_dst,
+        };
+        (mat, map)
+    }
+}
+
+/// FNV-1a over the `(row, col)` push sequence, values ignored.
+fn position_fingerprint<T: Scalar>(entries: &[(usize, usize, T)]) -> u64 {
+    fn mix(mut h: u64, x: usize) -> u64 {
+        for b in (x as u64).to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &(r, c, _) in entries {
+        h = mix(h, r);
+        h = mix(h, c);
+    }
+    h
+}
+
+/// Precomputed triplet → CSR scatter plan.
+///
+/// Built once by [`Triplets::to_csr_with_map`]; [`ScatterMap::scatter`]
+/// then refreshes only the values of an existing matrix for each later
+/// stamping of the *same* position sequence, with zero allocation. The
+/// accumulation replays the conversion's exact duplicate-summation order,
+/// so the refreshed values are bit-identical to what a fresh
+/// [`Triplets::to_csr`] would produce — or `scatter` reports `false` and
+/// the caller rebuilds, whenever the push sequence or the cancellation
+/// structure changed (a dropped position became nonzero, or a kept one
+/// cancelled to exact zero).
+#[derive(Clone, Debug)]
+pub struct ScatterMap {
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    raw_len: usize,
+    pos_fp: u64,
+    /// Raw entry indices, grouped by output position in accumulation
+    /// order.
+    ord: Vec<usize>,
+    /// Group boundaries into `ord`; one group per accumulated position.
+    grp_ptr: Vec<usize>,
+    /// Per group: destination in the CSR value array, or `usize::MAX`
+    /// for positions that cancelled to exact zero and were dropped.
+    grp_dst: Vec<usize>,
+}
+
+impl ScatterMap {
+    /// Scatters a re-stamped triplet buffer into the values of `dst`.
+    ///
+    /// Returns `true` when `dst` now holds exactly `t.to_csr()`. Returns
+    /// `false` — leaving `dst`'s values unspecified; rebuild with
+    /// [`Triplets::to_csr_with_map`] — when the map does not apply: the
+    /// push sequence (length or positions) differs from the one the map
+    /// was built for, or an exact-zero cancellation appeared or
+    /// disappeared, which changes the output pattern.
+    #[must_use]
+    pub fn scatter<T: Scalar>(&self, t: &Triplets<T>, dst: &mut CsMat<T>) -> bool {
+        if t.shape() != (self.rows, self.cols)
+            || t.entries.len() != self.raw_len
+            || dst.shape() != (self.rows, self.cols)
+            || dst.nnz() != self.nnz
+            || position_fingerprint(&t.entries) != self.pos_fp
+        {
+            return false;
+        }
+        let vals = dst.values_mut();
+        for (g, &dst_pos) in self.grp_dst.iter().enumerate() {
+            let mut acc = T::zero();
+            for &raw in &self.ord[self.grp_ptr[g]..self.grp_ptr[g + 1]] {
+                acc += t.entries[raw].2;
+            }
+            if dst_pos == usize::MAX {
+                if !acc.is_zero() {
+                    return false;
+                }
+            } else {
+                if acc.is_zero() {
+                    return false;
+                }
+                vals[dst_pos] = acc;
+            }
+        }
+        true
     }
 }
 

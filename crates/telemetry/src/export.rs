@@ -217,6 +217,8 @@ pub const REQUIRED_SOLVER_METRICS: &[&str] = &[
     "pf.newton.solves",
     "pf.newton.iterations",
     "sparse.lu.factorizations",
+    "sparse.symbolic.build",
+    "sparse.symbolic.reuse",
     "acopf.ipm.solves",
     "acopf.ipm.iterations",
     "ca.outages_evaluated",

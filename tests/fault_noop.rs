@@ -9,7 +9,7 @@
 //! the fault-free path would poison every baseline it is supposed to
 //! protect.
 
-use gm_faults::FaultInjector;
+use gm_faults::{FaultInjector, FaultKind, FaultRule};
 use gridmind_core::{GridMind, ModelProfile, CAVEAT_PREFIX};
 use proptest::prelude::*;
 
@@ -41,6 +41,59 @@ fn run_session(
         "recovery ladder engaged without any injected fault"
     );
     replies
+}
+
+/// A `LuSingular` fault under pattern-reuse refactorization must be
+/// absorbed *inside* the sparse layer: every attacked refactorization
+/// falls back to a full symbolic re-analysis (counted as
+/// `sparse.symbolic.fallback`), the recovery ladder never descends, no
+/// caveat appears, and every answer stays byte-identical to the
+/// fault-free session — the fallback path is a slower route to the same
+/// bits, not a degraded method.
+#[test]
+fn refactor_fault_falls_back_without_descending_the_ladder() {
+    let profile = ModelProfile::paper_models().remove(0);
+    let queries = ["solve case14", "run the n-1 contingency analysis"];
+
+    let baseline: Vec<String> = {
+        let mut gm = GridMind::new(profile.clone());
+        queries.iter().map(|q| gm.ask(q).text).collect()
+    };
+
+    let inj = FaultInjector::scripted(vec![FaultRule::new(
+        "sparse.refactor",
+        FaultKind::LuSingular,
+        0,
+        u64::MAX,
+    )]);
+    let guard = inj.install();
+    let mut gm = GridMind::new(profile);
+    let answers: Vec<String> = queries.iter().map(|q| gm.ask(q).text).collect();
+    drop(guard);
+
+    assert!(
+        inj.injected_total() > 0,
+        "no pattern-reuse refactorization was attacked — the Newton loop \
+         stopped exercising the symbolic cache"
+    );
+    assert_eq!(
+        gm.session
+            .telemetry
+            .counter_value("sparse.symbolic.fallback"),
+        inj.injected_total(),
+        "every injected refactorization failure must become exactly one \
+         full re-analysis fallback"
+    );
+    assert_eq!(
+        gm.session.telemetry.sum_prefix("recovery."),
+        0,
+        "the sparse-layer fallback leaked into the solver recovery ladder"
+    );
+    assert!(
+        answers.iter().all(|t| !t.contains(CAVEAT_PREFIX)),
+        "caveat appeared for a fault the sparse layer must absorb"
+    );
+    assert_eq!(answers, baseline, "refactor fallback changed an answer");
 }
 
 proptest! {

@@ -49,6 +49,24 @@ impl<'a, T: Sync> ParIter<'a, T> {
         }
     }
 
+    /// Map each element through `f` in parallel, handing every worker a
+    /// mutable state created by `init` — rayon's `map_init`. `init` runs
+    /// once per worker thread (here: once per contiguous chunk), so the
+    /// state amortizes per-thread setup such as solver caches across the
+    /// chunk's elements.
+    pub fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> ParMapInit<'a, T, INIT, F>
+    where
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, &'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMapInit {
+            items: self.items,
+            init,
+            f,
+        }
+    }
+
     /// Number of elements.
     pub fn len(&self) -> usize {
         self.items.len()
@@ -76,6 +94,70 @@ where
     pub fn collect<C: FromIterator<R>>(self) -> C {
         run_ordered(self.items, &self.f).into_iter().collect()
     }
+}
+
+/// A mapped parallel iterator with per-worker state, ready to collect.
+pub struct ParMapInit<'a, T, INIT, F> {
+    items: &'a [T],
+    init: INIT,
+    f: F,
+}
+
+impl<'a, T, S, INIT, F, R> ParMapInit<'a, T, INIT, F>
+where
+    T: Sync,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, &'a T) -> R + Sync,
+    R: Send,
+{
+    /// Run the map over scoped worker threads, preserving input order.
+    /// One `init` state per worker chunk.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_ordered_init(self.items, &self.init, &self.f)
+            .into_iter()
+            .collect()
+    }
+}
+
+fn run_ordered_init<'a, T, S, R, INIT, F>(items: &'a [T], init: &INIT, f: &F) -> Vec<R>
+where
+    T: Sync,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, &'a T) -> R + Sync,
+    R: Send,
+{
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n.max(1));
+    if workers <= 1 || n < 2 {
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move || {
+                    let mut state = init();
+                    part.iter()
+                        .map(|item| f(&mut state, item))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                // A panicking worker panics the caller, like rayon.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
 }
 
 fn run_ordered<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
@@ -134,6 +216,34 @@ mod tests {
         for (i, v) in sq.iter().enumerate() {
             assert_eq!(*v, (i as u64) * (i as u64));
         }
+    }
+
+    #[test]
+    fn map_init_ordered_with_bounded_states() {
+        let data: Vec<u64> = (0..1000).collect();
+        let states = std::sync::atomic::AtomicUsize::new(0);
+        let doubled: Vec<u64> = data
+            .par_iter()
+            .map_init(
+                || {
+                    states.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    Vec::<u64>::new()
+                },
+                |scratch, x| {
+                    scratch.push(*x); // state is genuinely mutable
+                    x * 2
+                },
+            )
+            .collect();
+        for (i, v) in doubled.iter().enumerate() {
+            assert_eq!(*v, 2 * i as u64);
+        }
+        let inits = states.load(std::sync::atomic::Ordering::Relaxed);
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        assert!(
+            inits >= 1 && inits <= cores,
+            "{inits} states for {cores} cores"
+        );
     }
 
     #[test]
