@@ -60,12 +60,11 @@ pub(crate) struct Layout {
 }
 
 impl Layout {
-    fn build(net: &Network) -> Layout {
+    /// `None` when the network has no slack bus (callers surface it as
+    /// [`AcopfError::InvalidNetwork`] — no panic path remains).
+    fn build(net: &Network) -> Option<Layout> {
         let n = net.n_bus();
-        // Grandfathered panic (gm-audit allowlist): `solve_acopf`
-        // validates before building, so a missing slack is unreachable.
-        #[allow(clippy::expect_used)]
-        let slack = net.slack().expect("validated network");
+        let slack = net.slack()?;
         let mut th = vec![usize::MAX; n];
         let mut k = 0;
         for (i, t) in th.iter_mut().enumerate() {
@@ -90,13 +89,13 @@ impl Layout {
                 k += 1;
             }
         }
-        Layout {
+        Some(Layout {
             th,
             vm,
             pg,
             qg,
             nx: k,
-        }
+        })
     }
 }
 
@@ -127,10 +126,11 @@ pub(crate) struct AcopfProblem<'a> {
 }
 
 impl<'a> AcopfProblem<'a> {
-    pub(crate) fn build(net: &'a Network, warm_start: bool) -> AcopfProblem<'a> {
+    /// `None` when the network has no slack bus.
+    pub(crate) fn build(net: &'a Network, warm_start: bool) -> Option<AcopfProblem<'a>> {
         let n = net.n_bus();
         let ybus = YBus::assemble(net);
-        let layout = Layout::build(net);
+        let layout = Layout::build(net)?;
         let base = net.base_mva;
 
         let mut limits = Vec::new();
@@ -178,7 +178,7 @@ impl<'a> AcopfProblem<'a> {
             shunt[s.bus].1 += s.b_mvar / base;
         }
 
-        AcopfProblem {
+        Some(AcopfProblem {
             net,
             ybus,
             layout,
@@ -188,7 +188,7 @@ impl<'a> AcopfProblem<'a> {
             qd,
             shunt,
             warm_start,
-        }
+        })
     }
 
     /// Decodes θ and Vm for a bus from the variable vector.
@@ -484,7 +484,11 @@ pub fn solve_acopf(net: &Network, opts: &AcopfOptions) -> Result<AcopfSolution, 
         });
     }
     let started = std::time::Instant::now();
-    let prob = AcopfProblem::build(net, opts.warm_start);
+    let Some(prob) = AcopfProblem::build(net, opts.warm_start) else {
+        return Err(AcopfError::InvalidNetwork {
+            problems: vec!["no slack bus".to_string()],
+        });
+    };
     let res = ipm::solve(&prob, &opts.ipm);
     if !res.converged {
         return Err(AcopfError::NotConverged {

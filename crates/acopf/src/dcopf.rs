@@ -42,12 +42,11 @@ struct DcOpfProblem<'a> {
 }
 
 impl<'a> DcOpfProblem<'a> {
-    fn build(net: &'a Network) -> Self {
+    /// `None` when the network has no slack bus (surfaced by
+    /// [`solve_dcopf`] as an invalid-network error — no panic path).
+    fn build(net: &'a Network) -> Option<Self> {
         let n = net.n_bus();
-        // Grandfathered panic (gm-audit allowlist): `solve_dcopf`
-        // validates before building, so a missing slack is unreachable.
-        #[allow(clippy::expect_used)]
-        let slack = net.slack().expect("validated network");
+        let slack = net.slack()?;
         let mut th = vec![usize::MAX; n];
         let mut k = 0;
         for (i, t) in th.iter_mut().enumerate() {
@@ -74,14 +73,14 @@ impl<'a> DcOpfProblem<'a> {
         for l in net.loads.iter().filter(|l| l.in_service) {
             pd[l.bus] += l.p_mw / net.base_mva;
         }
-        DcOpfProblem {
+        Some(DcOpfProblem {
             net,
             th,
             pg,
             nx: k,
             limits,
             pd,
-        }
+        })
     }
 
     fn angle(&self, x: &[f64], bus: usize) -> f64 {
@@ -209,7 +208,9 @@ pub fn solve_dcopf(net: &Network, opts: &IpmOptions) -> Result<DcOpfSolution, St
                 .join("; ")
         ));
     }
-    let prob = DcOpfProblem::build(net);
+    let Some(prob) = DcOpfProblem::build(net) else {
+        return Err("invalid network: no slack bus".to_string());
+    };
     let res = ipm::solve(&prob, opts);
     if !res.converged {
         return Err(format!("DC-OPF did not converge: {}", res.message));

@@ -234,7 +234,11 @@ pub fn solve_scopf(net: &Network, opts: &ScopfOptions) -> Result<ScopfSolution, 
         let mut relaxations = 0usize;
         loop {
             let started = std::time::Instant::now();
-            let base_prob = AcopfProblem::build(net, opts.acopf.warm_start);
+            let Some(base_prob) = AcopfProblem::build(net, opts.acopf.warm_start) else {
+                return Err(AcopfError::InvalidNetwork {
+                    problems: vec!["no slack bus".to_string()],
+                });
+            };
             let (_, base_jh) = base_prob.inequalities(&base_prob.x0());
             let base_niq = base_jh.rows();
             let prob = ScopfProblem {

@@ -37,7 +37,12 @@
 //! environment is offline); the source scanner is a small line-oriented
 //! state machine documented in [`source`].
 
+pub mod lex;
+pub mod locks;
+pub mod rules;
 pub mod source;
+pub mod tree;
+pub mod xref;
 
 pub use gm_network::{AuditFinding, GridLint, Network, Severity};
 pub use source::{

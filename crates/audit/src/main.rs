@@ -1,17 +1,23 @@
 //! `gm-audit` CLI: workspace static analysis.
 //!
 //! ```text
-//! cargo run -p gm-audit -- lint-src            # source invariants
-//! cargo run -p gm-audit -- lint-case <case>    # model invariants
+//! cargo run -p gm-audit -- lint-src [--json PATH]    # source invariants
+//! cargo run -p gm-audit -- lock-graph [--json PATH]  # lock discipline
+//! cargo run -p gm-audit -- lint-case <case>          # model invariants
 //! ```
 //!
 //! Exits nonzero when any violation (or, for `lint-case`, any
 //! error-severity finding) is present — suitable as a CI gate.
+//! `--json` additionally writes the findings as a machine-readable
+//! artifact (hand-rolled serialization: this crate stays
+//! zero-dependency).
 
+use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use gm_audit::{lint_sources, GridLint, Severity};
+use gm_audit::locks::lint_locks;
+use gm_audit::{lint_sources, GridLint, Severity, SourceFinding};
 
 fn repo_root() -> PathBuf {
     // crates/audit → repo root.
@@ -22,24 +28,100 @@ fn repo_root() -> PathBuf {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: gm-audit <lint-src | lint-case CASE>");
+    eprintln!(
+        "usage: gm-audit <lint-src [--json PATH] | lock-graph [--json PATH] | lint-case CASE>"
+    );
     ExitCode::from(2)
 }
 
-fn lint_src() -> ExitCode {
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_findings(findings: &[SourceFinding]) -> String {
+    let items: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"file\":{},\"line\":{},\"rule\":{},\"excerpt\":{}}}",
+                json_str(&f.file),
+                f.line,
+                json_str(f.rule),
+                json_str(&f.excerpt)
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+fn write_json(path: &str, body: &str) -> ExitCode {
+    match std::fs::write(path, body) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint_src(json: Option<&str>) -> ExitCode {
     let root = repo_root();
-    let rep = match lint_sources(&root) {
+    let mut rep = match lint_sources(&root) {
         Ok(rep) => rep,
         Err(e) => {
             eprintln!("lint-src: cannot scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    match gm_audit::xref::lint_telemetry_xref(&root) {
+        Ok(mut xref) => rep.findings.append(&mut xref),
+        Err(e) => {
+            eprintln!("lint-src: telemetry xref failed: {e}");
+            return ExitCode::from(2);
+        }
+    }
     for f in &rep.findings {
         println!("{f}");
     }
     for e in &rep.allowlist_errors {
         println!("allowlist: {e}");
+    }
+    if let Some(path) = json {
+        let body = format!(
+            "{{\"findings\":{},\"allowlist_errors\":{},\"files_scanned\":{},\"grandfathered\":{}}}\n",
+            json_findings(&rep.findings),
+            format_args!(
+                "[{}]",
+                rep.allowlist_errors
+                    .iter()
+                    .map(|e| json_str(e))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+            rep.files_scanned,
+            rep.grandfathered.values().sum::<usize>(),
+        );
+        let code = write_json(path, &body);
+        if code != ExitCode::SUCCESS {
+            return code;
+        }
     }
     let grandfathered: usize = rep.grandfathered.values().sum();
     if rep.is_clean() {
@@ -53,6 +135,94 @@ fn lint_src() -> ExitCode {
             "lint-src: {} violation(s), {} allowlist error(s)",
             rep.findings.len(),
             rep.allowlist_errors.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn lock_graph(json: Option<&str>) -> ExitCode {
+    let root = repo_root();
+    let rep = match lint_locks(&root) {
+        Ok(rep) => rep,
+        Err(e) => {
+            eprintln!("lock-graph: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "lock-graph: {} lock(s), {} order edge(s), {} function(s) analyzed",
+        rep.locks.len(),
+        rep.edges.len(),
+        rep.functions_analyzed
+    );
+    for l in &rep.locks {
+        println!("  lock {} ({}) at {}:{}", l.id, l.kind, l.file, l.line);
+    }
+    for e in &rep.edges {
+        println!("  order {} -> {} at {}", e.held, e.acquired, e.site);
+    }
+    for f in &rep.findings {
+        println!("{f}");
+    }
+    for c in &rep.cycles {
+        println!("  CYCLE: {}", c.join(" -> "));
+    }
+    if let Some(path) = json {
+        let locks: Vec<String> = rep
+            .locks
+            .iter()
+            .map(|l| {
+                format!(
+                    "{{\"id\":{},\"kind\":{},\"file\":{},\"line\":{}}}",
+                    json_str(&l.id),
+                    json_str(l.kind),
+                    json_str(&l.file),
+                    l.line
+                )
+            })
+            .collect();
+        let edges: Vec<String> = rep
+            .edges
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"held\":{},\"acquired\":{},\"site\":{}}}",
+                    json_str(&e.held),
+                    json_str(&e.acquired),
+                    json_str(&e.site)
+                )
+            })
+            .collect();
+        let cycles: Vec<String> = rep
+            .cycles
+            .iter()
+            .map(|c| {
+                format!(
+                    "[{}]",
+                    c.iter().map(|s| json_str(s)).collect::<Vec<_>>().join(",")
+                )
+            })
+            .collect();
+        let body = format!(
+            "{{\"locks\":[{}],\"edges\":[{}],\"cycles\":[{}],\"findings\":{}}}\n",
+            locks.join(","),
+            edges.join(","),
+            cycles.join(","),
+            json_findings(&rep.findings),
+        );
+        let code = write_json(path, &body);
+        if code != ExitCode::SUCCESS {
+            return code;
+        }
+    }
+    if rep.is_clean() {
+        println!("lock-graph clean: order acyclic, no guard spans an engine entry");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "lock-graph: {} finding(s), {} cycle(s)",
+            rep.findings.len(),
+            rep.cycles.len()
         );
         ExitCode::FAILURE
     }
@@ -91,8 +261,25 @@ fn lint_case(name: &str) -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_arg = |idx: usize| -> Option<&str> {
+        match args.get(idx).map(String::as_str) {
+            Some("--json") => args.get(idx + 1).map(String::as_str),
+            _ => None,
+        }
+    };
     match args.first().map(String::as_str) {
-        Some("lint-src") => lint_src(),
+        Some("lint-src") => {
+            if args.len() > 1 && json_arg(1).is_none() {
+                return usage();
+            }
+            lint_src(json_arg(1))
+        }
+        Some("lock-graph") => {
+            if args.len() > 1 && json_arg(1).is_none() {
+                return usage();
+            }
+            lock_graph(json_arg(1))
+        }
         Some("lint-case") => match args.get(1) {
             Some(case) => lint_case(case),
             None => usage(),

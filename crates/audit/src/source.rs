@@ -1,24 +1,29 @@
-//! Line-based source lints over the workspace tree.
+//! Source lints over the workspace tree, driven by the token-tree
+//! engine ([`crate::lex`] → [`crate::tree`] → [`crate::rules`]).
 //!
-//! `syn` is unavailable offline, so the scanner is a deliberately simple
-//! state machine over source lines. Its known approximations:
-//!
-//! - `#[cfg(test)]` items are skipped by brace counting from the
-//!   attribute to the matching close brace;
-//! - text after `//` on a line is ignored (doc comments and line
-//!   comments never produce findings); a `//` inside a string literal
-//!   is mis-treated as a comment, which can only *hide* a finding on
-//!   an already-unusual line, never invent one;
-//! - pattern matches inside string literals are accepted as findings —
-//!   solver-crate code has no reason to spell `".unwrap()"` in a string.
+//! The scanner used to be a line-based state machine with documented
+//! approximations (string literals confusable with code, `#[cfg(test)]`
+//! regions tracked by brace counting, `//` inside a string treated as a
+//! comment). All of those are gone: the lexer classifies every byte as
+//! code, literal contents, or trivia before any rule looks at it, so a
+//! `panic!` spelled inside a string or doc comment *cannot* fire, and
+//! test exemptions bind to parsed attributes — including `#[test]`
+//! functions inside macro invocation bodies such as `proptest! { … }`.
 //!
 //! The rules (see the crate docs) and the grandfathered-site allowlist
 //! (`crates/audit/lint_allowlist.txt`) are enforced by [`lint_sources`].
+//! A file the lexer cannot model (unterminated literal, unbalanced
+//! delimiters) produces a `parse-error` finding rather than being
+//! silently under-linted.
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+use crate::lex::{lex, TokKind};
+use crate::rules::{scan_source, RuleSet};
+use crate::tree::{parse, scan_items};
 
 /// Crates whose non-test code must be panic-free.
 pub const SOLVER_CRATES: &[&str] = &[
@@ -52,6 +57,27 @@ pub const NO_PRINTLN_CRATES: &[&str] = &[
     "faults",
 ];
 
+/// Crates whose non-test code must not swallow `Result`s
+/// (`let _ = call()`, statement-final `.ok()`, `Err(_) => {}`): the
+/// solver crates plus the serving layer and the coordinator, where a
+/// dropped error means a silently lost response or a poisoned cache
+/// entry nobody hears about.
+pub const SWALLOW_CRATES: &[&str] = &[
+    "numeric",
+    "sparse",
+    "powerflow",
+    "acopf",
+    "contingency",
+    "faults",
+    "core",
+    "serve",
+];
+
+/// Crates whose non-test code is checked for float-safety:
+/// `==`/`!=` on float expressions (except the exact-zero sparsity
+/// idiom) and NaN-unaware `partial_cmp(..).unwrap()` chains.
+pub const FLOAT_CRATES: &[&str] = &["numeric", "sparse", "powerflow", "acopf", "contingency"];
+
 /// Repo-root directories holding test-support code (`tests/`,
 /// `examples/`). Scanned for `no-panic` only: printing is fine there,
 /// and panic sites inside `#[test]` functions are the assertion idiom —
@@ -70,6 +96,7 @@ pub struct SourceFinding {
     /// 1-based line number.
     pub line: usize,
     /// Rule identifier (`no-panic`, `no-truncating-cast`, `no-println`,
+    /// `swallowed-error`, `float-eq`, `nan-partial-cmp`, `parse-error`,
     /// `tool-registration`).
     pub rule: &'static str,
     /// The offending line (trimmed) or a description.
@@ -109,158 +136,70 @@ impl SourceLintReport {
     }
 }
 
-/// Strips the trailing `//` comment from a line. A `//` inside a string
-/// literal is treated as a comment start (see module docs).
-fn code_part(line: &str) -> &str {
-    match line.find("//") {
-        Some(i) => &line[..i],
-        None => line,
-    }
-}
-
-/// True when `code` contains a panicking construct.
-fn has_panic_site(code: &str) -> bool {
-    code.contains(".unwrap()")
-        || code.contains(".expect(")
-        || code.contains("panic!(")
-        || code.contains("unreachable!(")
-        || code.contains("todo!(")
-        || code.contains("unimplemented!(")
-}
-
-/// True when `code` contains a float→int `as` cast, judged by an `as
-/// <int type>` cast on a line with float evidence (a float type, a
-/// float-producing method, or a float literal).
-fn has_truncating_cast(code: &str) -> bool {
-    const INT_TYPES: &[&str] = &[
-        "i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize",
-    ];
-    let mut has_int_cast = false;
-    let mut rest = code;
-    while let Some(i) = rest.find(" as ") {
-        let after = &rest[i + 4..];
-        let token: String = after
-            .chars()
-            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-            .collect();
-        if INT_TYPES.contains(&token.as_str()) {
-            has_int_cast = true;
-            break;
-        }
-        rest = &rest[i + 4..];
-    }
-    if !has_int_cast {
-        return false;
-    }
-    let float_method = [
-        ".sqrt()", ".floor()", ".ceil()", ".round()", ".abs()", ".powi(", ".powf(",
-    ]
-    .iter()
-    .any(|m| code.contains(m));
-    let float_literal = {
-        let bytes = code.as_bytes();
-        (1..bytes.len().saturating_sub(1)).any(|i| {
-            bytes[i] == b'.' && bytes[i - 1].is_ascii_digit() && bytes[i + 1].is_ascii_digit()
-        })
-    };
-    code.contains("f64") || code.contains("f32") || float_method || float_literal
-}
-
-/// True when `code` writes to stdout/stderr directly.
-fn has_println_site(code: &str) -> bool {
-    code.contains("println!(") || code.contains("eprintln!(")
-}
-
 /// Scans one file's text for `no-panic` (and optionally
-/// `no-truncating-cast`) violations, skipping `#[cfg(test)]` items and
-/// comments. Returns `(line_number, rule, excerpt)` triples.
+/// `no-truncating-cast`) violations with attribute-accurate
+/// `#[cfg(test)]` exemptions. Returns `(line_number, rule, excerpt)`
+/// triples.
 pub fn scan_file(text: &str, check_casts: bool) -> Vec<(usize, &'static str, String)> {
     scan_file_rules(text, true, check_casts, false)
 }
 
 /// Scans with explicit per-rule switches (`no-panic`,
-/// `no-truncating-cast`, `no-println`), skipping `#[cfg(test)]` items
-/// and comments.
+/// `no-truncating-cast`, `no-println`), skipping `#[cfg(test)]` items.
 pub fn scan_file_rules(
     text: &str,
     check_panics: bool,
     check_casts: bool,
     check_println: bool,
 ) -> Vec<(usize, &'static str, String)> {
-    scan_impl(text, check_panics, check_casts, check_println, false)
+    scan_file_ruleset(
+        text,
+        &RuleSet {
+            panics: check_panics,
+            casts: check_casts,
+            println: check_println,
+            ..RuleSet::default()
+        },
+    )
 }
 
 /// Scans a test-support file (`tests/*.rs`, `examples/*.rs`): panics
-/// inside `#[test]`-annotated functions are the idiom and are skipped,
-/// but panic sites in plain helper functions (and example `main`s) are
-/// still flagged — a helper that panics kills every test that calls it
-/// with a useless backtrace.
+/// inside `#[test]`-annotated functions are the idiom and are skipped
+/// (including inside macro bodies like `proptest! { … }`), but panic
+/// sites in plain helper functions (and example `main`s) are still
+/// flagged — a helper that panics kills every test that calls it with a
+/// useless backtrace.
 pub fn scan_test_support_file(text: &str) -> Vec<(usize, &'static str, String)> {
-    scan_impl(text, true, false, false, true)
+    scan_file_ruleset(
+        text,
+        &RuleSet {
+            panics: true,
+            skip_test_fns: true,
+            ..RuleSet::default()
+        },
+    )
 }
 
-fn scan_impl(
-    text: &str,
-    check_panics: bool,
-    check_casts: bool,
-    check_println: bool,
-    skip_test_fns: bool,
-) -> Vec<(usize, &'static str, String)> {
-    let mut out = Vec::new();
-    let mut skip_depth: i32 = 0; // >0: inside a #[cfg(test)]/#[test] item
-    let mut pending_test_attr = false;
-    for (ln0, raw) in text.lines().enumerate() {
-        let code = code_part(raw);
-        let trimmed = code.trim();
-        if skip_depth > 0 {
-            skip_depth += braces(code);
-            continue;
-        }
-        if pending_test_attr {
-            // Attribute lines between the test attribute and the item
-            // keep the pending state; the item line opens the skip
-            // region.
-            if trimmed.is_empty() || trimmed.starts_with("#[") {
-                // stay pending
-            } else {
-                let d = braces(code);
-                if d > 0 {
-                    skip_depth = d;
-                    pending_test_attr = false;
-                    continue;
-                }
-                // Braceless item (e.g. `mod tests;`): nothing to skip.
-                pending_test_attr = false;
-            }
-        }
-        if trimmed.starts_with("#[cfg(test)]")
-            || (skip_test_fns
-                && (trimmed.starts_with("#[test]")
-                    || trimmed == "#[should_panic]"
-                    || trimmed.starts_with("#[should_panic(")))
-        {
-            pending_test_attr = true;
-            continue;
-        }
-        if check_panics && has_panic_site(code) {
-            out.push((ln0 + 1, "no-panic", trimmed.to_string()));
-        }
-        if check_casts && has_truncating_cast(code) {
-            out.push((ln0 + 1, "no-truncating-cast", trimmed.to_string()));
-        }
-        if check_println && has_println_site(code) {
-            out.push((ln0 + 1, "no-println", trimmed.to_string()));
-        }
+/// Runs an arbitrary [`RuleSet`] over one file's text. Lexer/parser
+/// errors surface as `parse-error` hits so a file the engine cannot
+/// model fails loudly instead of passing unscanned.
+pub fn scan_file_ruleset(text: &str, rules: &RuleSet) -> Vec<(usize, &'static str, String)> {
+    let lines: Vec<&str> = text.lines().collect();
+    let excerpt_at = |line: usize| -> String {
+        lines
+            .get(line.saturating_sub(1))
+            .map_or_else(String::new, |l| l.trim().to_string())
+    };
+    let (hits, errors) = scan_source(text, rules);
+    let mut out: Vec<(usize, &'static str, String)> = hits
+        .into_iter()
+        .map(|(line, rule)| (line, rule, excerpt_at(line)))
+        .collect();
+    for e in errors {
+        out.push((e.line, "parse-error", e.message));
     }
+    out.sort_by_key(|(line, rule, _)| (*line, *rule));
     out
-}
-
-/// Net brace depth change of a code line.
-#[allow(clippy::cast_possible_wrap)]
-fn braces(code: &str) -> i32 {
-    let open = code.matches('{').count() as i32;
-    let close = code.matches('}').count() as i32;
-    open - close
 }
 
 fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -307,22 +246,40 @@ fn read_allowlist(repo_root: &Path) -> BTreeMap<(String, String), usize> {
     map
 }
 
-/// The ratcheted rules, in reporting order.
-const RATCHET_RULES: &[&str] = &["no-panic", "no-truncating-cast", "no-println"];
+/// The ratcheted rules, in reporting order. `parse-error` and
+/// `tool-registration` are deliberately absent: those are never
+/// grandfatherable.
+const RATCHET_RULES: &[&str] = &[
+    "no-panic",
+    "no-truncating-cast",
+    "no-println",
+    "swallowed-error",
+    "float-eq",
+    "nan-partial-cmp",
+];
 
 /// Applies the exact ratchet to one scanned file: every rule's hit
 /// count must match the allowlist grant exactly — more is a finding,
 /// fewer is a stale allowlist entry (the ratchet may only shrink).
+/// Non-ratchetable rules (`parse-error`) always report.
 fn ratchet_file(
     rep: &mut SourceLintReport,
     allow: &mut BTreeMap<(String, String), usize>,
     rel: &str,
     hits: &[(usize, &'static str, String)],
 ) {
+    for (ln, rule, excerpt) in hits.iter().filter(|(_, r, _)| !RATCHET_RULES.contains(r)) {
+        rep.findings.push(SourceFinding {
+            file: rel.to_string(),
+            line: *ln,
+            rule,
+            excerpt: excerpt.clone(),
+        });
+    }
     for rule in RATCHET_RULES {
         let matched: Vec<_> = hits.iter().filter(|(_, r, _)| r == rule).collect();
         let granted = allow
-            .remove(&(rel.to_string(), rule.to_string()))
+            .remove(&(rel.to_string(), (*rule).to_string()))
             .unwrap_or(0);
         match matched.len().cmp(&granted) {
             std::cmp::Ordering::Greater => {
@@ -345,10 +302,24 @@ fn ratchet_file(
             std::cmp::Ordering::Equal => {
                 if granted > 0 {
                     rep.grandfathered
-                        .insert((rel.to_string(), rule.to_string()), granted);
+                        .insert((rel.to_string(), (*rule).to_string()), granted);
                 }
             }
         }
+    }
+}
+
+/// The [`RuleSet`] a library file in `crates/<krate>/src` is scanned
+/// under. `is_bin` exempts `no-println` (printing is a binary's job).
+pub fn crate_ruleset(krate: &str, is_bin: bool) -> RuleSet {
+    RuleSet {
+        panics: SOLVER_CRATES.contains(&krate),
+        casts: KERNEL_CRATES.contains(&krate),
+        println: !is_bin,
+        swallowed: SWALLOW_CRATES.contains(&krate),
+        float_eq: FLOAT_CRATES.contains(&krate),
+        nan_cmp: FLOAT_CRATES.contains(&krate),
+        skip_test_fns: false,
     }
 }
 
@@ -364,8 +335,6 @@ pub fn lint_sources(repo_root: &Path) -> io::Result<SourceLintReport> {
         }
         let mut files = Vec::new();
         rs_files(&src, &mut files)?;
-        let check_panics = SOLVER_CRATES.contains(krate);
-        let check_casts = KERNEL_CRATES.contains(krate);
         for path in files {
             rep.files_scanned += 1;
             let rel = path
@@ -377,7 +346,7 @@ pub fn lint_sources(repo_root: &Path) -> io::Result<SourceLintReport> {
             // library code only.
             let is_bin = rel.contains("/src/bin/") || rel.ends_with("/main.rs");
             let text = fs::read_to_string(&path)?;
-            let hits = scan_file_rules(&text, check_panics, check_casts, !is_bin);
+            let hits = scan_file_ruleset(&text, &crate_ruleset(krate, is_bin));
             ratchet_file(&mut rep, &mut allow, &rel, &hits);
         }
     }
@@ -416,13 +385,23 @@ pub fn lint_sources(repo_root: &Path) -> io::Result<SourceLintReport> {
 
 /// Every `pub fn *_tool` in `crates/core/src/tools_*.rs` must appear in
 /// `crates/core/src/agents.rs` (the registration site that binds each
-/// handler to its `ToolSpec` schema).
+/// handler to its `ToolSpec` schema). Both sides are judged on tokens:
+/// a handler name is a parsed `pub fn` item, and a registry mention
+/// must be an identifier token — a name spelled only in a comment or
+/// string no longer counts as registered.
 fn registration_lint(repo_root: &Path, rep: &mut SourceLintReport) -> io::Result<()> {
     let core_src = repo_root.join("crates/core/src");
     if !core_src.is_dir() {
         return Ok(());
     }
-    let registry = fs::read_to_string(core_src.join("agents.rs")).unwrap_or_default();
+    let registry_text = fs::read_to_string(core_src.join("agents.rs")).unwrap_or_default();
+    let (registry_toks, _) = lex(&registry_text);
+    let registered: std::collections::BTreeSet<&str> = registry_toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+
     let mut files = Vec::new();
     rs_files(&core_src, &mut files)?;
     for path in files {
@@ -434,23 +413,23 @@ fn registration_lint(repo_root: &Path, rep: &mut SourceLintReport) -> io::Result
         rep.files_scanned += 1;
         let rel = format!("crates/core/src/{name}");
         let text = fs::read_to_string(&path)?;
-        for (ln0, raw) in text.lines().enumerate() {
-            let code = code_part(raw).trim();
-            let Some(sig) = code.strip_prefix("pub fn ") else {
+        let (trees, _) = parse(&text);
+        for item in scan_items(&trees) {
+            if item.kind != "fn" || !item.name.ends_with("_tool") {
                 continue;
-            };
-            let fn_name: String = sig
-                .chars()
-                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-                .collect();
-            if fn_name.ends_with("_tool") && !registry.contains(fn_name.as_str()) {
+            }
+            let is_pub = trees[item.span.0..item.span.1.min(trees.len())]
+                .iter()
+                .any(|t| t.is_ident("pub"));
+            if is_pub && !registered.contains(item.name.as_str()) {
                 rep.findings.push(SourceFinding {
                     file: rel.clone(),
-                    line: ln0 + 1,
+                    line: item.line,
                     rule: "tool-registration",
                     excerpt: format!(
-                        "`{fn_name}` is not registered in crates/core/src/agents.rs \
-                         (every tool handler needs a ToolSpec schema binding)"
+                        "`{}` is not registered in crates/core/src/agents.rs \
+                         (every tool handler needs a ToolSpec schema binding)",
+                        item.name
                     ),
                 });
             }
@@ -492,6 +471,25 @@ mod tests {
     fn comments_do_not_count() {
         let text = "// x.unwrap() in a comment\n/// doc: panic!(\"no\")\nfn f() {}\n";
         assert!(scan_file(text, false).is_empty());
+    }
+
+    #[test]
+    fn string_literals_do_not_count() {
+        // The regression class the line scanner could not express: the
+        // pattern bytes live inside string-literal contents.
+        let text =
+            "fn f() -> String {\n    format!(\"never call x.unwrap() or panic!(..) here\")\n}\n";
+        assert!(scan_file(text, false).is_empty());
+    }
+
+    #[test]
+    fn code_after_string_with_slashes_still_scanned() {
+        // The line scanner treated `//` inside a string as a comment
+        // start and dropped the rest of the line — hiding this unwrap.
+        let text = "fn f() {\n    g(\"https://example.com\").unwrap();\n}\n";
+        let hits = scan_file(text, false);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].0, 2);
     }
 
     #[test]
@@ -574,6 +572,14 @@ mod tests {
     }
 
     #[test]
+    fn test_support_skips_macro_body_test_fns() {
+        // The brace-counting scanner could not see into `proptest! { }`
+        // bodies; the token tree can.
+        let text = "proptest! {\n    #![proptest_config(Config::with_cases(64))]\n    #[test]\n    fn roundtrips(a in 0usize..9) {\n        check(a).unwrap();\n    }\n}\n";
+        assert!(scan_test_support_file(text).is_empty());
+    }
+
+    #[test]
     fn test_support_allows_println_everywhere() {
         let text = "fn main() {\n    println!(\"demo output\");\n    eprintln!(\"progress\");\n}\n";
         assert!(scan_test_support_file(text).is_empty());
@@ -595,5 +601,22 @@ mod tests {
         // `#[test]`-looking line never hides a panic site.
         let text = "#[test]\nfn f() {\n    x.unwrap();\n}\n";
         assert_eq!(scan_file(text, false).len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_surface_as_hits() {
+        let text = "fn f() { let s = \"unterminated; }\n";
+        let hits = scan_file(text, false);
+        assert!(hits.iter().any(|(_, rule, _)| *rule == "parse-error"));
+    }
+
+    #[test]
+    fn crate_rulesets_cover_the_declared_scopes() {
+        let serve = crate_ruleset("serve", false);
+        assert!(serve.swallowed && serve.println && !serve.panics && !serve.float_eq);
+        let sparse = crate_ruleset("sparse", false);
+        assert!(sparse.panics && sparse.casts && sparse.float_eq && sparse.swallowed);
+        let serve_bin = crate_ruleset("serve", true);
+        assert!(!serve_bin.println);
     }
 }

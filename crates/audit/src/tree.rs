@@ -1,0 +1,610 @@
+//! Token trees and item structure on top of [`crate::lex`].
+//!
+//! A [`TokenTree`] is either a leaf token or a delimiter group
+//! (`(…)`, `[…]`, `{…}`) containing a nested stream. On top of the
+//! raw tree, [`scan_items`] recognizes the item structure the lints
+//! care about — outer attributes (`#[…]`), `fn` items with their body
+//! groups, `impl`/`mod` containers, and `struct` field lists — without
+//! attempting to be a full Rust parser. Recognition is *positional*
+//! (attribute runs bind to the next item-starting keyword), which is
+//! exactly the rule Rust itself uses, so `#[cfg(test)]` exemptions are
+//! attribute-accurate instead of regex-approximate, and work at any
+//! nesting depth — including inside macro invocation bodies such as
+//! `proptest! { #[test] fn … }`.
+
+use crate::lex::{lex, LexError, TokKind, Token};
+
+/// One node of the token tree.
+#[derive(Clone, Debug)]
+pub enum TokenTree {
+    /// A non-delimiter token.
+    Leaf(Token),
+    /// A delimited group and its contents.
+    Group(Group),
+}
+
+/// A delimited token group.
+#[derive(Clone, Debug)]
+pub struct Group {
+    /// The opening delimiter: `(`, `[`, or `{`.
+    pub delim: char,
+    /// 1-based line of the opening delimiter.
+    pub line: usize,
+    /// The nested stream.
+    pub trees: Vec<TokenTree>,
+}
+
+impl TokenTree {
+    /// The 1-based source line this node starts on.
+    pub fn line(&self) -> usize {
+        match self {
+            TokenTree::Leaf(t) => t.line,
+            TokenTree::Group(g) => g.line,
+        }
+    }
+
+    /// Leaf accessor.
+    pub fn leaf(&self) -> Option<&Token> {
+        match self {
+            TokenTree::Leaf(t) => Some(t),
+            TokenTree::Group(_) => None,
+        }
+    }
+
+    /// Group accessor.
+    pub fn group(&self) -> Option<&Group> {
+        match self {
+            TokenTree::Group(g) => Some(g),
+            TokenTree::Leaf(_) => None,
+        }
+    }
+
+    /// True for an identifier leaf with this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.leaf().is_some_and(|t| t.is_ident(s))
+    }
+
+    /// True for a punctuation leaf with this character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.leaf().is_some_and(|t| t.is_punct(c))
+    }
+}
+
+/// Lexes and parses `src` into a top-level token stream. Unbalanced
+/// delimiters are reported as [`LexError`]s; parsing recovers by
+/// closing groups at end of input so the lints still run.
+pub fn parse(src: &str) -> (Vec<TokenTree>, Vec<LexError>) {
+    let (tokens, mut errors) = lex(src);
+    let mut stack: Vec<Group> = Vec::new();
+    let mut top: Vec<TokenTree> = Vec::new();
+    for tok in tokens {
+        match tok.kind {
+            TokKind::Open => stack.push(Group {
+                delim: tok.text.chars().next().unwrap_or('('),
+                line: tok.line,
+                trees: Vec::new(),
+            }),
+            TokKind::Close => {
+                if let Some(g) = stack.pop() {
+                    let closed = TokenTree::Group(g);
+                    match stack.last_mut() {
+                        Some(parent) => parent.trees.push(closed),
+                        None => top.push(closed),
+                    }
+                } else {
+                    errors.push(LexError {
+                        line: tok.line,
+                        message: format!("unbalanced closing `{}`", tok.text),
+                    });
+                }
+            }
+            _ => {
+                let leaf = TokenTree::Leaf(tok);
+                match stack.last_mut() {
+                    Some(parent) => parent.trees.push(leaf),
+                    None => top.push(leaf),
+                }
+            }
+        }
+    }
+    while let Some(g) = stack.pop() {
+        errors.push(LexError {
+            line: g.line,
+            message: format!("unclosed `{}`", g.delim),
+        });
+        let closed = TokenTree::Group(g);
+        match stack.last_mut() {
+            Some(parent) => parent.trees.push(closed),
+            None => top.push(closed),
+        }
+    }
+    (top, errors)
+}
+
+/// An outer attribute (`#[…]`), kept as its raw token stream.
+#[derive(Clone, Debug)]
+pub struct Attr {
+    /// The attribute's bracket-group contents.
+    pub trees: Vec<TokenTree>,
+    /// 1-based line of the `#`.
+    pub line: usize,
+}
+
+impl Attr {
+    /// The attribute's leading path identifier (`test`, `cfg`,
+    /// `should_panic`, `allow`, …).
+    pub fn path(&self) -> Option<&str> {
+        self.trees.first()?.leaf().map(|t| t.text.as_str())
+    }
+
+    /// True when `ident` appears anywhere inside the attribute's token
+    /// stream (any nesting depth) — `test` inside `#[cfg(test)]` or
+    /// `#[cfg(all(test, feature = "x"))]`.
+    pub fn contains_ident(&self, ident: &str) -> bool {
+        fn walk(trees: &[TokenTree], ident: &str) -> bool {
+            trees.iter().any(|t| match t {
+                TokenTree::Leaf(tok) => tok.is_ident(ident),
+                TokenTree::Group(g) => walk(&g.trees, ident),
+            })
+        }
+        walk(&self.trees, ident)
+    }
+
+    /// True for `#[cfg(test)]` and any `cfg` attribute that mentions
+    /// `test` (e.g. `#[cfg(all(test, …))]`).
+    pub fn is_cfg_test(&self) -> bool {
+        self.path() == Some("cfg") && self.contains_ident("test")
+    }
+
+    /// True for `#[test]` and `#[should_panic…]` (also the namespaced
+    /// spellings `#[tokio::test]`-style, judged by the final path
+    /// segment).
+    pub fn is_test_marker(&self) -> bool {
+        match self.path() {
+            Some("test") | Some("should_panic") => true,
+            _ => {
+                // `#[foo::test]`: last ident before the bracket group /
+                // end is `test`.
+                let mut last = None;
+                for t in &self.trees {
+                    match t {
+                        TokenTree::Leaf(tok) if tok.kind == TokKind::Ident => {
+                            last = Some(tok.text.as_str());
+                        }
+                        TokenTree::Leaf(tok) if tok.is_punct(':') => {}
+                        _ => break,
+                    }
+                }
+                last == Some("test")
+            }
+        }
+    }
+}
+
+/// One recognized item in a token stream.
+#[derive(Clone, Debug)]
+pub struct Item<'a> {
+    /// Outer attributes bound to this item.
+    pub attrs: Vec<Attr>,
+    /// Item keyword: `fn`, `mod`, `impl`, `struct`, `enum`, `trait`,
+    /// `type`, `const`, `static`, `macro-call` (an `ident!{…}`
+    /// invocation), or `other` for token runs the scanner does not
+    /// model.
+    pub kind: &'static str,
+    /// The item's name (`fn NAME`, `mod NAME`, `struct NAME`; for
+    /// `impl`, the self-type's final path segment; empty when absent).
+    pub name: String,
+    /// For `impl Trait for Type`, the trait's final path segment.
+    pub trait_name: String,
+    /// 1-based line of the item keyword.
+    pub line: usize,
+    /// The item's brace-group body, when it has one (`fn`, `mod`,
+    /// `impl`, `struct`, macro call with `{…}`).
+    pub body: Option<&'a Group>,
+    /// Header tokens between the keyword and the body/semicolon
+    /// (signature for `fn`, generics + self type for `impl`).
+    pub header: Vec<&'a TokenTree>,
+    /// Half-open index range `[start, end)` this item occupies in the
+    /// scanned stream, **including** its attributes and modifiers — the
+    /// range a lint walker must skip to exempt the item.
+    pub span: (usize, usize),
+}
+
+impl Item<'_> {
+    /// True when any attribute marks this item test-only.
+    pub fn is_cfg_test(&self) -> bool {
+        self.attrs.iter().any(Attr::is_cfg_test)
+    }
+
+    /// True when any attribute is `#[test]`/`#[should_panic]`.
+    pub fn has_test_marker(&self) -> bool {
+        self.attrs.iter().any(Attr::is_test_marker)
+    }
+}
+
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn", "mod", "impl", "struct", "enum", "trait", "type", "const", "static", "union", "use",
+];
+
+/// Keywords that may prefix an item declaration before its defining
+/// keyword (`pub(crate) unsafe async fn …`).
+const MODIFIER_KEYWORDS: &[&str] = &["pub", "unsafe", "async", "const", "extern", "default"];
+
+/// Scans one token stream (a file top level, a `mod`/`impl` body, or a
+/// macro invocation body) into recognized items. Tokens not belonging
+/// to any recognized item (expression statements inside `fn` bodies
+/// never reach this — callers scan item containers only) are skipped.
+pub fn scan_items(trees: &[TokenTree]) -> Vec<Item<'_>> {
+    let mut items = Vec::new();
+    let mut attrs: Vec<Attr> = Vec::new();
+    let mut pending_start: Option<usize> = None;
+    let mut i = 0usize;
+    while i < trees.len() {
+        // Outer attribute: `#` `[…]`. Inner attributes (`#![…]`) are
+        // consumed and ignored — they never bind to a following item.
+        if trees[i].is_punct('#') {
+            let mut j = i + 1;
+            let inner = trees.get(j).is_some_and(|t| t.is_punct('!'));
+            if inner {
+                j += 1;
+            }
+            if let Some(TokenTree::Group(g)) = trees.get(j) {
+                if g.delim == '[' {
+                    if !inner {
+                        pending_start.get_or_insert(i);
+                        attrs.push(Attr {
+                            trees: g.trees.clone(),
+                            line: trees[i].line(),
+                        });
+                    }
+                    i = j + 1;
+                    continue;
+                }
+            }
+            i += 1;
+            continue;
+        }
+
+        let Some(tok) = trees[i].leaf() else {
+            // A bare group at item position (e.g. a macro body brace):
+            // nothing to bind attributes to.
+            attrs.clear();
+            pending_start = None;
+            i += 1;
+            continue;
+        };
+
+        if tok.kind == TokKind::Ident && MODIFIER_KEYWORDS.contains(&tok.text.as_str()) {
+            // `const` is both a modifier (`const fn`) and an item kind
+            // (`const X: …`). Treat it as a modifier only when an item
+            // keyword follows eventually; the lookahead below settles it.
+            if tok.text == "const" {
+                let next_is_item = trees.get(i + 1).and_then(|t| t.leaf()).is_some_and(|t| {
+                    t.kind == TokKind::Ident
+                        && (t.text == "fn" || t.text == "unsafe" || t.text == "extern")
+                });
+                if !next_is_item {
+                    // `const NAME: …` — fall through to item handling.
+                    let start = pending_start.take().unwrap_or(i);
+                    let (mut item, next) = take_item(trees, i, "const", std::mem::take(&mut attrs));
+                    item.span = (start, next);
+                    items.push(item);
+                    i = next;
+                    continue;
+                }
+            }
+            // Modifier: keep attributes pending, advance. `pub(crate)`
+            // carries a paren group.
+            pending_start.get_or_insert(i);
+            i += 1;
+            if let Some(TokenTree::Group(g)) = trees.get(i) {
+                if g.delim == '(' {
+                    i += 1;
+                }
+            }
+            // `extern "C"` carries a string literal.
+            if let Some(t) = trees.get(i).and_then(|t| t.leaf()) {
+                if t.kind == TokKind::StrLit {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+
+        if tok.kind == TokKind::Ident && ITEM_KEYWORDS.contains(&tok.text.as_str()) {
+            let kw: &'static str = ITEM_KEYWORDS
+                .iter()
+                .find(|k| **k == tok.text)
+                .copied()
+                .unwrap_or("other");
+            let start = pending_start.take().unwrap_or(i);
+            let (mut item, next) = take_item(trees, i, kw, std::mem::take(&mut attrs));
+            item.span = (start, next);
+            items.push(item);
+            i = next;
+            continue;
+        }
+
+        // Macro invocation at item position: `ident` `!` `{…}` (or
+        // `(…)`/`[…]` followed by `;`). Its body may contain items
+        // (`proptest! { #[test] fn … }`), which callers recurse into.
+        if tok.kind == TokKind::Ident && trees.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            let name = tok.text.clone();
+            let line = tok.line;
+            let mut j = i + 2;
+            // Optional macro name for `macro_rules! name {…}`.
+            if trees
+                .get(j)
+                .and_then(|t| t.leaf())
+                .is_some_and(|t| t.kind == TokKind::Ident)
+            {
+                j += 1;
+            }
+            let body = trees.get(j).and_then(|t| t.group());
+            let end = if body.is_some() { j + 1 } else { j };
+            items.push(Item {
+                attrs: std::mem::take(&mut attrs),
+                kind: "macro-call",
+                name,
+                trait_name: String::new(),
+                line,
+                body,
+                header: Vec::new(),
+                span: (pending_start.take().unwrap_or(i), end),
+            });
+            i = end;
+            continue;
+        }
+
+        // Anything else: skip one token; pending attributes stay bound
+        // to whatever item eventually follows (doc-comment runs are
+        // already trivia).
+        i += 1;
+    }
+    items
+}
+
+/// Consumes one item starting at the keyword at `trees[i]`. Returns the
+/// item and the index just past it.
+fn take_item<'a>(
+    trees: &'a [TokenTree],
+    i: usize,
+    kind: &'static str,
+    attrs: Vec<Attr>,
+) -> (Item<'a>, usize) {
+    let line = trees[i].line();
+    let mut j = i + 1;
+    let mut header: Vec<&TokenTree> = Vec::new();
+    let mut body: Option<&Group> = None;
+    let mut depth_angle = 0i32;
+    while let Some(t) = trees.get(j) {
+        match t {
+            TokenTree::Group(g) if g.delim == '{' && depth_angle == 0 => {
+                body = Some(g);
+                j += 1;
+                break;
+            }
+            // `;` ends a braceless item at any angle depth: generic
+            // headers never carry a top-level `;` (array lengths live
+            // inside bracket groups), but a `<` comparison in a `const`
+            // initializer could otherwise leave phantom depth behind.
+            TokenTree::Leaf(tok) if tok.is_punct(';') => {
+                j += 1;
+                break;
+            }
+            TokenTree::Leaf(tok) if tok.is_punct('<') => {
+                depth_angle += 1;
+                header.push(t);
+            }
+            TokenTree::Leaf(tok) if tok.is_punct('>') => {
+                depth_angle = (depth_angle - 1).max(0);
+                header.push(t);
+            }
+            // `=` ends a `type X = …;` / `const X: T = …;` header; keep
+            // consuming to the semicolon but stop collecting header.
+            _ => header.push(t),
+        }
+        j += 1;
+    }
+
+    let (name, trait_name) = item_names(kind, &header);
+    (
+        Item {
+            attrs,
+            kind,
+            name,
+            trait_name,
+            line,
+            body,
+            header,
+            span: (i, j),
+        },
+        j,
+    )
+}
+
+/// Extracts (name, trait_name) from an item header.
+fn item_names(kind: &'static str, header: &[&TokenTree]) -> (String, String) {
+    match kind {
+        "impl" => {
+            // `impl<G…> Trait for Type …` or `impl<G…> Type …`.
+            // Split on `for`; the self type is the final path segment of
+            // the part after `for` (or of the whole header when absent),
+            // ignoring generic argument groups.
+            let mut depth = 0i32;
+            let mut for_pos = None;
+            for (k, t) in header.iter().enumerate() {
+                if t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct('>') {
+                    depth -= 1;
+                } else if depth == 0 && t.is_ident("for") {
+                    for_pos = Some(k);
+                    break;
+                }
+            }
+            let (trait_part, type_part) = match for_pos {
+                Some(k) => (&header[..k], &header[k + 1..]),
+                None => (&header[..0], header),
+            };
+            (last_path_ident(type_part), last_path_ident(trait_part))
+        }
+        _ => {
+            // First identifier after the keyword.
+            let name = header
+                .iter()
+                .find_map(|t| t.leaf())
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.clone())
+                .unwrap_or_default();
+            (name, String::new())
+        }
+    }
+}
+
+/// The last plain identifier at angle-depth 0 in a token slice — the
+/// final segment of a (possibly generic) path like `sync::Arc<Foo>`
+/// is `Arc`, and `&'a mut Bar` is `Bar`.
+fn last_path_ident(trees: &[&TokenTree]) -> String {
+    let mut depth = 0i32;
+    let mut last = String::new();
+    for t in trees {
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            depth -= 1;
+        } else if depth == 0 {
+            if let Some(tok) = t.leaf() {
+                if tok.kind == TokKind::Ident && tok.text != "mut" && tok.text != "dyn" {
+                    last = tok.text.clone();
+                }
+            }
+        }
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(src: &str) -> Vec<(String, String)> {
+        let (trees, errs) = parse(src);
+        assert!(errs.is_empty(), "{errs:?}");
+        scan_items(&trees)
+            .into_iter()
+            .map(|i| (i.kind.to_string(), i.name))
+            .collect()
+    }
+
+    #[test]
+    fn recognizes_fn_mod_impl_struct() {
+        let got = items(
+            "pub fn f(x: u32) -> u32 { x }\n\
+             mod m { }\n\
+             impl Foo { fn g(&self) {} }\n\
+             pub struct Bar { x: Mutex<u32> }\n",
+        );
+        assert_eq!(
+            got,
+            [
+                ("fn".into(), "f".into()),
+                ("mod".into(), "m".into()),
+                ("impl".into(), "Foo".into()),
+                ("struct".into(), "Bar".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn impl_trait_for_type_names_both() {
+        let (trees, _) = parse("impl std::fmt::Display for SourceFinding { }");
+        let it = &scan_items(&trees)[0];
+        assert_eq!(it.name, "SourceFinding");
+        assert_eq!(it.trait_name, "Display");
+    }
+
+    #[test]
+    fn generic_impl_resolves_self_type() {
+        let (trees, _) = parse("impl<T: Clone> BoundedQueue<T> { fn len(&self) {} }");
+        let it = &scan_items(&trees)[0];
+        assert_eq!(it.name, "BoundedQueue");
+    }
+
+    #[test]
+    fn cfg_test_attribute_binds_to_item() {
+        let (trees, _) = parse("#[cfg(test)]\n#[allow(dead_code)]\nmod tests { fn g() {} }");
+        let its = scan_items(&trees);
+        assert_eq!(its.len(), 1);
+        assert!(its[0].is_cfg_test());
+        assert_eq!(its[0].name, "tests");
+    }
+
+    #[test]
+    fn cfg_all_test_counts_as_test() {
+        let (trees, _) = parse("#[cfg(all(test, feature = \"x\"))] fn helper() {}");
+        assert!(scan_items(&trees)[0].is_cfg_test());
+    }
+
+    #[test]
+    fn cfg_feature_is_not_test() {
+        let (trees, _) = parse("#[cfg(feature = \"fast-test\")] fn helper() {}");
+        // The ident `test` does not appear — `"fast-test"` is a string
+        // literal, invisible to ident matching.
+        assert!(!scan_items(&trees)[0].is_cfg_test());
+    }
+
+    #[test]
+    fn test_and_should_panic_markers() {
+        let (trees, _) =
+            parse("#[test]\nfn a() {}\n#[should_panic(expected = \"boom\")]\nfn b() {}\nfn c() {}");
+        let its = scan_items(&trees);
+        assert!(its[0].has_test_marker());
+        assert!(its[1].has_test_marker());
+        assert!(!its[2].has_test_marker());
+    }
+
+    #[test]
+    fn macro_invocation_body_is_scannable() {
+        let (trees, _) = parse("proptest! { #![proptest_config(x)] #[test] fn p(a in 0..9) { } }");
+        let its = scan_items(&trees);
+        assert_eq!(its[0].kind, "macro-call");
+        assert_eq!(its[0].name, "proptest");
+        let inner = scan_items(&its[0].body.expect("body").trees);
+        assert_eq!(inner.len(), 1);
+        assert!(inner[0].has_test_marker());
+    }
+
+    #[test]
+    fn fn_with_where_clause_and_return_type_finds_body() {
+        let (trees, _) = parse("fn f<T>(x: T) -> Vec<T> where T: Clone { vec![x] }");
+        let its = scan_items(&trees);
+        assert_eq!(its[0].name, "f");
+        assert!(its[0].body.is_some());
+    }
+
+    #[test]
+    fn fn_returning_generic_with_gt_in_header() {
+        // `-> Arc<SessionSlot>` closes its angle depth before the body.
+        let (trees, _) = parse("pub fn slot(&self, id: &str) -> Arc<SessionSlot> { todo() }");
+        let its = scan_items(&trees);
+        assert_eq!(its[0].name, "slot");
+        assert!(its[0].body.is_some());
+    }
+
+    #[test]
+    fn unbalanced_delimiters_recover() {
+        let (trees, errs) = parse("fn f() { let x = (1; }");
+        assert!(!errs.is_empty());
+        assert!(!trees.is_empty());
+    }
+
+    #[test]
+    fn const_item_vs_const_fn() {
+        let got = items("const X: u32 = 1;\nconst fn f() -> u32 { 1 }");
+        assert_eq!(
+            got,
+            [("const".into(), "X".into()), ("fn".into(), "f".into())]
+        );
+    }
+}

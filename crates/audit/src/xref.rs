@@ -1,0 +1,456 @@
+//! Telemetry cross-reference lint.
+//!
+//! The telemetry layer is stringly typed: instrumentation *registers*
+//! counters and histograms by name (`counter_add("pf.newton.solves", 1)`,
+//! `reg.add(..)`, `reg.record(..)`), while the export layer and tests
+//! *demand* names (`REQUIRED_SOLVER_METRICS` behind `gm-trace --check`,
+//! `counter_value("..")` assertions, `sum_prefix("..")` aggregations).
+//! Nothing ties the two sides together at compile time, so a renamed
+//! metric silently turns a CI gate into a tautology. This lint rebuilds
+//! both sides from the token tree and fails on drift:
+//!
+//! * every demanded metric name must be registered somewhere — as an
+//!   exact literal, or under a dynamic `format!("prefix.{..}")` family
+//!   (known families: `nlu.intent.`, `faults.injected.`, `session.`);
+//! * every `sum_prefix("p.")` demand must match at least one registered
+//!   name or dynamic family;
+//! * `REQUIRED_SOLVER_METRICS` must not contain duplicates.
+//!
+//! Registration is collected from non-test code only; demands made from
+//! test code may additionally be satisfied by names registered in test
+//! code (a test that wires its own registry is fine), but production
+//! demands and the required-metrics list must be backed by production
+//! instrumentation. Literal collection inside a registration call is
+//! deliberately greedy (every string literal in the argument list
+//! counts, which handles `counter_add(match k { .. => "route.acopf" })`);
+//! over-collection can only weaken the lint, never fail it spuriously.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::lex::TokKind;
+use crate::source::SourceFinding;
+use crate::tree::{parse, scan_items, TokenTree};
+
+/// Functions whose string-literal arguments register a metric name.
+const REGISTER_FNS: &[&str] = &["counter_add", "histogram_record", "add", "record"];
+
+/// Functions whose first string-literal argument demands an exact name.
+const DEMAND_FNS: &[&str] = &["counter_value"];
+
+/// Functions whose first string-literal argument demands a name family.
+const PREFIX_DEMAND_FNS: &[&str] = &["sum_prefix"];
+
+#[derive(Debug, Default)]
+struct Side {
+    names: BTreeSet<String>,
+    prefixes: BTreeSet<String>,
+}
+
+#[derive(Debug)]
+struct Demand {
+    name: String,
+    prefix: bool,
+    in_test: bool,
+    file: String,
+    line: usize,
+}
+
+/// Cross-references telemetry registrations against demands over
+/// `(path, text)` pairs. Separated from the directory walker so the
+/// golden corpus can feed fixtures.
+pub fn xref_sources(files: &[(String, String)]) -> Vec<SourceFinding> {
+    let mut prod = Side::default();
+    let mut test = Side::default();
+    let mut demands: Vec<Demand> = Vec::new();
+    let mut required: Vec<(String, String, usize)> = Vec::new();
+
+    for (path, text) in files {
+        let (trees, _) = parse(text);
+        let file_is_test = path.contains("/tests/");
+        scan(
+            &trees,
+            path,
+            file_is_test,
+            &mut prod,
+            &mut test,
+            &mut demands,
+            &mut required,
+        );
+    }
+
+    let mut findings = Vec::new();
+
+    // Duplicate required entries: the gate would double-count one
+    // metric and the author almost certainly meant a different name.
+    let mut seen = BTreeSet::new();
+    for (name, file, line) in &required {
+        if !seen.insert(name.clone()) {
+            findings.push(SourceFinding {
+                file: file.clone(),
+                line: *line,
+                rule: "telemetry-xref",
+                excerpt: format!("duplicate required metric {name:?}"),
+            });
+        }
+    }
+    for (name, file, line) in &required {
+        if !registered(&prod, name) {
+            findings.push(SourceFinding {
+                file: file.clone(),
+                line: *line,
+                rule: "telemetry-xref",
+                excerpt: format!(
+                    "required metric {name:?} is never registered by any instrumentation site"
+                ),
+            });
+        }
+    }
+    for d in &demands {
+        let sides: &[&Side] = if d.in_test { &[&prod, &test] } else { &[&prod] };
+        let ok = if d.prefix {
+            sides.iter().any(|s| prefix_registered(s, &d.name))
+        } else {
+            sides.iter().any(|s| registered(s, &d.name))
+        };
+        if !ok {
+            let what = if d.prefix { "prefix" } else { "metric" };
+            findings.push(SourceFinding {
+                file: d.file.clone(),
+                line: d.line,
+                rule: "telemetry-xref",
+                excerpt: format!(
+                    "{what} {:?} is read but never registered — renamed or dead metric",
+                    d.name
+                ),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, &a.excerpt).cmp(&(&b.file, b.line, &b.excerpt)));
+    findings.dedup_by(|a, b| (&a.file, a.line, &a.excerpt) == (&b.file, b.line, &b.excerpt));
+    findings
+}
+
+/// Walks the whole workspace: every `crates/*/src` tree plus crate-level
+/// and workspace-level `tests/` directories.
+pub fn lint_telemetry_xref(repo_root: &Path) -> io::Result<Vec<SourceFinding>> {
+    let mut files = Vec::new();
+    let crates_dir = repo_root.join("crates");
+    let mut roots: Vec<std::path::PathBuf> = Vec::new();
+    for entry in fs::read_dir(&crates_dir)? {
+        let path = entry?.path();
+        if path.join("src").is_dir() {
+            roots.push(path.join("src"));
+        }
+        if path.join("tests").is_dir() {
+            roots.push(path.join("tests"));
+        }
+    }
+    if repo_root.join("tests").is_dir() {
+        roots.push(repo_root.join("tests"));
+    }
+    roots.sort();
+    for root in roots {
+        let mut paths = Vec::new();
+        collect_rs(&root, &mut paths)?;
+        for path in paths {
+            let rel = path
+                .strip_prefix(repo_root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            files.push((rel, fs::read_to_string(&path)?));
+        }
+    }
+    Ok(xref_sources(&files))
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(())
+}
+
+fn registered(side: &Side, name: &str) -> bool {
+    side.names.contains(name) || side.prefixes.iter().any(|p| name.starts_with(p.as_str()))
+}
+
+/// A `sum_prefix("p.")` demand is satisfied by any registered name in
+/// the family, or by a dynamic family that can produce such names.
+fn prefix_registered(side: &Side, prefix: &str) -> bool {
+    side.names.iter().any(|n| n.starts_with(prefix))
+        || side
+            .prefixes
+            .iter()
+            .any(|p| p.starts_with(prefix) || prefix.starts_with(p.as_str()))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan(
+    trees: &[TokenTree],
+    file: &str,
+    in_test: bool,
+    prod: &mut Side,
+    test: &mut Side,
+    demands: &mut Vec<Demand>,
+    required: &mut Vec<(String, String, usize)>,
+) {
+    // Mark spans of #[cfg(test)] / #[test]-marked items as test code.
+    let mut test_mask = vec![in_test; trees.len()];
+    for item in scan_items(trees) {
+        if item.is_cfg_test() || item.has_test_marker() {
+            for m in test_mask.iter_mut().take(item.span.1).skip(item.span.0) {
+                *m = true;
+            }
+        }
+    }
+
+    for i in 0..trees.len() {
+        let is_test = test_mask[i];
+        // REQUIRED_SOLVER_METRICS: the next bracket group holds the list.
+        if trees[i]
+            .leaf()
+            .is_some_and(|t| t.is_ident("REQUIRED_SOLVER_METRICS"))
+        {
+            // Skip the `&[&str]` type annotation: the value list is the
+            // first bracket group that actually holds string literals.
+            for tree in trees.iter().take(trees.len().min(i + 10)).skip(i + 1) {
+                if let Some(g) = tree.group() {
+                    if g.delim == '[' {
+                        let lits: Vec<&crate::lex::Token> = g
+                            .trees
+                            .iter()
+                            .filter_map(|t| t.leaf().filter(|tok| tok.kind == TokKind::StrLit))
+                            .collect();
+                        if !lits.is_empty() {
+                            for tok in lits {
+                                required.push((tok.text.clone(), file.to_string(), tok.line));
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if let (Some(tok), Some(g)) = (trees[i].leaf(), trees.get(i + 1).and_then(TokenTree::group))
+        {
+            if tok.kind == TokKind::Ident && g.delim == '(' {
+                let name = tok.text.as_str();
+                // `add`/`record` only count as metric calls when they
+                // are method calls (`reg.add(..)`), not bare fns.
+                let is_method = i > 0 && trees[i - 1].is_punct('.');
+                let is_free_register = name == "counter_add" || name == "histogram_record";
+                if REGISTER_FNS.contains(&name) && (is_method || is_free_register) {
+                    let side = if is_test { &mut *test } else { &mut *prod };
+                    collect_literals(&g.trees, side);
+                }
+                // The telemetry crate's own unit tests exercise registry
+                // *machinery* with synthetic names (including deliberate
+                // absent-prefix reads) — they are not instrumentation
+                // demands.
+                let machinery_test = is_test && file.starts_with("crates/telemetry/");
+                if !machinery_test
+                    && (DEMAND_FNS.contains(&name) || PREFIX_DEMAND_FNS.contains(&name))
+                {
+                    if let Some(lit) = first_str_lit(&g.trees) {
+                        demands.push(Demand {
+                            name: lit.text.clone(),
+                            prefix: PREFIX_DEMAND_FNS.contains(&name),
+                            in_test: is_test,
+                            file: file.to_string(),
+                            line: lit.line,
+                        });
+                    }
+                }
+            }
+        }
+        if let TokenTree::Group(g) = &trees[i] {
+            scan(&g.trees, file, is_test, prod, test, demands, required);
+        }
+    }
+}
+
+/// Every string literal inside a registration call's arguments. A
+/// literal with a `{` hole comes from `format!` and registers its
+/// static prefix as a dynamic family.
+fn collect_literals(trees: &[TokenTree], side: &mut Side) {
+    for t in trees {
+        match t {
+            TokenTree::Leaf(tok) if tok.kind == TokKind::StrLit => match tok.text.split_once('{') {
+                Some((prefix, _)) if !prefix.is_empty() => {
+                    side.prefixes.insert(prefix.to_string());
+                }
+                Some(_) => {}
+                None => {
+                    side.names.insert(tok.text.clone());
+                }
+            },
+            TokenTree::Group(g) => collect_literals(&g.trees, side),
+            _ => {}
+        }
+    }
+}
+
+fn first_str_lit(trees: &[TokenTree]) -> Option<&crate::lex::Token> {
+    trees
+        .iter()
+        .find_map(|t| t.leaf().filter(|tok| tok.kind == TokKind::StrLit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xref(files: &[(&str, &str)]) -> Vec<SourceFinding> {
+        let owned: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        xref_sources(&owned)
+    }
+
+    #[test]
+    fn registered_and_demanded_is_clean() {
+        let f = xref(&[(
+            "crates/x/src/lib.rs",
+            r#"
+            fn instrument() { counter_add("pf.solves", 1); }
+            pub const REQUIRED_SOLVER_METRICS: &[&str] = &["pf.solves"];
+            "#,
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn required_but_never_registered_fails() {
+        let f = xref(&[(
+            "crates/x/src/lib.rs",
+            r#"pub const REQUIRED_SOLVER_METRICS: &[&str] = &["pf.ghost"];"#,
+        )]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].excerpt.contains("pf.ghost"));
+    }
+
+    #[test]
+    fn duplicate_required_entries_fail() {
+        let f = xref(&[(
+            "crates/x/src/lib.rs",
+            r#"
+            fn i() { counter_add("a.b", 1); }
+            pub const REQUIRED_SOLVER_METRICS: &[&str] = &["a.b", "a.b"];
+            "#,
+        )]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].excerpt.contains("duplicate"));
+    }
+
+    #[test]
+    fn dynamic_prefix_satisfies_family_demands() {
+        let f = xref(&[(
+            "crates/x/src/lib.rs",
+            r#"
+            fn i(site: &str) { counter_add(&format!("faults.injected.{site}"), 1); }
+            fn read(reg: &Registry) -> u64 { reg.counter_value("faults.injected.cache.get") }
+            "#,
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unregistered_read_fails() {
+        let f = xref(&[(
+            "crates/x/src/lib.rs",
+            r#"fn read(reg: &Registry) -> u64 { reg.counter_value("serve.typo") }"#,
+        )]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].excerpt.contains("serve.typo"));
+    }
+
+    #[test]
+    fn sum_prefix_must_match_a_family() {
+        let clean = xref(&[(
+            "crates/x/src/lib.rs",
+            r#"
+            fn i() { counter_add("recovery.dc", 1); }
+            fn read(reg: &Registry) -> u64 { reg.sum_prefix("recovery.") }
+            "#,
+        )]);
+        assert!(clean.is_empty(), "{clean:?}");
+        let dirty = xref(&[(
+            "crates/x/src/lib.rs",
+            r#"fn read(reg: &Registry) -> u64 { reg.sum_prefix("recovry.") }"#,
+        )]);
+        assert_eq!(dirty.len(), 1);
+    }
+
+    #[test]
+    fn match_arm_literals_register() {
+        let f = xref(&[(
+            "crates/x/src/lib.rs",
+            r#"
+            fn i(k: Kind) {
+                counter_add(match k { Kind::A => "route.a", Kind::B => "route.b" }, 1);
+            }
+            fn read(reg: &Registry) -> u64 { reg.counter_value("route.b") }
+            "#,
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_registration_satisfies_test_demand_only() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() {
+                    counter_add("only.in.test", 1);
+                    assert_eq!(reg.counter_value("only.in.test"), 1);
+                }
+            }
+            fn prod_read(reg: &Registry) -> u64 { reg.counter_value("only.in.test") }
+        "#;
+        let f = xref(&[("crates/x/src/lib.rs", src)]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].excerpt.contains("only.in.test"));
+    }
+
+    #[test]
+    fn integration_test_files_count_as_test_code() {
+        let f = xref(&[
+            (
+                "crates/x/src/lib.rs",
+                r#"fn i() { counter_add("pf.solves", 1); }"#,
+            ),
+            (
+                "crates/x/tests/e2e.rs",
+                r#"
+                fn t() {
+                    counter_add("scratch.metric", 1);
+                    assert_eq!(reg.counter_value("scratch.metric"), 1);
+                    assert_eq!(reg.counter_value("pf.solves"), 1);
+                }
+                "#,
+            ),
+        ]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn csmat_add_without_literals_is_ignored() {
+        let f = xref(&[(
+            "crates/x/src/lib.rs",
+            r#"fn sum(m: &CsMat) -> CsMat { m.add(m) }"#,
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

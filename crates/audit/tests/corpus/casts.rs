@@ -1,0 +1,23 @@
+//! Corpus: truncating-cast detection with expression-scoped evidence.
+
+fn truncating(theta: f64, scale: f32) -> (usize, i32, u8) {
+    let a = theta as usize; // finding: float ident evidence
+    let b = (theta.sqrt() * 10.0) as i32; // finding: float method + literal
+    let c = (scale * 2.0) as u8; // finding: f32 evidence
+    (a, b, c)
+}
+
+fn integral_casts_are_fine(n: usize, m: u64) -> (u32, i64, usize) {
+    let a = n as u32; // no finding: no float evidence
+    let b = m as i64; // no finding
+    let c = (n + 7) as usize; // no finding
+    (a, b, c)
+}
+
+fn boundaries_scope_the_evidence(x: f64, n: usize) -> (f64, u32) {
+    // The float on the left of the `;` boundary must not leak into the
+    // next statement's cast.
+    let y = x * 2.0;
+    let k = n as u32; // no finding: `y` is not evidence, `x` is out of scope
+    (y, k)
+}

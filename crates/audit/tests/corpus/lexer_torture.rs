@@ -1,0 +1,49 @@
+//! Corpus: lexer stress — every construct here must produce ZERO
+//! findings and zero parse errors. A regex scanner fails several.
+
+fn raw_strings() -> usize {
+    let a = r"plain raw with \ backslash";
+    let b = r#"hash-guarded with "quotes" and panic!("x")"#;
+    let c = r##"doubly guarded "# with println!("y") inside"##;
+    a.len() + b.len() + c.len()
+}
+
+fn byte_and_c_strings() -> usize {
+    let a = b"bytes with \" escape";
+    let b = br#"raw bytes with x.unwrap()"#;
+    let c = c"c string";
+    a.len() + b.len() + c.to_bytes().len()
+}
+
+/* Block comments can nest in Rust:
+   /* inner block with panic!("never seen") */
+   still inside the outer comment: x.unwrap()
+*/
+fn after_nested_comment() -> u32 {
+    7
+}
+
+fn lifetimes_vs_chars<'a>(s: &'a str) -> (char, char, usize) {
+    let q = '\'';
+    let n = '\n';
+    let lt: &'static str = "static";
+    (q, n, s.len() + lt.len())
+}
+
+struct Pair(f64, u64);
+
+fn tuple_indices(p: Pair, nested: ((u8, u8), u8)) -> f64 {
+    // `p.0` and `nested.0.1` must lex as tuple indices, not floats —
+    // otherwise `p.0 as u64` below would count float evidence.
+    let x = nested.0 .1;
+    let y = nested.0.0;
+    (p.1 + u64::from(x) + u64::from(y)) as f64
+}
+
+fn radix_integers() -> u64 {
+    let hex = 0xFF_u64;
+    let oct = 0o77;
+    let bin = 0b1010_1010;
+    let plain = 1_000_000;
+    hex + oct + bin + plain
+}

@@ -1,0 +1,42 @@
+//! Corpus: lock-discipline patterns that must NOT be flagged — the
+//! checkout pattern gm-serve ships now, explicit drop before entry,
+//! and a globally consistent acquisition order.
+
+struct Slot {
+    engine: Mutex<Option<Engine>>,
+}
+
+struct Dispatch {
+    plan: Mutex<Plan>,
+}
+
+struct Ledger {
+    entries: Mutex<Vec<Entry>>,
+}
+
+fn serve_one_checkout(slot: &Slot, query: &str) -> String {
+    // Take the engine OUT of the mutex, solve unlocked, put it back.
+    let mut gm = slot.engine.lock().take().unwrap_or_else(make_engine);
+    let reply = gm.ask(query);
+    *slot.engine.lock() = Some(gm);
+    reply
+}
+
+fn drop_before_entry(slot: &Slot, gm: &mut Engine) -> String {
+    let mut g = slot.engine.lock();
+    g.touch();
+    drop(g);
+    gm.ask("post-release query")
+}
+
+fn consistent_commit(d: &Dispatch, l: &Ledger) {
+    let p = d.plan.lock();
+    let e = l.entries.lock(); // Dispatch.plan -> Ledger.entries
+    e.apply(p);
+}
+
+fn consistent_audit(d: &Dispatch, l: &Ledger) {
+    let p = d.plan.lock();
+    let e = l.entries.lock(); // same direction: acyclic
+    e.check(p);
+}

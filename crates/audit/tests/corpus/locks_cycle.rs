@@ -1,0 +1,36 @@
+//! Corpus: lock-discipline violations — an AB/BA deadlock cycle and the
+//! guard-held-across-engine-entry shape that gm-serve originally
+//! shipped (engine mutex held for the whole `ask`, serializing every
+//! session behind one solver run).
+
+struct Dispatch {
+    plan: Mutex<Plan>,
+}
+
+struct Ledger {
+    entries: Mutex<Vec<Entry>>,
+}
+
+struct Slot {
+    engine: Mutex<Option<Engine>>,
+}
+
+fn commit(d: &Dispatch, l: &Ledger) {
+    let p = d.plan.lock();
+    let e = l.entries.lock(); // edge: Dispatch.plan -> Ledger.entries
+    e.apply(p);
+}
+
+fn replay(d: &Dispatch, l: &Ledger) {
+    let e = l.entries.lock();
+    let p = d.plan.lock(); // edge: Ledger.entries -> Dispatch.plan — CYCLE
+    p.restore(e);
+}
+
+fn serve_one_original(slot: &Slot, query: &str) -> String {
+    // The pre-checkout gm-serve shape: the slot's engine mutex stays
+    // locked while the engine solves. Flagged: lock-across-entry.
+    let mut engine = slot.engine.lock();
+    let gm = engine.as_mut().expect("engine populated");
+    gm.ask(query)
+}

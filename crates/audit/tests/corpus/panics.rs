@@ -1,0 +1,44 @@
+//! Corpus: panic-site detection, including the string/comment false
+//! positives that the regex scanner could not avoid by construction.
+//!
+//! This doc comment mentions panic!("not a finding") and x.unwrap()
+//! without triggering anything: comments are trivia to the lexer.
+
+fn real_sites(v: Option<u32>, r: Result<u32, String>) -> u32 {
+    let a = v.unwrap(); // finding: no-panic
+    let b = r.expect("solver state must exist"); // finding: no-panic
+    if a + b == 0 {
+        panic!("impossible dispatch"); // finding: no-panic
+    }
+    match a {
+        0 => unreachable!(), // finding: no-panic
+        1 => todo!(),        // finding: no-panic
+        _ => a + b,
+    }
+}
+
+fn strings_are_not_code() -> &'static str {
+    // The classic regex false positive: panic! inside a string literal.
+    let msg = "call panic!(\"boom\") or x.unwrap() if the grid collapses";
+    let raw = r#"even raw strings with panic!("boom") stay inert"#;
+    let with_slashes = "https://example.com/unwrap()"; // and // inside strings
+    let tail = msg.len() + raw.len() + with_slashes.len();
+    assert!(tail > 0); // assert! is allowed: it documents an invariant
+    msg
+}
+
+#[test]
+fn test_fns_are_exempt() {
+    let v: Option<u32> = Some(3);
+    assert_eq!(v.unwrap(), 3); // exempt: #[test] item
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn nested_test_items_are_exempt() {
+        let r: Result<u32, ()> = Ok(1);
+        r.expect("fine inside cfg(test)");
+        panic!("also fine here");
+    }
+}

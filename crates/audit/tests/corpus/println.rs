@@ -1,0 +1,13 @@
+//! Corpus: println discipline for library crates.
+
+fn prints(v: u32) {
+    println!("dispatch = {v}"); // finding: no-println
+    eprintln!("warn: {v}"); // finding: no-println
+}
+
+fn strings_and_logs_are_fine(v: u32) -> String {
+    let doc = "call println!(\"x\") to print"; // no finding: string
+    let msg = format!("dispatch = {v}"); // no finding: not a print
+    log_line(&msg); // no finding
+    doc.to_string()
+}

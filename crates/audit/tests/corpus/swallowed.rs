@@ -1,0 +1,22 @@
+//! Corpus: error-swallowing shapes.
+
+fn swallows(tx: Sender<u32>, r: Result<u32, String>) {
+    let _ = tx.send(5); // finding: dropped Result from a call
+    save_state().ok(); // finding: statement-final .ok()
+    match r {
+        Ok(v) => consume(v),
+        Err(_) => {} // finding: silently dropped error arm
+    }
+}
+
+fn counted_handling_is_fine(tx: Sender<u32>) {
+    if tx.send(5).is_err() {
+        record_drop(); // no finding: the error is observed
+    }
+    let _flag = true; // no finding: `let _name` binds, not discards
+    let _ = 5; // no finding: no call in the discarded expression
+    match probe() {
+        Ok(v) => consume(v),
+        Err(e) => log(e), // no finding: the error is used
+    }
+}

@@ -184,6 +184,20 @@ impl SolverCache {
         gm_telemetry::counter_add("serve.cache.inserts", 1);
     }
 
+    /// Evicts one entry outright (poison recovery — distinct from LRU
+    /// displacement, so it does not count toward `evictions`). Returns
+    /// whether the key was present.
+    pub fn remove(&self, key: &SolverCacheKey) -> bool {
+        let mut state = self.inner.lock();
+        let removed = state.map.remove(key).is_some();
+        if removed {
+            if let Some(pos) = state.order.iter().position(|k| k == key) {
+                state.order.remove(pos);
+            }
+        }
+        removed
+    }
+
     /// Number of memoized entries.
     pub fn len(&self) -> usize {
         self.inner.lock().map.len()
@@ -226,9 +240,12 @@ fn cache_lookup(cache: &SolverCache, key: &SolverCacheKey) -> Option<SolverResul
     match gm_faults::inject("cache.get") {
         Some(gm_faults::FaultKind::CacheMiss) => None,
         Some(gm_faults::FaultKind::CachePoison) => {
-            // The poisoned entry must not be served: drop it and fall
-            // through to a fresh solve (whose `put` overwrites it).
-            let _ = cache.get(key);
+            // The poisoned entry must not be served — *evict* it. The
+            // previous recovery only looked the entry up (refreshing
+            // its recency!) and left it in the map, where every
+            // concurrent reader could still be served the corrupted
+            // bytes until this thread's fresh solve overwrote it.
+            cache.remove(key);
             gm_telemetry::counter_add("serve.cache.poison_detected", 1);
             None
         }
@@ -578,6 +595,59 @@ mod tests {
         assert_eq!(format!("{poisoned:?}"), format!("{warm:?}"));
         assert_eq!(reg.counter_value("serve.cache.poison_detected"), 1);
         assert_eq!(inj.injected_total(), 2);
+    }
+
+    #[test]
+    fn poison_detection_evicts_the_entry_for_concurrent_readers() {
+        // Regression (found by gm-audit's swallowed-error lint): the
+        // poison path used to do `let _ = cache.get(key)` — refreshing
+        // the poisoned entry's recency and leaving it in the map, where
+        // a concurrent reader without an installed injector would still
+        // be served it. Recovery must evict.
+        let cache = SolverCache::new(8);
+        cache.put(key(1, 0), pf_stub(1));
+        assert_eq!(cache.len(), 1);
+        let inj = gm_faults::FaultInjector::scripted(vec![gm_faults::FaultRule::new(
+            "cache.get",
+            gm_faults::FaultKind::CachePoison,
+            0,
+            1,
+        )]);
+        let guard = inj.install();
+        assert!(
+            cache_lookup(&cache, &key(1, 0)).is_none(),
+            "poisoned entry must not be served"
+        );
+        drop(guard);
+        assert_eq!(cache.len(), 0, "poisoned entry must be evicted");
+        assert!(
+            cache.get(&key(1, 0)).is_none(),
+            "a concurrent reader must re-solve, never see the poisoned bytes"
+        );
+    }
+
+    #[test]
+    fn remove_is_exact_and_idempotent() {
+        let cache = SolverCache::new(4);
+        cache.put(key(1, 0), pf_stub(1));
+        cache.put(key(2, 0), pf_stub(2));
+        assert!(cache.remove(&key(1, 0)));
+        assert!(!cache.remove(&key(1, 0)), "second remove is a no-op");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            cache.stats().evictions,
+            0,
+            "poison removal is not an LRU eviction"
+        );
+        assert_eq!(
+            cache
+                .recency_order()
+                .iter()
+                .map(|k| k.net_hash)
+                .collect::<Vec<_>>(),
+            vec![2],
+            "recency order stays consistent with the map"
+        );
     }
 
     #[test]

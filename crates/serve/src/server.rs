@@ -190,7 +190,12 @@ impl Server {
         }
         s.queue.close();
         for h in self.workers {
-            let _ = h.join();
+            if h.join().is_err() {
+                // A worker that died mid-drain is a real incident:
+                // count it so the exported artifact shows the crash
+                // instead of a silently shorter response stream.
+                s.telemetry.add("serve.worker.panics", 1);
+            }
         }
         // Fold every session's trace into the server registry so the
         // exported artifact carries solver metrics end to end.
@@ -276,15 +281,23 @@ fn serve_one(
         ServeResponse::timed_out(&queued.req, queue_wait_s, worker)
     } else {
         let started = Instant::now();
-        let mut engine = slot.engine.lock();
-        let gm = engine.get_or_insert_with(|| {
+        // Check the engine *out* of the slot instead of holding the
+        // slot mutex across the solve: `ask` can run Newton/IPM for
+        // milliseconds, and a guard held that long blocks `shutdown`'s
+        // telemetry sweep (and any future slot inspection) for the
+        // whole solve. Exclusive ownership is already guaranteed by the
+        // token protocol — a session's token is queued at most once, so
+        // no other worker can reach this slot until we finish — and
+        // `shutdown` joins the pool before sweeping, so the engine is
+        // always back in the slot by then.
+        let mut gm = slot.engine.lock().take().unwrap_or_else(|| {
             GridMind::with_session(
                 shared.profile.clone(),
                 SessionContext::new_with_solver_cache(shared.cache.clone()),
             )
         });
         let reply = gm.ask(&queued.req.query);
-        drop(engine);
+        *slot.engine.lock() = Some(gm);
         let exec_s = started.elapsed().as_secs_f64();
         // Deadlines used to be checked only at pickup: a request whose
         // budget ran out *while the engine was solving* was answered as
@@ -315,8 +328,12 @@ fn serve_one(
     drop(span);
 
     // Answer, then release the admission slot; the caller reschedules
-    // the session if it still has work.
-    let _ = shared.responses.send(response);
+    // the session if it still has work. A send failure means the client
+    // dropped the receiver — the answer is undeliverable, which the
+    // artifact must show rather than pretend the request was served.
+    if shared.responses.send(response).is_err() {
+        shared.telemetry.add("serve.responses.dropped", 1);
+    }
     shared.outstanding.fetch_sub(1, Ordering::SeqCst);
 }
 

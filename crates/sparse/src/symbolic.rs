@@ -414,7 +414,10 @@ impl LuEngine {
                 && s.sym.dim() == a.rows()
                 && s.sym.nnz() == a.nnz()
                 && s.sym.ordering() == ordering
-                && s.sym.pivot_tol() == pivot_tol
+                // Cache-key identity: bitwise compare so the slot only
+                // matches the exact threshold it was analyzed with
+                // (NaN-safe, unlike `==`).
+                && s.sym.pivot_tol().to_bits() == pivot_tol.to_bits()
         });
 
         if let Some(idx) = hit {

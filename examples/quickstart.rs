@@ -9,8 +9,8 @@
 
 use gridmind_core::{GridMind, ModelProfile};
 
-fn main() {
-    let profile = ModelProfile::by_name("GPT-5").expect("known model");
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = ModelProfile::by_name("GPT-5").ok_or("unknown model profile")?;
     println!("=== GridMind quickstart ({} backend) ===\n", profile.name);
     let mut gm = GridMind::new(profile);
 
@@ -43,4 +43,5 @@ fn main() {
             m.validation_findings
         );
     }
+    Ok(())
 }

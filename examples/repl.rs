@@ -9,14 +9,17 @@
 
 use gridmind_core::{repl::run_repl, GridMind, ModelProfile};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "GPT-5".to_string());
-    let profile = ModelProfile::by_name(&name).unwrap_or_else(|| {
-        eprintln!("unknown model {name:?}; falling back to GPT-5");
-        ModelProfile::by_name("GPT-5").unwrap()
-    });
+    let profile = match ModelProfile::by_name(&name) {
+        Some(p) => p,
+        None => {
+            eprintln!("unknown model {name:?}; falling back to GPT-5");
+            ModelProfile::by_name("GPT-5").ok_or("built-in GPT-5 profile missing")?
+        }
+    };
     let mut gm = GridMind::new(profile);
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
@@ -26,4 +29,5 @@ fn main() {
         Ok(n) => eprintln!("\nsession ended after {n} request(s)"),
         Err(e) => eprintln!("i/o error: {e}"),
     }
+    Ok(())
 }

@@ -13,24 +13,27 @@
 
 use gridmind_core::{GridMind, ModelProfile, SessionContext};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = std::env::temp_dir().join("gridmind_session.json");
 
     // ---- Day 1: run a study and persist the session.
     {
-        let mut gm = GridMind::new(ModelProfile::by_name("GPT-o3").unwrap());
+        let profile = ModelProfile::by_name("GPT-o3").ok_or("unknown model profile")?;
+        let mut gm = GridMind::new(profile);
         gm.ask("solve case30");
         gm.ask("set the load at bus 7 to 45 MW");
         gm.ask("run the contingency analysis");
         let blob = gm.session.save();
-        std::fs::write(&path, serde_json::to_string_pretty(&blob).unwrap())
-            .expect("persist session");
+        std::fs::write(&path, serde_json::to_string_pretty(&blob)?)?;
+        let case = gm
+            .session
+            .active_case()
+            .ok_or("no active case after study")?;
         println!(
-            "Persisted session to {} ({} bytes): case {:?}, {} modification(s), \
+            "Persisted session to {} ({} bytes): case {case:?}, {} modification(s), \
              ACOPF fresh: {}, contingency fresh: {}.",
             path.display(),
-            std::fs::metadata(&path).unwrap().len(),
-            gm.session.active_case().unwrap(),
+            std::fs::metadata(&path)?.len(),
             gm.session.diff_count(),
             gm.session.fresh_acopf().is_some(),
             gm.session.fresh_contingency().is_some(),
@@ -38,20 +41,22 @@ fn main() {
     }
 
     // ---- Day 2: restore and continue.
-    let text = std::fs::read_to_string(&path).expect("read session");
-    let blob: serde_json::Value = serde_json::from_str(&text).expect("parse session");
-    let session = SessionContext::restore(&blob).expect("restore session");
+    let text = std::fs::read_to_string(&path)?;
+    let blob: serde_json::Value = serde_json::from_str(&text)?;
+    let session = SessionContext::restore(&blob)?;
     println!(
         "\nRestored: case {:?}, diffs {:?}",
-        session.active_case().unwrap(),
+        session
+            .active_case()
+            .ok_or("restored session has no case")?,
         session.diff_descriptions(),
     );
     let sol = session
         .fresh_acopf()
-        .expect("restored ACOPF artifact is still fresh");
+        .ok_or("restored ACOPF artifact went stale")?;
     let rep = session
         .fresh_contingency()
-        .expect("restored contingency artifact is still fresh");
+        .ok_or("restored contingency artifact went stale")?;
     println!(
         "Still fresh without recomputation: ACOPF cost {:.2} $/h; N-1 report with {} \
          contingencies, top critical: {:?}.",
@@ -61,24 +66,23 @@ fn main() {
     );
 
     // Continue the what-if study on the restored state.
-    session
-        .apply(gm_network::Modification::SetBusLoad {
-            bus_id: 7,
-            p_mw: 60.0,
-            q_mvar: None,
-        })
-        .expect("continue modifying");
+    session.apply(gm_network::Modification::SetBusLoad {
+        bus_id: 7,
+        p_mw: 60.0,
+        q_mvar: None,
+    })?;
     println!(
         "\nApplied a new modification; artifacts correctly go stale: ACOPF fresh = {}, \
          contingency fresh = {}.",
         session.fresh_acopf().is_some(),
         session.fresh_contingency().is_some(),
     );
-    let net = session.current_network().unwrap();
-    let new_sol = gm_acopf::solve_acopf(&net, &gm_acopf::AcopfOptions::default()).unwrap();
+    let net = session.current_network()?;
+    let new_sol = gm_acopf::solve_acopf(&net, &gm_acopf::AcopfOptions::default())?;
     println!(
         "Re-solved on the restored+modified network: {:.2} $/h (was {:.2} $/h).",
         new_sol.objective_cost, sol.objective_cost
     );
-    let _ = std::fs::remove_file(&path);
+    std::fs::remove_file(&path)?;
+    Ok(())
 }

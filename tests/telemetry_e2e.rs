@@ -9,16 +9,16 @@ use gm_powerflow::{solve, PfOptions};
 use gridmind_core::{GridMind, ModelProfile};
 use std::time::Instant;
 
-fn scripted_session() -> GridMind {
-    let mut gm = GridMind::new(ModelProfile::by_name("GPT-5").unwrap());
+fn scripted_session() -> Option<GridMind> {
+    let mut gm = GridMind::new(ModelProfile::by_name("GPT-5")?);
     gm.ask("solve case30");
     gm.ask("run the n-1 contingency analysis");
-    gm
+    Some(gm)
 }
 
 #[test]
 fn scripted_session_produces_span_tree_and_solver_counters() {
-    let gm = scripted_session();
+    let gm = scripted_session().expect("built-in GPT-5 profile");
     let snap = gm.session.telemetry.snapshot();
 
     // Every solver layer the conversation touched must have counted
@@ -86,8 +86,8 @@ fn identical_sessions_produce_identical_metrics() {
     // Replayability: the same scripted conversation must count the same
     // work, iteration for iteration. Wall-clock durations differ;
     // counters and deterministic histogram totals must not.
-    let a = scripted_session();
-    let b = scripted_session();
+    let a = scripted_session().expect("built-in GPT-5 profile");
+    let b = scripted_session().expect("built-in GPT-5 profile");
     let (sa, sb) = (
         a.session.telemetry.snapshot(),
         b.session.telemetry.snapshot(),
