@@ -35,10 +35,35 @@ use crate::source::SourceFinding;
 use crate::tree::{parse, scan_items, TokenTree};
 
 /// Functions whose string-literal arguments register a metric name.
-const REGISTER_FNS: &[&str] = &["counter_add", "histogram_record", "add", "record"];
+/// `add`/`record`/`record_quantile`/`flight_record` count as method
+/// calls only; the rest are the free-function mirrors.
+const REGISTER_FNS: &[&str] = &[
+    "counter_add",
+    "histogram_record",
+    "quantile_record",
+    "flight_event",
+    "add",
+    "record",
+    "record_quantile",
+    "flight_record",
+];
+
+/// Free-function registration entry points (always collected, no
+/// receiver required).
+const FREE_REGISTER_FNS: &[&str] = &[
+    "counter_add",
+    "histogram_record",
+    "quantile_record",
+    "flight_event",
+];
 
 /// Functions whose first string-literal argument demands an exact name.
-const DEMAND_FNS: &[&str] = &["counter_value"];
+const DEMAND_FNS: &[&str] = &["counter_value", "quantile_value"];
+
+/// Keys a `[kind]` section in `slo.toml` may carry — must stay in sync
+/// with `gm_telemetry::SLO_KEYS` (asserted by the umbrella crate's
+/// `tests/slo_gate.rs`, which sees both crates).
+pub const SLO_TOML_KEYS: &[&str] = &["p50_ms", "p99_ms", "max_ms"];
 
 /// Functions whose first string-literal argument demands a name family.
 const PREFIX_DEMAND_FNS: &[&str] = &["sum_prefix"];
@@ -62,6 +87,19 @@ struct Demand {
 /// `(path, text)` pairs. Separated from the directory walker so the
 /// golden corpus can feed fixtures.
 pub fn xref_sources(files: &[(String, String)]) -> Vec<SourceFinding> {
+    xref_sources_with_slo(files, None)
+}
+
+/// [`xref_sources`] plus an optional committed SLO spec as a
+/// `(path, text)` pair: every `[kind]` section demands the exact
+/// `serve.latency.<kind>.total_s` sketch the gate will read, and an
+/// unknown target key is a finding — renaming either side (the metric
+/// in instrumentation, or the kind/key in `slo.toml`) un-gates CI and
+/// must not pass the lint.
+pub fn xref_sources_with_slo(
+    files: &[(String, String)],
+    slo: Option<(&str, &str)>,
+) -> Vec<SourceFinding> {
     let mut prod = Side::default();
     let mut test = Side::default();
     let mut demands: Vec<Demand> = Vec::new();
@@ -83,6 +121,10 @@ pub fn xref_sources(files: &[(String, String)]) -> Vec<SourceFinding> {
 
     let mut findings = Vec::new();
 
+    if let Some((slo_path, slo_text)) = slo {
+        scan_slo_spec(slo_path, slo_text, &mut demands, &mut findings);
+    }
+
     // Duplicate required entries: the gate would double-count one
     // metric and the author almost certainly meant a different name.
     let mut seen = BTreeSet::new();
@@ -97,7 +139,15 @@ pub fn xref_sources(files: &[(String, String)]) -> Vec<SourceFinding> {
         }
     }
     for (name, file, line) in &required {
-        if !registered(&prod, name) {
+        // A required entry ending in `.` is a prefix family (the
+        // `REQUIRED_SERVE_METRICS` convention): some instrumentation
+        // site must be able to produce a name under it.
+        let ok = if name.ends_with('.') {
+            prefix_registered(&prod, name)
+        } else {
+            registered(&prod, name)
+        };
+        if !ok {
             findings.push(SourceFinding {
                 file: file.clone(),
                 line: *line,
@@ -164,7 +214,62 @@ pub fn lint_telemetry_xref(repo_root: &Path) -> io::Result<Vec<SourceFinding>> {
             files.push((rel, fs::read_to_string(&path)?));
         }
     }
-    Ok(xref_sources(&files))
+    let slo_path = repo_root.join("slo.toml");
+    let slo_text = if slo_path.is_file() {
+        Some(fs::read_to_string(&slo_path)?)
+    } else {
+        None
+    };
+    Ok(xref_sources_with_slo(
+        &files,
+        slo_text.as_deref().map(|t| ("slo.toml", t)),
+    ))
+}
+
+/// Collects demands from the committed `slo.toml`: each `[kind]`
+/// section will make `gm-trace slo` read the exact
+/// `serve.latency.<kind>.total_s` sketch, so that name must be
+/// producible by production instrumentation. Target keys outside
+/// [`SLO_TOML_KEYS`] are findings (the gate's own parser would reject
+/// them, but the lint catches the typo before a CI run does).
+fn scan_slo_spec(
+    path: &str,
+    text: &str,
+    demands: &mut Vec<Demand>,
+    findings: &mut Vec<SourceFinding>,
+) {
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(section) = line.strip_prefix('[') {
+            let kind = section.strip_suffix(']').unwrap_or(section).trim();
+            if kind.is_empty() {
+                continue; // malformed header: the spec parser rejects it
+            }
+            demands.push(Demand {
+                name: format!("serve.latency.{kind}.total_s"),
+                prefix: false,
+                in_test: false,
+                file: path.to_string(),
+                line: lineno + 1,
+            });
+        } else if let Some((key, _)) = line.split_once('=') {
+            let key = key.trim();
+            if !SLO_TOML_KEYS.contains(&key) {
+                findings.push(SourceFinding {
+                    file: path.to_string(),
+                    line: lineno + 1,
+                    rule: "telemetry-xref",
+                    excerpt: format!(
+                        "unknown slo.toml key {key:?} (expected one of {})",
+                        SLO_TOML_KEYS.join(", ")
+                    ),
+                });
+            }
+        }
+    }
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> io::Result<()> {
@@ -216,11 +321,10 @@ fn scan(
 
     for i in 0..trees.len() {
         let is_test = test_mask[i];
-        // REQUIRED_SOLVER_METRICS: the next bracket group holds the list.
-        if trees[i]
-            .leaf()
-            .is_some_and(|t| t.is_ident("REQUIRED_SOLVER_METRICS"))
-        {
+        // Required-metrics lists: the next bracket group holds the list.
+        if trees[i].leaf().is_some_and(|t| {
+            t.is_ident("REQUIRED_SOLVER_METRICS") || t.is_ident("REQUIRED_SERVE_METRICS")
+        }) {
             // Skip the `&[&str]` type annotation: the value list is the
             // first bracket group that actually holds string literals.
             for tree in trees.iter().take(trees.len().min(i + 10)).skip(i + 1) {
@@ -245,10 +349,11 @@ fn scan(
         {
             if tok.kind == TokKind::Ident && g.delim == '(' {
                 let name = tok.text.as_str();
-                // `add`/`record` only count as metric calls when they
-                // are method calls (`reg.add(..)`), not bare fns.
+                // Method-only names (`add`, `record`, ...) only count as
+                // metric calls behind a receiver (`reg.add(..)`), never
+                // as bare fns; the free-function mirrors always count.
                 let is_method = i > 0 && trees[i - 1].is_punct('.');
-                let is_free_register = name == "counter_add" || name == "histogram_record";
+                let is_free_register = FREE_REGISTER_FNS.contains(&name);
                 if REGISTER_FNS.contains(&name) && (is_method || is_free_register) {
                     let side = if is_test { &mut *test } else { &mut *prod };
                     collect_literals(&g.trees, side);
@@ -452,5 +557,104 @@ mod tests {
             r#"fn sum(m: &CsMat) -> CsMat { m.add(m) }"#,
         )]);
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn quantile_and_flight_registrations_are_collected() {
+        let f = xref(&[(
+            "crates/x/src/lib.rs",
+            r#"
+            fn i(kind: &str) {
+                reg.record_quantile(&format!("serve.latency.{kind}.queue_wait_s"), 0.1);
+                quantile_record("serve.latency.pf.total_s", 0.2);
+                gm_telemetry::flight_event("cache.hit", "kind=pf");
+            }
+            fn read(reg: &Registry) -> Option<f64> {
+                reg.quantile_value("serve.latency.pf.total_s", 0.99)
+            }
+            "#,
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unregistered_quantile_read_fails() {
+        let f = xref(&[(
+            "crates/x/src/lib.rs",
+            r#"fn read(reg: &Registry) -> Option<f64> { reg.quantile_value("serve.latency.typo_s", 0.5) }"#,
+        )]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].excerpt.contains("serve.latency.typo_s"));
+    }
+
+    #[test]
+    fn serve_required_prefix_family_must_be_producible() {
+        let clean = xref(&[(
+            "crates/x/src/lib.rs",
+            r#"
+            fn i(kind: &str) { quantile_record(&format!("serve.latency.{kind}.total_s"), 0.1); }
+            pub const REQUIRED_SERVE_METRICS: &[&str] = &["serve.latency."];
+            "#,
+        )]);
+        assert!(clean.is_empty(), "{clean:?}");
+        let dirty = xref(&[(
+            "crates/x/src/lib.rs",
+            r#"pub const REQUIRED_SERVE_METRICS: &[&str] = &["serve.latency."];"#,
+        )]);
+        assert_eq!(dirty.len(), 1, "{dirty:?}");
+        assert!(dirty[0].excerpt.contains("serve.latency."));
+    }
+
+    fn xref_slo(files: &[(&str, &str)], slo: &str) -> Vec<SourceFinding> {
+        let owned: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        xref_sources_with_slo(&owned, Some(("slo.toml", slo)))
+    }
+
+    #[test]
+    fn slo_kind_demands_the_exact_total_sketch() {
+        let inst = (
+            "crates/x/src/lib.rs",
+            r#"fn i() { quantile_record(match k { K::Pf => "serve.latency.pf.total_s" }, 0.1); }"#,
+        );
+        let clean = xref_slo(&[inst], "[pf]\np99_ms = 100.0\n");
+        assert!(clean.is_empty(), "{clean:?}");
+
+        // A kind in slo.toml with no instrumentation able to produce its
+        // sketch would gate CI on a metric that can never exist.
+        let dirty = xref_slo(&[inst], "[contingency]\np99_ms = 100.0\n");
+        assert_eq!(dirty.len(), 1, "{dirty:?}");
+        assert!(dirty[0]
+            .excerpt
+            .contains("serve.latency.contingency.total_s"));
+        assert_eq!(dirty[0].file, "slo.toml");
+    }
+
+    #[test]
+    fn slo_dynamic_family_also_satisfies_kind_demands() {
+        let f = xref_slo(
+            &[(
+                "crates/x/src/lib.rs",
+                r#"fn i(kind: &str) { quantile_record(&format!("serve.latency.{kind}.total_s"), 0.1); }"#,
+            )],
+            "[pf]\np50_ms = 10.0\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unknown_slo_key_is_a_finding() {
+        let f = xref_slo(
+            &[(
+                "crates/x/src/lib.rs",
+                r#"fn i(kind: &str) { quantile_record(&format!("serve.latency.{kind}.total_s"), 0.1); }"#,
+            )],
+            "[pf]\np95_ms = 10.0\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].excerpt.contains("p95_ms"));
+        assert_eq!(f[0].line, 2);
     }
 }

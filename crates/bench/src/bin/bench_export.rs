@@ -1,6 +1,6 @@
 //! Emits the machine-readable benchmark artifacts consumed by CI:
-//! `BENCH_pf.json`, `BENCH_acopf.json`, `BENCH_sparse.json`, and
-//! `BENCH_e2e.json`.
+//! `BENCH_pf.json`, `BENCH_acopf.json`, `BENCH_sparse.json`,
+//! `BENCH_e2e.json`, and `BENCH_serve.json`.
 //!
 //! Each file pairs wall-clock statistics with the full telemetry export
 //! (counters, histograms, span tree) under a `"telemetry"` key, so
@@ -28,7 +28,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use gm_acopf::{solve_acopf, AcopfOptions};
-use gm_bench::compare::{compare_all, tolerance_from_env};
+use gm_bench::compare::{compare_all, tolerances_from_env};
 use gm_bench::stats;
 use gm_network::{cases, CaseId};
 use gm_powerflow::{solve, PfOptions};
@@ -215,6 +215,33 @@ fn bench_e2e() -> Value {
     out
 }
 
+/// Deterministic serve soak through the workload driver, summarized as
+/// per-query-kind latency quantiles (`kinds.<kind>.{p50_s,p99_s}` are
+/// the compare-gated statistics) with the merged server telemetry —
+/// including the `serve.latency.*` sketches — embedded for
+/// `gm-trace slo` and `gm-trace --check`.
+fn bench_serve() -> Value {
+    let report = gm_serve::workload::run(&gm_serve::workload::WorkloadConfig {
+        workers: 4,
+        sessions: 8,
+        queue_capacity: 16,
+        cache_capacity: 64,
+        script: gm_serve::workload::default_script(),
+        faults: None,
+    });
+    let mut out = json!({
+        "bench": "serve",
+        "passed": report.passed(),
+        "expected": report.expected,
+        "received": report.received,
+        "cache_hits": report.cache.hits,
+        "wall_s": report.wall_s,
+        "kinds": report.latency_summary(),
+    });
+    out["telemetry"] = report.telemetry.clone();
+    out
+}
+
 fn write_artifact(dir: &Path, name: &str, value: &Value) -> std::io::Result<PathBuf> {
     let path = dir.join(name);
     let text = serde_json::to_string_pretty(value).expect("artifact serializes");
@@ -258,6 +285,7 @@ fn main() -> ExitCode {
         ("BENCH_acopf.json", bench_acopf()),
         ("BENCH_sparse.json", bench_sparse()),
         ("BENCH_e2e.json", bench_e2e()),
+        ("BENCH_serve.json", bench_serve()),
     ];
     for (name, value) in &artifacts {
         match write_artifact(&out_dir, name, value) {
@@ -285,14 +313,15 @@ fn main() -> ExitCode {
             .zip(&baselines)
             .map(|((name, current), baseline)| (*name, baseline, current))
             .collect();
-        let tolerance = tolerance_from_env();
-        let report = compare_all(&triples, tolerance);
+        let tolerances = tolerances_from_env();
+        let report = compare_all(&triples, tolerances);
         println!(
-            "compared {} wall stats and {} counters against {} (tolerance {:.0}%)",
+            "compared {} wall stats and {} counters against {} (wall tolerance {:.0}%, quantile tolerance {:.0}%)",
             report.walls_checked,
             report.counters_checked,
             base_dir.display(),
-            tolerance * 100.0
+            tolerances.wall * 100.0,
+            tolerances.quantile * 100.0
         );
         if !report.passed() {
             for line in report.failures() {

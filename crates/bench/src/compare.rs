@@ -7,7 +7,12 @@
 //! 1. **Wall-time regression**: any tracked wall statistic (`mean_s`
 //!    per case for pf/acopf, `wall_elapsed_s` for e2e) more than
 //!    `tolerance` (default 25%, `BENCH_REGRESSION_TOLERANCE` env
-//!    override) above its baseline fails.
+//!    override) above its baseline fails. Serve latency quantiles
+//!    (`kinds.<kind>.p50_s`/`p99_s` in `BENCH_serve.json`) are gated
+//!    under a separate, looser tolerance (default 100%,
+//!    `BENCH_QUANTILE_TOLERANCE` env override) above a noise floor —
+//!    queue-wait percentiles are scheduler-dependent in a way per-solve
+//!    means are not.
 //! 2. **Counter liveness**: any telemetry counter that was nonzero in
 //!    the baseline but is zero or absent in the current run fails —
 //!    a solver path silently going dark is a regression even when the
@@ -19,6 +24,31 @@ use serde_json::Value;
 
 /// Default allowed relative slow-down before failing (25%).
 pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Default allowed relative slow-down for serve latency quantiles
+/// (100%). Percentiles of queue wait + service time move with host
+/// scheduling far more than per-solve means do, so the quantile gate is
+/// looser by default and independently overridable.
+pub const DEFAULT_QUANTILE_TOLERANCE: f64 = 1.0;
+
+/// Wall-time and quantile tolerances applied by one compare run.
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerances {
+    /// Relative slow-down allowed for pf/acopf/sparse/e2e wall stats.
+    pub wall: f64,
+    /// Relative slow-down allowed for serve latency quantiles.
+    pub quantile: f64,
+}
+
+impl Tolerances {
+    /// The same tolerance for both families (convenient in tests).
+    pub fn uniform(t: f64) -> Tolerances {
+        Tolerances {
+            wall: t,
+            quantile: t,
+        }
+    }
+}
 
 /// One detected regression.
 #[derive(Clone, Debug, PartialEq)]
@@ -94,14 +124,22 @@ impl CompareReport {
     }
 }
 
-/// The effective tolerance: `BENCH_REGRESSION_TOLERANCE` when set and
-/// parseable, [`DEFAULT_TOLERANCE`] otherwise.
-pub fn tolerance_from_env() -> f64 {
-    std::env::var("BENCH_REGRESSION_TOLERANCE")
+fn env_tolerance(var: &str, default: f64) -> f64 {
+    std::env::var(var)
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
         .filter(|t| t.is_finite() && *t >= 0.0)
-        .unwrap_or(DEFAULT_TOLERANCE)
+        .unwrap_or(default)
+}
+
+/// The effective tolerances: `BENCH_REGRESSION_TOLERANCE` /
+/// `BENCH_QUANTILE_TOLERANCE` when set and parseable,
+/// [`DEFAULT_TOLERANCE`] / [`DEFAULT_QUANTILE_TOLERANCE`] otherwise.
+pub fn tolerances_from_env() -> Tolerances {
+    Tolerances {
+        wall: env_tolerance("BENCH_REGRESSION_TOLERANCE", DEFAULT_TOLERANCE),
+        quantile: env_tolerance("BENCH_QUANTILE_TOLERANCE", DEFAULT_QUANTILE_TOLERANCE),
+    }
 }
 
 fn wall_paths(artifact: &str, doc: &Value) -> Vec<(String, f64)> {
@@ -144,6 +182,24 @@ fn wall_paths(artifact: &str, doc: &Value) -> Vec<(String, f64)> {
                 out.push(("wall_elapsed_s".to_string(), w));
             }
         }
+        Some("serve") => {
+            // Per-query-kind latency quantiles from the soak driver.
+            // Sub-floor percentiles (a kind whose whole path is a cache
+            // recall) sit inside scheduler jitter and are not gated —
+            // the same reasoning as the sparse measurement floor.
+            const SERVE_QUANTILE_FLOOR_S: f64 = 5e-3;
+            if let Some(kinds) = doc.get("kinds").and_then(Value::as_object) {
+                for (kind, v) in kinds {
+                    for stat in ["p50_s", "p99_s"] {
+                        if let Some(x) = v.get(stat).and_then(Value::as_f64) {
+                            if x >= SERVE_QUANTILE_FLOOR_S {
+                                out.push((format!("kinds.{kind}.{stat}"), x));
+                            }
+                        }
+                    }
+                }
+            }
+        }
         _ => {
             let _ = artifact; // unknown artifact shape: nothing to check
         }
@@ -163,13 +219,19 @@ fn counters(doc: &Value) -> Vec<(String, f64)> {
         .unwrap_or_default()
 }
 
-/// Compares one artifact pair under the two rules.
+/// Compares one artifact pair under the two rules. Serve artifacts
+/// (`"bench": "serve"`) are gated under `tolerances.quantile`; all
+/// other wall statistics under `tolerances.wall`.
 pub fn compare_artifact(
     artifact: &str,
     baseline: &Value,
     current: &Value,
-    tolerance: f64,
+    tolerances: Tolerances,
 ) -> CompareReport {
+    let tolerance = match baseline.get("bench").and_then(Value::as_str) {
+        Some("serve") => tolerances.quantile,
+        _ => tolerances.wall,
+    };
     let mut rep = CompareReport::default();
     let current_walls = wall_paths(artifact, current);
     for (metric, base) in wall_paths(artifact, baseline) {
@@ -210,10 +272,10 @@ pub fn compare_artifact(
 
 /// Compares a set of `(artifact name, baseline, current)` triples and
 /// folds the outcomes into one report.
-pub fn compare_all(triples: &[(&str, &Value, &Value)], tolerance: f64) -> CompareReport {
+pub fn compare_all(triples: &[(&str, &Value, &Value)], tolerances: Tolerances) -> CompareReport {
     let mut rep = CompareReport::default();
     for (artifact, baseline, current) in triples {
-        rep.merge(compare_artifact(artifact, baseline, current, tolerance));
+        rep.merge(compare_artifact(artifact, baseline, current, tolerances));
     }
     rep
 }
@@ -235,7 +297,7 @@ mod tests {
     fn within_tolerance_passes() {
         let base = pf_doc(0.010, 25);
         let cur = pf_doc(0.012, 40); // +20% < 25%
-        let rep = compare_artifact("BENCH_pf.json", &base, &cur, 0.25);
+        let rep = compare_artifact("BENCH_pf.json", &base, &cur, Tolerances::uniform(0.25));
         assert!(rep.passed(), "{:?}", rep.failures());
         assert_eq!(rep.walls_checked, 1);
         assert_eq!(rep.counters_checked, 1);
@@ -245,7 +307,7 @@ mod tests {
     fn wall_regression_beyond_tolerance_fails() {
         let base = pf_doc(0.010, 25);
         let cur = pf_doc(0.014, 25); // +40% > 25%
-        let rep = compare_artifact("BENCH_pf.json", &base, &cur, 0.25);
+        let rep = compare_artifact("BENCH_pf.json", &base, &cur, Tolerances::uniform(0.25));
         assert!(!rep.passed());
         assert_eq!(rep.slower.len(), 1);
         assert_eq!(rep.slower[0].metric, "cases.Ieee14.mean_s");
@@ -257,20 +319,20 @@ mod tests {
     fn speedup_never_fails() {
         let base = pf_doc(0.010, 25);
         let cur = pf_doc(0.001, 25);
-        assert!(compare_artifact("BENCH_pf.json", &base, &cur, 0.25).passed());
+        assert!(compare_artifact("BENCH_pf.json", &base, &cur, Tolerances::uniform(0.25)).passed());
     }
 
     #[test]
     fn counter_going_to_zero_fails_even_when_fast() {
         let base = pf_doc(0.010, 25);
         let mut cur = pf_doc(0.010, 0);
-        let rep = compare_artifact("BENCH_pf.json", &base, &cur, 0.25);
+        let rep = compare_artifact("BENCH_pf.json", &base, &cur, Tolerances::uniform(0.25));
         assert_eq!(rep.dead_counters.len(), 1);
         assert_eq!(rep.dead_counters[0].metric, "pf.newton.solves");
 
         // Absent counts the same as zero.
         cur["telemetry"]["counters"] = json!({});
-        let rep = compare_artifact("BENCH_pf.json", &base, &cur, 0.25);
+        let rep = compare_artifact("BENCH_pf.json", &base, &cur, Tolerances::uniform(0.25));
         assert_eq!(rep.dead_counters.len(), 1);
         assert!(!rep.passed());
     }
@@ -294,7 +356,7 @@ mod tests {
                 ("BENCH_e2e.json", &base_e2e, &cur_e2e),
                 ("BENCH_pf.json", &base_pf, &cur_pf),
             ],
-            0.25,
+            Tolerances::uniform(0.25),
         );
         assert_eq!(rep.slower.len(), 1);
         assert_eq!(rep.slower[0].artifact, "BENCH_e2e.json");
@@ -315,14 +377,19 @@ mod tests {
         };
         let base = sparse_doc(0.010, 0.002);
         let ok = sparse_doc(0.011, 0.002);
-        let rep = compare_artifact("BENCH_sparse.json", &base, &ok, 0.25);
+        let rep = compare_artifact("BENCH_sparse.json", &base, &ok, Tolerances::uniform(0.25));
         assert!(rep.passed(), "{:?}", rep.failures());
         assert_eq!(rep.walls_checked, 2);
 
         // The refactor path regressing alone must fail, even with the
         // full analysis unchanged.
         let slow_refactor = sparse_doc(0.010, 0.004);
-        let rep = compare_artifact("BENCH_sparse.json", &base, &slow_refactor, 0.25);
+        let rep = compare_artifact(
+            "BENCH_sparse.json",
+            &base,
+            &slow_refactor,
+            Tolerances::uniform(0.25),
+        );
         assert_eq!(rep.slower.len(), 1);
         assert_eq!(rep.slower[0].metric, "cases.Ieee14.refactor.mean_s");
 
@@ -330,9 +397,68 @@ mod tests {
         // are not wall-gated at all — a 3x swing there is timer noise.
         let tiny_base = sparse_doc(5e-6, 2e-6);
         let tiny_cur = sparse_doc(15e-6, 6e-6);
-        let rep = compare_artifact("BENCH_sparse.json", &tiny_base, &tiny_cur, 0.25);
+        let rep = compare_artifact(
+            "BENCH_sparse.json",
+            &tiny_base,
+            &tiny_cur,
+            Tolerances::uniform(0.25),
+        );
         assert!(rep.passed(), "{:?}", rep.failures());
         assert_eq!(rep.walls_checked, 0);
+    }
+
+    fn serve_doc(pf_p50: f64, pf_p99: f64, status_p99: f64) -> Value {
+        json!({
+            "bench": "serve",
+            "kinds": {
+                "pf": { "count": 8, "p50_s": pf_p50, "p99_s": pf_p99, "max_s": pf_p99 * 1.2 },
+                "status": { "count": 8, "p50_s": status_p99 / 2.0, "p99_s": status_p99,
+                            "max_s": status_p99 * 1.2 },
+            },
+            "telemetry": { "counters": { "serve.requests": 32 } },
+        })
+    }
+
+    #[test]
+    fn serve_doc_gates_quantiles_under_the_quantile_tolerance() {
+        let tol = Tolerances {
+            wall: 0.25,
+            quantile: 1.0,
+        };
+        let base = serve_doc(0.050, 0.100, 0.020);
+        // +60% on pf p99 is inside the 100% quantile band even though it
+        // would blow the 25% wall band.
+        let ok = serve_doc(0.050, 0.160, 0.020);
+        let rep = compare_artifact("BENCH_serve.json", &base, &ok, tol);
+        assert!(rep.passed(), "{:?}", rep.failures());
+        assert_eq!(rep.walls_checked, 4);
+
+        // +150% on pf p99 fails, and only that metric.
+        let slow = serve_doc(0.050, 0.250, 0.020);
+        let rep = compare_artifact("BENCH_serve.json", &base, &slow, tol);
+        assert_eq!(rep.slower.len(), 1);
+        assert_eq!(rep.slower[0].metric, "kinds.pf.p99_s");
+    }
+
+    #[test]
+    fn serve_quantiles_below_the_noise_floor_are_not_gated() {
+        // Whole-path-cached kinds sit in the sub-5ms scheduler-jitter
+        // band: a 10x swing there must not trip the gate.
+        let base = serve_doc(0.0002, 0.0004, 0.0001);
+        let cur = serve_doc(0.002, 0.004, 0.001);
+        let rep = compare_artifact("BENCH_serve.json", &base, &cur, Tolerances::uniform(0.25));
+        assert!(rep.passed(), "{:?}", rep.failures());
+        assert_eq!(rep.walls_checked, 0);
+    }
+
+    #[test]
+    fn serve_counters_still_obey_the_liveness_rule() {
+        let base = serve_doc(0.050, 0.100, 0.020);
+        let mut cur = serve_doc(0.050, 0.100, 0.020);
+        cur["telemetry"]["counters"]["serve.requests"] = json!(0);
+        let rep = compare_artifact("BENCH_serve.json", &base, &cur, Tolerances::uniform(0.25));
+        assert_eq!(rep.dead_counters.len(), 1);
+        assert_eq!(rep.dead_counters[0].metric, "serve.requests");
     }
 
     #[test]
@@ -340,6 +466,6 @@ mod tests {
         let base = pf_doc(0.010, 25);
         let mut cur = pf_doc(0.010, 25);
         cur["telemetry"]["counters"]["brand.new.counter"] = json!(7);
-        assert!(compare_artifact("BENCH_pf.json", &base, &cur, 0.25).passed());
+        assert!(compare_artifact("BENCH_pf.json", &base, &cur, Tolerances::uniform(0.25)).passed());
     }
 }

@@ -245,6 +245,20 @@ impl GridMind {
                 },
                 1,
             );
+            // Latency-accounting kind (distinct from agent routing): the
+            // serve layer buckets its per-request quantile sketches by
+            // the same labels, so the counters here let a trace explain
+            // *what mix* of query kinds produced a latency distribution.
+            gm_telemetry::counter_add(
+                match crate::query_kind::classify_query_kind(&segment) {
+                    "contingency" => "query.kind.contingency",
+                    "mutate" => "query.kind.mutate",
+                    "status" => "query.kind.status",
+                    "pf" => "query.kind.pf",
+                    _ => "query.kind.other",
+                },
+                1,
+            );
             gm_telemetry::counter_add("coordinator.steps", 1);
             gm_telemetry::event("coordinator", format!("routing {segment:?} -> {name}"));
             let step_span = gm_telemetry::span!("coordinator.step", agent = name);

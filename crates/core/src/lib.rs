@@ -40,6 +40,7 @@ pub mod agents;
 pub mod coordinator;
 pub mod planners;
 pub mod quality;
+pub mod query_kind;
 pub mod recovery;
 pub mod repl;
 pub mod session;
@@ -52,6 +53,7 @@ pub use agents::{build_acopf_agent, build_ca_agent, ACOPF_SYSTEM_PROMPT, CA_SYST
 pub use coordinator::{AgentKind, CoordinatedResponse, GridMind, TurnMetric, WorkflowStep};
 pub use gm_agents::ModelProfile;
 pub use quality::{assess, SolutionQuality};
+pub use query_kind::{classify_query_kind, QUERY_KIND_LABELS};
 pub use recovery::{
     caveat, solve_acopf_recovered, solve_base_recovered, solve_scopf_recovered, CAVEAT_PREFIX,
 };

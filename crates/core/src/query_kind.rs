@@ -1,0 +1,105 @@
+//! Query-kind tagging at the tool boundary.
+//!
+//! The serve layer buckets request latency into per-kind quantile
+//! sketches (`serve.latency.<kind>.total_s` and friends), and the SLO
+//! gate (`gm-trace slo` against `slo.toml`) sets targets per kind — a
+//! contingency sweep is allowed two orders of magnitude more budget
+//! than a status recall. [`classify_query_kind`] is the single,
+//! deterministic mapping from raw query text to that kind label, kept
+//! beside the coordinator's routing rules so the two keyword sets
+//! evolve together (routing decides *which agent*, kind tagging decides
+//! *which latency bucket*).
+
+/// Every label [`classify_query_kind`] can produce, in match order.
+pub const QUERY_KIND_LABELS: &[&str] = &["contingency", "mutate", "status", "pf", "other"];
+
+/// Classifies a query into its latency-accounting kind:
+///
+/// - `"contingency"` — N-1/outage sweeps (the expensive path),
+/// - `"mutate"` — network edits (set/increase/decrease a load or limit),
+/// - `"status"` — state recall, no solver work expected,
+/// - `"pf"` — power-flow / OPF solves,
+/// - `"other"` — anything the keywords miss.
+pub fn classify_query_kind(query: &str) -> &'static str {
+    let q = query.to_ascii_lowercase();
+    let has = |kws: &[&str]| kws.iter().any(|k| q.contains(k));
+    if has(&[
+        "n-1",
+        "t-1",
+        "contingen",
+        "outage",
+        "reliability",
+        "vulnerab",
+    ]) {
+        "contingency"
+    } else if has(&[
+        "set ",
+        "set the",
+        "increase",
+        "decrease",
+        "modify",
+        "change the",
+    ]) {
+        "mutate"
+    } else if has(&[
+        "status",
+        "summary",
+        "summarize",
+        "what is",
+        "what's",
+        "report",
+    ]) {
+        "status"
+    } else if has(&["solve", "opf", "power flow", "dispatch", "optimal", "case"]) {
+        "pf"
+    } else {
+        "other"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_the_standard_script() {
+        // The four queries of the serve workload's default script map to
+        // four distinct kinds.
+        assert_eq!(classify_query_kind("solve case14"), "pf");
+        assert_eq!(
+            classify_query_kind("run the n-1 contingency analysis"),
+            "contingency"
+        );
+        assert_eq!(
+            classify_query_kind("set the load at bus 9 to 45 MW"),
+            "mutate"
+        );
+        assert_eq!(classify_query_kind("what is the network status"), "status");
+    }
+
+    #[test]
+    fn classification_is_case_insensitive_and_total() {
+        assert_eq!(classify_query_kind("SOLVE IEEE 118"), "pf");
+        assert_eq!(
+            classify_query_kind("Run Contingency Screening"),
+            "contingency"
+        );
+        assert_eq!(classify_query_kind("hello there"), "other");
+        assert!(QUERY_KIND_LABELS.contains(&classify_query_kind("")));
+    }
+
+    #[test]
+    fn every_label_is_reachable_and_listed() {
+        for (query, want) in [
+            ("run the n-1 sweep", "contingency"),
+            ("increase the load at bus 2", "mutate"),
+            ("network status please", "status"),
+            ("solve the base case", "pf"),
+            ("tell me a story", "other"),
+        ] {
+            let got = classify_query_kind(query);
+            assert_eq!(got, want);
+            assert!(QUERY_KIND_LABELS.contains(&got));
+        }
+    }
+}

@@ -102,6 +102,7 @@ pub fn solve_base_recovered(
         Err(e) => return Err(e),
     };
     gm_telemetry::counter_add("recovery.attempts", 1);
+    gm_telemetry::flight_event("recovery.descent", format!("ladder=pf reason={err}"));
     match pf_ladder(net, &opts.pf, &err.to_string()) {
         Some((rep, cav)) => Ok((rep, Some(cav))),
         None => Err(err),
@@ -282,6 +283,7 @@ pub fn solve_acopf_recovered(
     };
     gm_telemetry::counter_add("recovery.attempts", 1);
     let reason = err.to_string();
+    gm_telemetry::flight_event("recovery.descent", format!("ladder=acopf reason={reason}"));
     match solve_dcopf(net, &IpmOptions::default()) {
         Ok(dc) => {
             gm_telemetry::counter_add("recovery.dcopf", 1);
@@ -365,6 +367,7 @@ pub fn solve_scopf_recovered(
     };
     gm_telemetry::counter_add("recovery.attempts", 1);
     let reason = err.to_string();
+    gm_telemetry::flight_event("recovery.descent", format!("ladder=scopf reason={reason}"));
     let (sol, inner) = solve_acopf_recovered(cache, net, &opts.acopf)?;
     gm_telemetry::counter_add("recovery.scopf_unconstrained", 1);
     let cost = sol.objective_cost;

@@ -154,10 +154,12 @@ impl SolverCache {
             drop(state);
             self.hits.fetch_add(1, Ordering::Relaxed);
             gm_telemetry::counter_add("serve.cache.hits", 1);
+            gm_telemetry::flight_event("cache.hit", format!("kind={:?}", key.kind));
         } else {
             drop(state);
             self.misses.fetch_add(1, Ordering::Relaxed);
             gm_telemetry::counter_add("serve.cache.misses", 1);
+            gm_telemetry::flight_event("cache.miss", format!("kind={:?}", key.kind));
         }
         found
     }

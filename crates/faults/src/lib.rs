@@ -275,6 +275,7 @@ impl FaultInjector {
             .entry(format!("{site}/{}", kind.name()))
             .or_insert(0) += 1;
         gm_telemetry::counter_add(&format!("faults.injected.{site}"), 1);
+        gm_telemetry::flight_event("fault.fired", format!("site={site} kind={}", kind.name()));
         kind
     }
 

@@ -5,16 +5,21 @@
 //! gm-serve --workload [--workers N] [--sessions M] [--queries K]
 //!          [--queue-capacity Q] [--cache-capacity C]
 //!          [--chaos SEED] [--chaos-rate PER_MILLE]
-//!          [--out trace.json] [--check]
+//!          [--out trace.json] [--check] [--flight-dump dump.json]
 //! ```
 //!
 //! Prints a JSON summary (losses, duplicates, determinism verdict,
-//! cache statistics) to stdout. `--out` writes the full server
-//! telemetry trace for `gm-trace`. With `--check`, a failed invariant
-//! exits nonzero — the CI soak gate. `--chaos SEED` turns the soak into
-//! the chaos run: a seeded fault injector fires at the solver and serve
-//! layers (`--chaos-rate` per-mille per site hit, default 100) and the
-//! gate switches to the fault-tolerance invariants (no losses, no
+//! per-kind latency quantiles, cache statistics) to stdout. `--out`
+//! writes the full server telemetry trace for `gm-trace`. With
+//! `--check`, a failed invariant exits nonzero — the CI soak gate — and
+//! the merged flight-recorder ring (the last structured events before
+//! the violation: enqueues, pickups, deadlines, faults, recovery
+//! descents, cache outcomes) is dumped as JSON to the `--flight-dump`
+//! path (default `flight-dump.json`) so the violation is explainable
+//! post mortem. `--chaos SEED` turns the soak into the chaos run: a
+//! seeded fault injector fires at the solver and serve layers
+//! (`--chaos-rate` per-mille per site hit, default 100) and the gate
+//! switches to the fault-tolerance invariants (no losses, no
 //! duplicates, no silent downgrades — see `workload::WorkloadReport`).
 
 use gm_serve::workload::{self, WorkloadConfig};
@@ -24,6 +29,7 @@ struct Args {
     workload: bool,
     check: bool,
     out: Option<String>,
+    flight_dump: String,
     chaos_seed: Option<u64>,
     chaos_per_mille: u32,
     config: WorkloadConfig,
@@ -34,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         workload: false,
         check: false,
         out: None,
+        flight_dump: "flight-dump.json".into(),
         chaos_seed: None,
         chaos_per_mille: 100,
         config: WorkloadConfig::default(),
@@ -67,6 +74,9 @@ fn parse_args() -> Result<Args, String> {
                 args.chaos_per_mille = r as u32;
             }
             "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
+            "--flight-dump" => {
+                args.flight_dump = it.next().ok_or("--flight-dump needs a path")?;
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -108,6 +118,21 @@ fn main() -> ExitCode {
 
     if args.check && !report.passed() {
         eprintln!("gm-serve: workload invariants FAILED");
+        // Dump the merged flight-recorder ring: the last structured
+        // events before the violation, for postmortem triage.
+        let flight = report
+            .telemetry
+            .get("flight")
+            .cloned()
+            .unwrap_or(serde_json::Value::Array(Vec::new()));
+        let dump = serde_json::json!({ "flight": flight });
+        match serde_json::to_string_pretty(&dump) {
+            Ok(text) => match std::fs::write(&args.flight_dump, text) {
+                Ok(()) => eprintln!("gm-serve: flight recorder dumped to {}", args.flight_dump),
+                Err(e) => eprintln!("gm-serve: writing {}: {e}", args.flight_dump),
+            },
+            Err(e) => eprintln!("gm-serve: serializing flight dump: {e}"),
+        }
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -102,6 +102,10 @@ impl Server {
             telemetry: gm_telemetry::Registry::new(),
             faults: config.faults,
         });
+        // The server ring absorbs every session's ring at shutdown on
+        // top of its own serve-path events; give it more headroom than
+        // the per-session default.
+        shared.telemetry.set_flight_capacity(1024);
         let workers = (0..config.workers.max(1))
             .map(|w| {
                 let shared = shared.clone();
@@ -140,6 +144,10 @@ impl Server {
             return Err(ServeResponse::busy(&req));
         }
         s.telemetry.add("serve.requests", 1);
+        s.telemetry.flight_record(
+            "serve.enqueue",
+            format!("session={} seq={}", req.session, req.seq),
+        );
         let slot = s.registry.slot(&req.session);
         let needs_token = slot.enqueue(QueuedRequest {
             req,
@@ -198,10 +206,15 @@ impl Server {
             }
         }
         // Fold every session's trace into the server registry so the
-        // exported artifact carries solver metrics end to end.
-        for slot in s.registry.all() {
+        // exported artifact carries solver metrics end to end. Slots are
+        // visited in id order so the merged flight-recorder ring — and
+        // with it a dump from a deterministic run — is reproducible.
+        let mut slots = s.registry.all();
+        slots.sort_by(|a, b| a.id.cmp(&b.id));
+        for slot in slots {
             if let Some(gm) = slot.engine.lock().as_ref() {
                 s.telemetry.merge_metrics(&gm.session.telemetry);
+                s.telemetry.merge_flight(&gm.session.telemetry);
             }
         }
         let cs = s.cache.stats();
@@ -268,37 +281,82 @@ fn serve_one(
     queued: QueuedRequest,
 ) {
     let span = gm_telemetry::span!("serve.request");
+    // The latency-accounting kind splits every timing below into
+    // per-kind quantile sketches — the raw material of the SLO gate.
+    let kind = gridmind_core::classify_query_kind(&queued.req.query);
     let queue_wait_s = queued.submitted.elapsed().as_secs_f64();
     gm_telemetry::histogram_record("serve.queue_wait_s", queue_wait_s);
+    shared
+        .telemetry
+        .record_quantile(&format!("serve.latency.{kind}.queue_wait_s"), queue_wait_s);
+
+    // Check the engine *out* of the slot instead of holding the
+    // slot mutex across the solve: `ask` can run Newton/IPM for
+    // milliseconds, and a guard held that long blocks `shutdown`'s
+    // telemetry sweep (and any future slot inspection) for the
+    // whole solve. Exclusive ownership is already guaranteed by the
+    // token protocol — a session's token is queued at most once, so
+    // no other worker can reach this slot until we finish — and
+    // `shutdown` joins the pool before sweeping, so the engine is
+    // always back in the slot by then. The checkout happens before the
+    // deadline check because serve-path flight events are recorded into
+    // the *session's* ring: each session's FIFO is serialized by the
+    // token protocol, so its ring keeps a reproducible order even while
+    // the driver thread appends enqueue events to the server ring —
+    // interleaving the two on one ring would make dumps racy.
+    let mut gm = slot.engine.lock().take().unwrap_or_else(|| {
+        GridMind::with_session(
+            shared.profile.clone(),
+            SessionContext::new_with_solver_cache(shared.cache.clone()),
+        )
+    });
+    gm.session.telemetry.flight_record(
+        "serve.pickup",
+        format!(
+            "session={} seq={} kind={kind} worker={worker}",
+            queued.req.session, queued.req.seq
+        ),
+    );
 
     let expired = queued
         .req
         .deadline_ms
         .is_some_and(|ms| queue_wait_s * 1e3 > ms as f64)
         || gm_faults::inject("serve.deadline.pickup") == Some(gm_faults::FaultKind::DeadlineStorm);
+    let mut service_s = 0.0;
     let response = if expired {
         shared.telemetry.add("serve.timeouts", 1);
+        gm.session.telemetry.flight_record(
+            "serve.deadline",
+            format!(
+                "at=pickup session={} seq={}",
+                queued.req.session, queued.req.seq
+            ),
+        );
         ServeResponse::timed_out(&queued.req, queue_wait_s, worker)
     } else {
         let started = Instant::now();
-        // Check the engine *out* of the slot instead of holding the
-        // slot mutex across the solve: `ask` can run Newton/IPM for
-        // milliseconds, and a guard held that long blocks `shutdown`'s
-        // telemetry sweep (and any future slot inspection) for the
-        // whole solve. Exclusive ownership is already guaranteed by the
-        // token protocol — a session's token is queued at most once, so
-        // no other worker can reach this slot until we finish — and
-        // `shutdown` joins the pool before sweeping, so the engine is
-        // always back in the slot by then.
-        let mut gm = slot.engine.lock().take().unwrap_or_else(|| {
-            GridMind::with_session(
-                shared.profile.clone(),
-                SessionContext::new_with_solver_cache(shared.cache.clone()),
-            )
-        });
+        let cache_before = shared.cache.stats();
         let reply = gm.ask(&queued.req.query);
-        *slot.engine.lock() = Some(gm);
         let exec_s = started.elapsed().as_secs_f64();
+        service_s = exec_s;
+        // Split the service time by cache path. The stats delta is
+        // attributed from this worker's perspective: a concurrent
+        // worker's hit can land in the window, which at worst relabels
+        // one sample — the per-kind totals stay exact.
+        let cache_after = shared.cache.stats();
+        shared
+            .telemetry
+            .record_quantile(&format!("serve.latency.{kind}.service_s"), exec_s);
+        if cache_after.misses > cache_before.misses {
+            shared
+                .telemetry
+                .record_quantile(&format!("serve.latency.{kind}.service_miss_s"), exec_s);
+        } else if cache_after.hits > cache_before.hits {
+            shared
+                .telemetry
+                .record_quantile(&format!("serve.latency.{kind}.service_hit_s"), exec_s);
+        }
         // Deadlines used to be checked only at pickup: a request whose
         // budget ran out *while the engine was solving* was answered as
         // if on time. Re-check after the engine call and return an
@@ -312,6 +370,13 @@ fn serve_one(
         if expired_in_flight {
             shared.telemetry.add("serve.timeouts", 1);
             shared.telemetry.add("serve.deadline.expired_in_flight", 1);
+            gm.session.telemetry.flight_record(
+                "serve.deadline",
+                format!(
+                    "at=inflight session={} seq={}",
+                    queued.req.session, queued.req.seq
+                ),
+            );
             ServeResponse::timed_out(&queued.req, queue_wait_s, worker)
         } else {
             ServeResponse {
@@ -325,6 +390,22 @@ fn serve_one(
             }
         }
     };
+    *slot.engine.lock() = Some(gm);
+    // End-to-end latency (queue wait + service; timed-out requests
+    // contribute the time they actually burned, even though their
+    // response reports `exec_s` 0) — the sketch the `slo.toml` targets
+    // gate on. The names are spelled out per kind so the telemetry-xref
+    // lint can cross-reference each against the committed SLO spec.
+    shared.telemetry.record_quantile(
+        match kind {
+            "pf" => "serve.latency.pf.total_s",
+            "contingency" => "serve.latency.contingency.total_s",
+            "mutate" => "serve.latency.mutate.total_s",
+            "status" => "serve.latency.status.total_s",
+            _ => "serve.latency.other.total_s",
+        },
+        queue_wait_s + service_s,
+    );
     drop(span);
 
     // Answer, then release the admission slot; the caller reschedules
@@ -514,6 +595,47 @@ mod tests {
         let telemetry = server.shutdown();
         assert_eq!(telemetry.counter_value("serve.busy_rejections"), 1);
         assert_eq!(telemetry.counter_value("serve.requests"), 2);
+    }
+
+    #[test]
+    fn per_kind_latency_sketches_and_flight_events_are_recorded() {
+        // One worker serializes the three requests, so the second
+        // "solve case14" deterministically hits the cache the first one
+        // warmed.
+        let (server, rx) = Server::start(small_config(1));
+        server.submit(req("s", 0, "solve case14")).unwrap();
+        server
+            .submit(req("s", 1, "what is the network status"))
+            .unwrap();
+        server.submit(req("t", 0, "solve case14")).unwrap();
+        for _ in 0..3 {
+            rx.recv().unwrap();
+        }
+        let telemetry = server.shutdown();
+        let q = telemetry.quantiles_snapshot();
+        assert_eq!(q["serve.latency.pf.total_s"].count, 2);
+        assert_eq!(q["serve.latency.status.total_s"].count, 1);
+        assert_eq!(q["serve.latency.pf.queue_wait_s"].count, 2);
+        assert_eq!(q["serve.latency.pf.service_s"].count, 2);
+        // First solve missed the shared cache, the second one hit it.
+        assert!(q["serve.latency.pf.service_miss_s"].count >= 1);
+        assert!(q["serve.latency.pf.service_hit_s"].count >= 1);
+        // p50 ≤ p99 ≤ max on a real distribution.
+        let s = &q["serve.latency.pf.total_s"];
+        let (p50, p99) = (s.quantile(0.5).unwrap(), s.quantile(0.99).unwrap());
+        assert!(p50 <= p99 && p99 <= s.max * (1.0 + s.relative_error_bound()));
+        // Flight ring saw the request lifecycle and the merged cache
+        // outcomes from the session registries.
+        let kinds: std::collections::HashSet<String> = telemetry
+            .flight_snapshot()
+            .iter()
+            .map(|e| e.kind.clone())
+            .collect();
+        assert!(kinds.contains("serve.enqueue"), "kinds: {kinds:?}");
+        assert!(kinds.contains("serve.pickup"));
+        assert!(kinds.contains("cache.miss"));
+        assert!(kinds.contains("cache.hit"));
+        assert!(telemetry.counter_value("telemetry.flight.recorded") > 0);
     }
 
     #[test]

@@ -184,6 +184,35 @@ impl WorkloadReport {
         }
     }
 
+    /// Per-query-kind latency summary extracted from the trace's
+    /// `serve.latency.<kind>.total_s` quantile sketches: kind →
+    /// `{count, p50_s, p99_s, max_s}`. Empty when the trace carries no
+    /// latency sketches (it always should).
+    pub fn latency_summary(&self) -> serde_json::Value {
+        let Some(snap) = gm_telemetry::find_snapshot(&self.telemetry) else {
+            return serde_json::json!({});
+        };
+        let mut kinds = serde_json::Map::new();
+        for (name, s) in &snap.quantiles {
+            let Some(kind) = name
+                .strip_prefix("serve.latency.")
+                .and_then(|r| r.strip_suffix(".total_s"))
+            else {
+                continue;
+            };
+            kinds.insert(
+                kind.to_string(),
+                serde_json::json!({
+                    "count": s.count,
+                    "p50_s": s.quantile(0.5).unwrap_or(0.0),
+                    "p99_s": s.quantile(0.99).unwrap_or(0.0),
+                    "max_s": s.max,
+                }),
+            );
+        }
+        serde_json::Value::Object(kinds)
+    }
+
     /// JSON summary (the `gm-serve` binary's stdout contract).
     pub fn to_json(&self) -> serde_json::Value {
         serde_json::json!({
@@ -207,6 +236,7 @@ impl WorkloadReport {
             "sessions_served": self.sessions_served,
             "chaos": self.chaos,
             "wall_s": self.wall_s,
+            "latency": self.latency_summary(),
             "passed": self.passed(),
         })
     }
@@ -344,6 +374,15 @@ mod tests {
         });
         assert!(report.passed(), "workload failed: {}", report.to_json());
         assert_eq!(report.sessions_served, 6);
+        // Every script query lands in its own latency bucket, once per
+        // session.
+        let latency = report.latency_summary();
+        for kind in ["pf", "contingency", "mutate", "status"] {
+            assert_eq!(
+                latency[kind]["count"], 6u64,
+                "latency summary for {kind}: {latency}"
+            );
+        }
         assert!(
             report.cache.hits >= 5,
             "5 of 6 identical first queries should hit; stats: {:?}",

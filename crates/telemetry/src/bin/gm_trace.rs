@@ -1,56 +1,131 @@
-//! `gm-trace` — render a telemetry trace export as a human-readable
-//! report.
+//! `gm-trace` — render, gate, and diff telemetry trace exports.
 //!
 //! Usage:
 //!
 //! ```text
 //! gm-trace <file.json> [--check]
+//! gm-trace slo <file.json> [--spec slo.toml]
+//! gm-trace diff <baseline.json> <candidate.json>
 //! ```
 //!
-//! The file may be a raw `gm-telemetry` export, a saved GridMind session
-//! (telemetry embedded under the `"telemetry"` key), or a `BENCH_*.json`
-//! file. With `--check` the process additionally exits nonzero unless
-//! every required solver metric (Newton/IPM iterations, LU
-//! factorizations, contingency evaluations, tool/LLM/coordinator
-//! activity) is present and nonzero — the CI gate that instrumentation
-//! stays wired end to end.
+//! Files may be raw `gm-telemetry` exports, saved GridMind sessions
+//! (telemetry embedded under the `"telemetry"` key), or `BENCH_*.json`
+//! files.
+//!
+//! With `--check` the process exits nonzero unless every required solver
+//! metric (Newton/IPM iterations, LU factorizations, contingency
+//! evaluations, tool/LLM/coordinator activity) is present and nonzero —
+//! and, for serve traces, the serve latency sketches and flight-recorder
+//! counters too. All missing metrics are reported in one run.
+//!
+//! `slo` evaluates the per-query-kind p50/p99/max targets in an
+//! `slo.toml` spec against the trace's `serve.latency.<kind>.total_s`
+//! quantile sketches and exits nonzero on any violation — the soak/chaos
+//! CI latency gate.
+//!
+//! `diff` aligns two exports' aggregated span trees and renders
+//! per-phase wall-time, counter, and quantile deltas — regression
+//! attribution for "the benchmark moved".
 
 use std::process::ExitCode;
 
-fn run() -> Result<bool, String> {
+const USAGE: &str = "usage: gm-trace <file.json> [--check]
+       gm-trace slo <file.json> [--spec slo.toml]
+       gm-trace diff <baseline.json> <candidate.json>";
+
+fn load(path: &str) -> Result<serde_json::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))
+}
+
+fn run_report(args: &[String]) -> Result<bool, String> {
     let mut check = false;
-    let mut path: Option<String> = None;
-    for arg in std::env::args().skip(1) {
+    let mut path: Option<&str> = None;
+    for arg in args {
         match arg.as_str() {
             "--check" => check = true,
-            "--help" | "-h" => {
-                println!("usage: gm-trace <file.json> [--check]");
-                return Ok(true);
-            }
-            other if path.is_none() => path = Some(other.to_string()),
+            other if path.is_none() => path = Some(other),
             other => return Err(format!("unexpected argument: {other}")),
         }
     }
-    let path = path.ok_or_else(|| "usage: gm-trace <file.json> [--check]".to_string())?;
-    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let blob: serde_json::Value =
-        serde_json::from_str(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))?;
+    let path = path.ok_or_else(|| USAGE.to_string())?;
+    let blob = load(path)?;
     print!("{}", gm_telemetry::render_report(&blob)?);
     if check {
         let missing = gm_telemetry::check_required_metrics(&blob)?;
         if !missing.is_empty() {
-            eprintln!("\ncheck FAILED: required solver metrics absent or zero:");
+            eprintln!("\ncheck FAILED: required metrics absent or zero:");
             for m in &missing {
                 eprintln!("  - {m}");
             }
             return Ok(false);
         }
-        println!(
-            "\ncheck OK: all {} required solver metrics nonzero",
-            gm_telemetry::REQUIRED_SOLVER_METRICS.len()
-        );
+        println!("\ncheck OK: all required metrics nonzero");
     }
     Ok(true)
+}
+
+fn run_slo(args: &[String]) -> Result<bool, String> {
+    let mut spec_path = "slo.toml".to_string();
+    let mut trace_path: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--spec" => {
+                spec_path = it
+                    .next()
+                    .ok_or_else(|| "--spec needs a path".to_string())?
+                    .clone();
+            }
+            other if trace_path.is_none() => trace_path = Some(other),
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+    }
+    let trace_path = trace_path.ok_or_else(|| USAGE.to_string())?;
+    let spec_text =
+        std::fs::read_to_string(&spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let spec = gm_telemetry::SloSpec::parse(&spec_text)?;
+    let blob = load(trace_path)?;
+    let snap = gm_telemetry::find_snapshot(&blob)
+        .ok_or_else(|| format!("{trace_path} holds no telemetry snapshot"))?;
+    print!("{}", spec.render_table(&snap));
+    let violations = spec.evaluate(&snap);
+    if violations.is_empty() {
+        println!(
+            "\nslo OK: all targets met ({} kinds gated)",
+            spec.kinds.len()
+        );
+        Ok(true)
+    } else {
+        eprintln!("\nslo FAILED: {} violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        Ok(false)
+    }
+}
+
+fn run_diff(args: &[String]) -> Result<bool, String> {
+    let [a, b] = args else {
+        return Err(USAGE.to_string());
+    };
+    let blob_a = load(a)?;
+    let blob_b = load(b)?;
+    print!("{}", gm_telemetry::render_diff(&blob_a, &blob_b)?);
+    Ok(true)
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            Ok(!args.is_empty())
+        }
+        Some("slo") => run_slo(&args[1..]),
+        Some("diff") => run_diff(&args[1..]),
+        _ => run_report(&args),
+    }
 }
 
 fn main() -> ExitCode {

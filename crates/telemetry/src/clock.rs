@@ -15,9 +15,18 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// A shared monotonically increasing virtual clock (seconds).
+///
+/// Total time mixes two components with different reproducibility:
+/// explicit [`VirtualClock::advance`] contributions (simulated model
+/// latency — identical across runs) and [`VirtualClock::measure`]
+/// contributions (real compute wall time — host and run dependent).
+/// The deterministic component is tracked separately so artifacts that
+/// must be byte-reproducible (flight-recorder dumps) can timestamp
+/// against it alone.
 #[derive(Clone, Debug, Default)]
 pub struct VirtualClock {
-    inner: Arc<Mutex<f64>>,
+    /// `(total, deterministic)` seconds.
+    inner: Arc<Mutex<(f64, f64)>>,
 }
 
 impl VirtualClock {
@@ -26,15 +35,34 @@ impl VirtualClock {
         Self::default()
     }
 
-    /// Current virtual time (seconds).
+    /// Current virtual time (seconds): simulated latency plus measured
+    /// real compute.
     pub fn now(&self) -> f64 {
-        *self.inner.lock()
+        self.inner.lock().0
     }
 
-    /// Advances the clock by `dt` seconds (negative values are ignored).
+    /// The deterministic component of [`VirtualClock::now`]: only
+    /// explicit `advance` contributions, excluding measured wall time.
+    /// Two identical runs read identical values.
+    pub fn deterministic_now(&self) -> f64 {
+        self.inner.lock().1
+    }
+
+    /// Advances the clock by `dt` *virtual* seconds (negative values are
+    /// ignored). Counts toward both the total and the deterministic
+    /// component.
     pub fn advance(&self, dt: f64) {
         if dt > 0.0 && dt.is_finite() {
-            *self.inner.lock() += dt;
+            let mut t = self.inner.lock();
+            t.0 += dt;
+            t.1 += dt;
+        }
+    }
+
+    /// Advances only the total by measured wall seconds.
+    fn advance_wall(&self, dt: f64) {
+        if dt > 0.0 && dt.is_finite() {
+            self.inner.lock().0 += dt;
         }
     }
 
@@ -49,7 +77,7 @@ impl VirtualClock {
         let start = std::time::Instant::now();
         let out = f();
         let dt = start.elapsed().as_secs_f64();
-        self.advance(dt);
+        self.advance_wall(dt);
         crate::counter_add("clock.measures", 1);
         crate::histogram_record("clock.measure_s", dt);
         (out, dt)
@@ -83,6 +111,18 @@ mod tests {
         let b = a.clone();
         a.advance(1.0);
         assert_eq!(b.now(), 1.0);
+    }
+
+    #[test]
+    fn deterministic_component_excludes_measured_wall_time() {
+        let c = VirtualClock::new();
+        c.advance(2.0);
+        c.measure(|| std::thread::sleep(std::time::Duration::from_millis(3)));
+        assert!(c.now() > 2.0, "total includes measured wall time");
+        assert!(
+            (c.deterministic_now() - 2.0).abs() < 1e-12,
+            "deterministic component must see only advance()"
+        );
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Trace diffing for regression attribution.
+//!
+//! `gm-trace diff A.json B.json` answers "e2e moved by 6% — *which
+//! phase* moved?": both snapshots' span trees are aggregated
+//! flamegraph-style (siblings grouped by name, identified by their full
+//! name path from the root), aligned path-for-path, and rendered with
+//! per-node wall-time and call-count deltas. Counters and quantile
+//! sketches (p50/p99) diff alongside, so a latency shift correlates
+//! with the iteration/factorization counters that explain it.
+
+use crate::export::{find_snapshot, TelemetrySnapshot};
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// One aggregated span-tree node, identified by its name path.
+struct PathRow {
+    path: Vec<String>,
+    calls: usize,
+    total_s: f64,
+}
+
+fn aggregate_paths(
+    snap: &TelemetrySnapshot,
+    children: &BTreeMap<Option<usize>, Vec<usize>>,
+    ids: &[usize],
+    prefix: &[String],
+    rows: &mut Vec<PathRow>,
+) {
+    let mut order: Vec<&str> = Vec::new();
+    let mut groups: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for &id in ids {
+        let name = snap.spans[id].name.as_str();
+        if !groups.contains_key(name) {
+            order.push(name);
+        }
+        groups.entry(name).or_default().push(id);
+    }
+    for name in order {
+        let members = &groups[name];
+        let mut path = prefix.to_vec();
+        path.push(name.to_string());
+        rows.push(PathRow {
+            path: path.clone(),
+            calls: members.len(),
+            total_s: members
+                .iter()
+                .map(|&id| snap.spans[id].dur_s.unwrap_or(0.0))
+                .sum(),
+        });
+        let mut kid_ids: Vec<usize> = members
+            .iter()
+            .flat_map(|&id| children.get(&Some(id)).cloned().unwrap_or_default())
+            .collect();
+        kid_ids.sort_unstable();
+        if !kid_ids.is_empty() {
+            aggregate_paths(snap, children, &kid_ids, &path, rows);
+        }
+    }
+}
+
+fn span_rows(snap: &TelemetrySnapshot) -> Vec<PathRow> {
+    let mut children: BTreeMap<Option<usize>, Vec<usize>> = BTreeMap::new();
+    for s in &snap.spans {
+        children.entry(s.parent).or_default().push(s.id);
+    }
+    let roots = children.get(&None).cloned().unwrap_or_default();
+    let mut rows = Vec::new();
+    aggregate_paths(snap, &children, &roots, &[], &mut rows);
+    rows
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s.abs() >= 1.0 {
+        format!("{s:.2}s")
+    } else if s.abs() >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.0}µs", s * 1e6)
+    }
+}
+
+fn fmt_delta(a: f64, b: f64) -> String {
+    let d = b - a;
+    let sign = if d >= 0.0 { "+" } else { "-" };
+    if a > 0.0 {
+        format!(
+            "{sign}{} ({sign}{:.1}%)",
+            fmt_secs(d.abs()),
+            100.0 * d.abs() / a
+        )
+    } else {
+        format!("{sign}{}", fmt_secs(d.abs()))
+    }
+}
+
+/// Renders the aligned diff of two trace exports (`a` = baseline, `b` =
+/// candidate). Errors when either blob holds no snapshot.
+pub fn render_diff(a: &Value, b: &Value) -> Result<String, String> {
+    let sa =
+        find_snapshot(a).ok_or_else(|| "first file holds no telemetry snapshot".to_string())?;
+    let sb =
+        find_snapshot(b).ok_or_else(|| "second file holds no telemetry snapshot".to_string())?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "wall: {} -> {}  {}\n",
+        fmt_secs(sa.wall_elapsed_s),
+        fmt_secs(sb.wall_elapsed_s),
+        fmt_delta(sa.wall_elapsed_s, sb.wall_elapsed_s),
+    ));
+
+    // ---- Span tree, aligned by name path (baseline order, then new paths).
+    let rows_a = span_rows(&sa);
+    let rows_b = span_rows(&sb);
+    let b_by_path: BTreeMap<&[String], &PathRow> =
+        rows_b.iter().map(|r| (r.path.as_slice(), r)).collect();
+    let a_paths: std::collections::BTreeSet<&[String]> =
+        rows_a.iter().map(|r| r.path.as_slice()).collect();
+    if !rows_a.is_empty() || !rows_b.is_empty() {
+        out.push_str("\nspan tree (baseline -> candidate, siblings aggregated by name):\n");
+        for r in &rows_a {
+            let depth = r.path.len() - 1;
+            let name = r.path.last().map(String::as_str).unwrap_or("");
+            match b_by_path.get(r.path.as_slice()) {
+                Some(other) => {
+                    let calls = if r.calls == other.calls {
+                        format!("×{}", r.calls)
+                    } else {
+                        format!("×{}->×{}", r.calls, other.calls)
+                    };
+                    out.push_str(&format!(
+                        "  {:indent$}{name} {calls}  {} -> {}  {}\n",
+                        "",
+                        fmt_secs(r.total_s),
+                        fmt_secs(other.total_s),
+                        fmt_delta(r.total_s, other.total_s),
+                        indent = 2 * depth,
+                    ));
+                }
+                None => {
+                    out.push_str(&format!(
+                        "  {:indent$}{name} ×{}  {} -> (gone)\n",
+                        "",
+                        r.calls,
+                        fmt_secs(r.total_s),
+                        indent = 2 * depth,
+                    ));
+                }
+            }
+        }
+        for r in &rows_b {
+            if !a_paths.contains(r.path.as_slice()) {
+                let depth = r.path.len() - 1;
+                let name = r.path.last().map(String::as_str).unwrap_or("");
+                out.push_str(&format!(
+                    "  {:indent$}{name} ×{}  (new) -> {}\n",
+                    "",
+                    r.calls,
+                    fmt_secs(r.total_s),
+                    indent = 2 * depth,
+                ));
+            }
+        }
+    }
+
+    // ---- Counters (changed only).
+    let mut counter_keys: Vec<&String> = sa.counters.keys().chain(sb.counters.keys()).collect();
+    counter_keys.sort_unstable();
+    counter_keys.dedup();
+    let changed: Vec<(&String, u64, u64)> = counter_keys
+        .into_iter()
+        .map(|k| {
+            (
+                k,
+                sa.counters.get(k).copied().unwrap_or(0),
+                sb.counters.get(k).copied().unwrap_or(0),
+            )
+        })
+        .filter(|(_, va, vb)| va != vb)
+        .collect();
+    if !changed.is_empty() {
+        out.push_str("\ncounters (changed):\n");
+        let width = changed.iter().map(|(k, _, _)| k.len()).max().unwrap_or(0);
+        for (k, va, vb) in changed {
+            let d = vb as i128 - va as i128;
+            out.push_str(&format!("  {k:width$}  {va} -> {vb}  ({d:+})\n"));
+        }
+    }
+
+    // ---- Quantile sketches (p50/p99 per metric present in either).
+    let mut q_keys: Vec<&String> = sa.quantiles.keys().chain(sb.quantiles.keys()).collect();
+    q_keys.sort_unstable();
+    q_keys.dedup();
+    if !q_keys.is_empty() {
+        out.push_str("\nquantiles (p50 / p99, baseline -> candidate):\n");
+        let width = q_keys.iter().map(|k| k.len()).max().unwrap_or(0);
+        for k in q_keys {
+            let q = |snap: &TelemetrySnapshot, p: f64| {
+                snap.quantiles
+                    .get(k)
+                    .and_then(|s| s.quantile(p))
+                    .map_or_else(|| "absent".to_string(), fmt_secs)
+            };
+            out.push_str(&format!(
+                "  {k:width$}  p50 {} -> {} | p99 {} -> {}\n",
+                q(&sa, 0.5),
+                q(&sb, 0.5),
+                q(&sa, 0.99),
+                q(&sb, 0.99),
+            ));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn trace(extra_solves: usize, slow: bool) -> Value {
+        let reg = Registry::new();
+        let _g = reg.install();
+        {
+            let _a = crate::span!("coordinator.ask");
+            for _ in 0..(1 + extra_solves) {
+                let _b = crate::span!("pf.newton.solve");
+                if slow {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            }
+        }
+        crate::counter_add("pf.newton.solves", 1 + extra_solves as u64);
+        reg.record_quantile("serve.latency.pf.total_s", if slow { 0.2 } else { 0.1 });
+        reg.export()
+    }
+
+    #[test]
+    fn diff_aligns_paths_and_reports_deltas() {
+        let a = trace(0, false);
+        let b = trace(2, true);
+        let out = render_diff(&a, &b).expect("diff renders");
+        assert!(out.contains("coordinator.ask"));
+        assert!(out.contains("pf.newton.solve ×1->×3"));
+        assert!(out.contains("pf.newton.solves"));
+        assert!(out.contains("1 -> 3  (+2)"));
+        assert!(out.contains("serve.latency.pf.total_s"));
+    }
+
+    #[test]
+    fn diff_marks_new_and_gone_paths() {
+        let a = trace(0, false);
+        let reg = Registry::new();
+        {
+            let _g = reg.install();
+            let _s = crate::span!("acopf.ipm.solve");
+        }
+        let b = reg.export();
+        let out = render_diff(&a, &b).expect("diff renders");
+        assert!(out.contains("(gone)"));
+        assert!(out.contains("acopf.ipm.solve ×1  (new)"));
+    }
+
+    #[test]
+    fn diff_rejects_foreign_json() {
+        let good = trace(0, false);
+        assert!(render_diff(&serde_json::json!({"x": 1}), &good).is_err());
+        assert!(render_diff(&good, &serde_json::json!({"y": 2})).is_err());
+    }
+}

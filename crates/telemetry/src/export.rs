@@ -8,6 +8,8 @@
 //! flamegraph-style span tree (siblings aggregated by name) plus counter
 //! and histogram summary tables.
 
+use crate::flight::FlightEvent;
+use crate::quantile::QuantileSketch;
 use crate::registry::{Event, Histogram, Registry, SpanNode};
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
@@ -24,6 +26,13 @@ pub struct TelemetrySnapshot {
     pub counters: BTreeMap<String, u64>,
     /// Histograms.
     pub histograms: BTreeMap<String, Histogram>,
+    /// Quantile sketches (absent in pre-SLO exports).
+    #[serde(default)]
+    pub quantiles: BTreeMap<String, QuantileSketch>,
+    /// Flight-recorder ring contents, oldest first (absent in pre-SLO
+    /// exports).
+    #[serde(default)]
+    pub flight: Vec<FlightEvent>,
     /// Buffered events, chronological.
     pub events: Vec<Event>,
     /// Span tree (flat, parent-linked).
@@ -38,6 +47,8 @@ impl Registry {
             virtual_now_s: self.virtual_now(),
             counters: self.counters(),
             histograms: self.histograms_snapshot(),
+            quantiles: self.quantiles_snapshot(),
+            flight: self.flight_snapshot(),
             events: self.events(),
             spans: self.spans(),
         }
@@ -198,6 +209,35 @@ pub fn render_report(blob: &Value) -> Result<String, String> {
         }
     }
 
+    // ---- Quantile sketches.
+    if !snap.quantiles.is_empty() {
+        out.push_str("\nquantiles (count / p50 / p99 / max):\n");
+        let width = snap.quantiles.keys().map(|k| k.len()).max().unwrap_or(0);
+        for (k, s) in &snap.quantiles {
+            out.push_str(&format!(
+                "  {k:width$}  {} / {} / {} / {}\n",
+                s.count,
+                fmt_secs(s.quantile(0.5).unwrap_or(0.0)),
+                fmt_secs(s.quantile(0.99).unwrap_or(0.0)),
+                fmt_secs(s.max),
+            ));
+        }
+    }
+
+    // ---- Flight recorder.
+    if !snap.flight.is_empty() {
+        out.push_str(&format!(
+            "\nflight recorder ({} entries, oldest first):\n",
+            snap.flight.len()
+        ));
+        for e in &snap.flight {
+            out.push_str(&format!(
+                "  [#{:<5} v {:7.2}s] {}: {}\n",
+                e.seq, e.v_at_s, e.kind, e.detail
+            ));
+        }
+    }
+
     // ---- Events.
     if !snap.events.is_empty() {
         out.push_str("\nevents:\n");
@@ -227,16 +267,56 @@ pub const REQUIRED_SOLVER_METRICS: &[&str] = &[
     "coordinator.steps",
 ];
 
-/// Checks that every required solver metric is present and nonzero in the
-/// snapshot embedded in `blob`. Returns the list of missing/zero metric
-/// names (empty = pass).
+/// Serve-layer metrics every serve trace must additionally carry. An
+/// entry ending in `.` is a prefix family: at least one quantile sketch
+/// or counter under that prefix must be live. Exact entries are counters
+/// that must be nonzero.
+pub const REQUIRED_SERVE_METRICS: &[&str] = &[
+    "serve.requests",
+    "serve.latency.",
+    "telemetry.flight.recorded",
+];
+
+/// True when the snapshot came from a serve run (any `serve.` counter
+/// was touched) — such traces are held to [`REQUIRED_SERVE_METRICS`] on
+/// top of the solver set.
+pub fn is_serve_snapshot(snap: &TelemetrySnapshot) -> bool {
+    snap.counters.keys().any(|k| k.starts_with("serve."))
+}
+
+/// Checks that every required metric is present and nonzero in the
+/// snapshot embedded in `blob`, accumulating **all** failures rather than
+/// stopping at the first: the full solver set, plus — for serve traces —
+/// the serve latency/flight-recorder set. Returns the list of
+/// missing/zero metric names (empty = pass); prefix families are
+/// reported as `prefix.*`.
 pub fn check_required_metrics(blob: &Value) -> Result<Vec<String>, String> {
     let snap = find_snapshot(blob).ok_or_else(|| "no telemetry snapshot found".to_string())?;
-    Ok(REQUIRED_SOLVER_METRICS
+    let mut missing: Vec<String> = REQUIRED_SOLVER_METRICS
         .iter()
         .filter(|m| snap.counters.get(**m).copied().unwrap_or(0) == 0)
         .map(|m| m.to_string())
-        .collect())
+        .collect();
+    if is_serve_snapshot(&snap) {
+        for m in REQUIRED_SERVE_METRICS {
+            if m.ends_with('.') {
+                let live = snap
+                    .quantiles
+                    .iter()
+                    .any(|(k, s)| k.starts_with(*m) && s.count > 0)
+                    || snap
+                        .counters
+                        .iter()
+                        .any(|(k, v)| k.starts_with(*m) && *v > 0);
+                if !live {
+                    missing.push(format!("{m}*"));
+                }
+            } else if snap.counters.get(*m).copied().unwrap_or(0) == 0 {
+                missing.push(m.to_string());
+            }
+        }
+    }
+    Ok(missing)
 }
 
 #[cfg(test)]
@@ -298,5 +378,60 @@ mod tests {
     #[test]
     fn render_rejects_foreign_json() {
         assert!(render_report(&serde_json::json!({"x": 1})).is_err());
+    }
+
+    #[test]
+    fn pre_slo_exports_still_deserialize() {
+        // A snapshot serialized before the quantile/flight fields existed.
+        let legacy = serde_json::json!({
+            "wall_elapsed_s": 1.0,
+            "virtual_now_s": 0.0,
+            "counters": {"pf.newton.solves": 3},
+            "histograms": {},
+            "events": [],
+            "spans": [],
+        });
+        let snap = find_snapshot(&legacy).expect("legacy snapshot parses");
+        assert!(snap.quantiles.is_empty());
+        assert!(snap.flight.is_empty());
+    }
+
+    #[test]
+    fn serve_traces_demand_serve_metrics_too() {
+        let reg = populated();
+        // Mark it as a serve trace, but record none of the serve set.
+        reg.add("serve.busy_rejections", 1);
+        let missing = check_required_metrics(&reg.export()).expect("snapshot");
+        assert!(missing.contains(&"serve.requests".to_string()));
+        assert!(missing.contains(&"serve.latency.*".to_string()));
+        assert!(missing.contains(&"telemetry.flight.recorded".to_string()));
+        // Solver misses are reported in the same run, not short-circuited.
+        assert!(missing.contains(&"acopf.ipm.solves".to_string()));
+
+        // Satisfy the serve set: demands clear.
+        reg.add("serve.requests", 4);
+        reg.record_quantile("serve.latency.pf.total_s", 0.01);
+        reg.flight_record("serve.pickup", "session=0".into());
+        let missing = check_required_metrics(&reg.export()).expect("snapshot");
+        assert!(!missing.iter().any(|m| m.starts_with("serve.")));
+        assert!(!missing.contains(&"telemetry.flight.recorded".to_string()));
+    }
+
+    #[test]
+    fn non_serve_traces_skip_the_serve_set() {
+        let reg = populated();
+        let missing = check_required_metrics(&reg.export()).expect("snapshot");
+        assert!(!missing.iter().any(|m| m.starts_with("serve.")));
+    }
+
+    #[test]
+    fn report_renders_quantiles_and_flight() {
+        let reg = populated();
+        reg.record_quantile("serve.latency.pf.total_s", 0.025);
+        reg.flight_record("cache.miss", "kind=pf".into());
+        let report = render_report(&reg.export()).expect("renders");
+        assert!(report.contains("serve.latency.pf.total_s"));
+        assert!(report.contains("flight recorder (1 entries"));
+        assert!(report.contains("cache.miss: kind=pf"));
     }
 }

@@ -1,0 +1,196 @@
+//! Flight recorder: a bounded ring of recent structured events.
+//!
+//! Events ([`crate::event`]) and spans are capped and stop recording
+//! once full — right for long soaks, wrong for postmortems, where the
+//! *last* few hundred things that happened before a gate violation are
+//! exactly what's needed. The flight recorder keeps a fixed-capacity
+//! ring of [`FlightEvent`]s per registry: recording never fails, old
+//! entries are evicted (and counted) once the ring is full, and memory
+//! stays bounded no matter how long the run. Serve workers record
+//! enqueue/pickup/deadline transitions; fault injection and the
+//! recovery ladder record their firings; the cache records hit/miss
+//! outcomes. On a gate violation the per-worker rings are merged
+//! ([`crate::Registry::merge_flight`]) and dumped as JSON.
+//!
+//! Determinism: an entry carries only its sequence number, the virtual
+//! clock reading, and its kind/detail strings — no wall time — so a
+//! dump from a deterministic run is byte-identical across replays.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Default ring capacity per registry.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+/// One flight-recorder entry. Deliberately wall-clock free so dumps from
+/// deterministic runs are byte-identical.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlightEvent {
+    /// Monotone sequence number within the ring (re-assigned on merge).
+    pub seq: u64,
+    /// Virtual-clock seconds at recording (0 without an attached clock).
+    pub v_at_s: f64,
+    /// Event kind ("serve.enqueue", "fault.fired", "cache.hit", …).
+    pub kind: String,
+    /// Free-form detail ("session=3 seq=7", "site=pf.base", …).
+    pub detail: String,
+}
+
+/// Fixed-capacity ring buffer of [`FlightEvent`]s.
+#[derive(Debug)]
+pub struct FlightRing {
+    capacity: usize,
+    next_seq: u64,
+    evicted: u64,
+    events: VecDeque<FlightEvent>,
+}
+
+impl Default for FlightRing {
+    fn default() -> Self {
+        FlightRing::new(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+impl FlightRing {
+    /// Empty ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> FlightRing {
+        FlightRing {
+            capacity: capacity.max(1),
+            next_seq: 0,
+            evicted: 0,
+            events: VecDeque::new(),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resizes the ring, evicting oldest entries if shrinking below the
+    /// current length.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        while self.events.len() > self.capacity {
+            self.events.pop_front();
+            self.evicted += 1;
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full. Returns `true`
+    /// when an old entry was evicted.
+    pub fn push(&mut self, v_at_s: f64, kind: &str, detail: String) -> bool {
+        let mut evicted = false;
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.evicted += 1;
+            evicted = true;
+        }
+        self.events.push_back(FlightEvent {
+            seq: self.next_seq,
+            v_at_s,
+            kind: kind.to_string(),
+            detail,
+        });
+        self.next_seq += 1;
+        evicted
+    }
+
+    /// Entries currently held, oldest first.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total entries evicted so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Snapshot of the held entries, oldest first.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        self.events.iter().cloned().collect()
+    }
+
+    /// Appends another ring's entries (oldest first) with fresh sequence
+    /// numbers, evicting as needed. The merge order is the caller's
+    /// responsibility — the serve layer merges the server ring first,
+    /// then session rings in slot-id order, so merged dumps are
+    /// deterministic.
+    pub fn absorb(&mut self, other: &[FlightEvent]) {
+        for e in other {
+            self.push(e.v_at_s, &e.kind, e.detail.clone());
+        }
+    }
+
+    /// Drops all entries and resets sequence/eviction counts.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.next_seq = 0;
+        self.evicted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_first() {
+        let mut r = FlightRing::new(3);
+        for i in 0..5 {
+            r.push(i as f64, "k", format!("e{i}"));
+        }
+        let snap = r.snapshot();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.evicted(), 2);
+        let details: Vec<&str> = snap.iter().map(|e| e.detail.as_str()).collect();
+        assert_eq!(details, vec!["e2", "e3", "e4"]);
+        // Sequence numbers keep counting across evictions.
+        assert_eq!(snap[0].seq, 2);
+        assert_eq!(snap[2].seq, 4);
+    }
+
+    #[test]
+    fn shrink_evicts_down_to_capacity() {
+        let mut r = FlightRing::new(8);
+        for i in 0..8 {
+            r.push(0.0, "k", format!("e{i}"));
+        }
+        r.set_capacity(2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.evicted(), 6);
+        assert_eq!(r.snapshot()[0].detail, "e6");
+    }
+
+    #[test]
+    fn absorb_reassigns_sequence_numbers() {
+        let mut a = FlightRing::new(10);
+        let mut b = FlightRing::new(10);
+        a.push(1.0, "x", "a0".into());
+        b.push(2.0, "y", "b0".into());
+        b.push(3.0, "y", "b1".into());
+        a.absorb(&b.snapshot());
+        let snap = a.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(
+            snap.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(snap[1].detail, "b0");
+        assert!((snap[1].v_at_s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut r = FlightRing::new(0);
+        r.push(0.0, "k", "a".into());
+        r.push(0.0, "k", "b".into());
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.snapshot()[0].detail, "b");
+    }
+}

@@ -21,17 +21,26 @@
 //! `BENCH_*.json` files.
 
 pub mod clock;
+pub mod diff;
 pub mod export;
+pub mod flight;
+pub mod quantile;
 pub mod registry;
+pub mod slo;
 pub mod span;
 
 pub use clock::VirtualClock;
+pub use diff::render_diff;
 pub use export::{
-    check_required_metrics, find_snapshot, render_report, TelemetrySnapshot,
-    REQUIRED_SOLVER_METRICS,
+    check_required_metrics, find_snapshot, is_serve_snapshot, render_report, TelemetrySnapshot,
+    REQUIRED_SERVE_METRICS, REQUIRED_SOLVER_METRICS,
 };
+pub use flight::{FlightEvent, FlightRing, DEFAULT_FLIGHT_CAPACITY};
+pub use quantile::QuantileSketch;
 pub use registry::{
-    counter_add, current, current_span, event, histogram_record, warn_event, Event, EventLevel,
-    Histogram, InstallGuard, Registry, SpanNode, COUNT_BOUNDS, TIME_BOUNDS,
+    counter_add, current, current_span, event, flight_event, histogram_record, quantile_record,
+    warn_event, Event, EventLevel, Histogram, InstallGuard, Registry, SpanNode, COUNT_BOUNDS,
+    TIME_BOUNDS,
 };
+pub use slo::{KindSlo, SloSpec, SloViolation, SLO_KEYS};
 pub use span::SpanGuard;

@@ -15,6 +15,8 @@
 //! land in the same registry and spans nest under the sweep span.
 
 use crate::clock::VirtualClock;
+use crate::flight::{FlightEvent, FlightRing};
+use crate::quantile::QuantileSketch;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -180,6 +182,8 @@ const MAX_SPANS: usize = 65_536;
 struct Inner {
     counters: Mutex<BTreeMap<String, u64>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
+    quantiles: Mutex<BTreeMap<String, QuantileSketch>>,
+    flight: Mutex<FlightRing>,
     events: Mutex<Vec<Event>>,
     spans: Mutex<Vec<SpanNode>>,
     clock: Mutex<Option<VirtualClock>>,
@@ -329,6 +333,71 @@ impl Registry {
         self.inner.histograms.lock().clone()
     }
 
+    /// Records a sample into a named [`QuantileSketch`] (created at the
+    /// default resolution on first record).
+    pub fn record_quantile(&self, name: &str, x: f64) {
+        self.inner
+            .quantiles
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .record(x);
+    }
+
+    /// Snapshot of all quantile sketches.
+    pub fn quantiles_snapshot(&self) -> BTreeMap<String, QuantileSketch> {
+        self.inner.quantiles.lock().clone()
+    }
+
+    /// Quantile estimate from a named sketch (`None` when the sketch is
+    /// absent or empty).
+    pub fn quantile_value(&self, name: &str, q: f64) -> Option<f64> {
+        self.inner.quantiles.lock().get(name)?.quantile(q)
+    }
+
+    /// Records an entry into the flight-recorder ring, bumping
+    /// `telemetry.flight.recorded` (and `telemetry.flight.evicted` when
+    /// the ring wrapped). Entries are stamped with the *deterministic*
+    /// virtual time (simulated latency only, excluding measured real
+    /// compute — see [`VirtualClock::deterministic_now`]): dumps must be
+    /// byte-reproducible across runs, and the real-compute timeline
+    /// already lives in the span tree and latency sketches.
+    pub fn flight_record(&self, kind: &str, detail: String) {
+        let evicted = {
+            let v_now = self
+                .inner
+                .clock
+                .lock()
+                .as_ref()
+                .map_or(0.0, VirtualClock::deterministic_now);
+            self.inner.flight.lock().push(v_now, kind, detail)
+        };
+        self.add("telemetry.flight.recorded", 1);
+        if evicted {
+            self.add("telemetry.flight.evicted", 1);
+        }
+    }
+
+    /// Resizes the flight-recorder ring (evicting oldest entries when
+    /// shrinking).
+    pub fn set_flight_capacity(&self, capacity: usize) {
+        self.inner.flight.lock().set_capacity(capacity);
+    }
+
+    /// Snapshot of the flight-recorder ring, oldest first.
+    pub fn flight_snapshot(&self) -> Vec<FlightEvent> {
+        self.inner.flight.lock().snapshot()
+    }
+
+    /// Appends another registry's flight entries into this ring with
+    /// fresh sequence numbers. Call in a deterministic order (the serve
+    /// layer merges session rings in slot-id order) so merged dumps are
+    /// reproducible.
+    pub fn merge_flight(&self, other: &Registry) {
+        let theirs = other.flight_snapshot();
+        self.inner.flight.lock().absorb(&theirs);
+    }
+
     /// Pre-registers a histogram with explicit bucket edges (otherwise
     /// the first `record` picks defaults by name).
     pub fn register_histogram(&self, name: &str, bounds: &[f64]) {
@@ -413,8 +482,10 @@ impl Registry {
         }
     }
 
-    /// Merges another registry's counters and histograms into this one
-    /// (events and spans are not merged; they belong to their session).
+    /// Merges another registry's counters, histograms, and quantile
+    /// sketches into this one (events, spans, and the flight ring are
+    /// not merged; flight rings merge explicitly via
+    /// [`Registry::merge_flight`]).
     pub fn merge_metrics(&self, other: &Registry) {
         {
             let mut mine = self.inner.counters.lock();
@@ -422,11 +493,19 @@ impl Registry {
                 *mine.entry(k.clone()).or_insert(0) += v;
             }
         }
-        let mut mine = self.inner.histograms.lock();
-        for (k, h) in other.inner.histograms.lock().iter() {
+        {
+            let mut mine = self.inner.histograms.lock();
+            for (k, h) in other.inner.histograms.lock().iter() {
+                mine.entry(k.clone())
+                    .or_insert_with(|| Histogram::new(&h.bounds))
+                    .merge(h);
+            }
+        }
+        let mut mine = self.inner.quantiles.lock();
+        for (k, s) in other.inner.quantiles.lock().iter() {
             mine.entry(k.clone())
-                .or_insert_with(|| Histogram::new(&h.bounds))
-                .merge(h);
+                .or_insert_with(|| QuantileSketch::new(s.sub))
+                .merge(s);
         }
     }
 
@@ -437,6 +516,10 @@ impl Registry {
             let bounds = h.bounds.clone();
             *h = Histogram::new(&bounds);
         }
+        for s in self.inner.quantiles.lock().values_mut() {
+            *s = QuantileSketch::new(s.sub);
+        }
+        self.inner.flight.lock().clear();
         self.inner.events.lock().clear();
         self.inner.spans.lock().clear();
     }
@@ -477,6 +560,19 @@ pub fn counter_add(name: &str, delta: u64) {
 /// otherwise).
 pub fn histogram_record(name: &str, x: f64) {
     with_current(|reg, _| reg.record(name, x));
+}
+
+/// Records a quantile-sketch sample in the installed collector (no-op
+/// otherwise).
+pub fn quantile_record(name: &str, x: f64) {
+    with_current(|reg, _| reg.record_quantile(name, x));
+}
+
+/// Records a flight-recorder entry in the installed collector (no-op
+/// otherwise).
+pub fn flight_event(kind: &str, detail: impl Into<String>) {
+    let detail = detail.into();
+    with_current(|reg, _| reg.flight_record(kind, detail));
 }
 
 /// Emits an info event through the installed collector (no-op
@@ -605,8 +701,61 @@ mod tests {
         b.add("c", 2);
         a.record("h", 1.5);
         b.record("h", 2.5);
+        a.record_quantile("q_s", 0.1);
+        b.record_quantile("q_s", 0.2);
         a.merge_metrics(&b);
         assert_eq!(a.counter_value("c"), 3);
         assert_eq!(a.snapshot().histograms["h"].count, 2);
+        assert_eq!(a.snapshot().quantiles["q_s"].count, 2);
+    }
+
+    #[test]
+    fn quantile_record_lands_in_installed_collector() {
+        let r = Registry::new();
+        {
+            let _g = r.install();
+            quantile_record("serve.latency.test.total_s", 0.050);
+            quantile_record("serve.latency.test.total_s", 0.150);
+        }
+        // Nothing installed: no-op.
+        quantile_record("serve.latency.test.total_s", 9.0);
+        let p100 = r.quantile_value("serve.latency.test.total_s", 1.0).unwrap();
+        assert!((p100 - 0.150).abs() <= 0.150 * 0.022);
+        assert!(r.quantile_value("absent", 0.5).is_none());
+    }
+
+    #[test]
+    fn flight_events_count_recordings_and_evictions() {
+        let r = Registry::new();
+        r.set_flight_capacity(2);
+        let _g = r.install();
+        flight_event("serve.enqueue", "session=0 seq=0");
+        flight_event("serve.pickup", "session=0 seq=0");
+        flight_event("cache.miss", "kind=pf");
+        let snap = r.flight_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].kind, "serve.pickup");
+        assert_eq!(r.counter_value("telemetry.flight.recorded"), 3);
+        assert_eq!(r.counter_value("telemetry.flight.evicted"), 1);
+    }
+
+    #[test]
+    fn merge_flight_appends_in_call_order() {
+        let server = Registry::new();
+        let s1 = Registry::new();
+        let s2 = Registry::new();
+        server.flight_record("serve.start", "workers=2".into());
+        s1.flight_record("serve.pickup", "session=1".into());
+        s2.flight_record("serve.pickup", "session=2".into());
+        server.merge_flight(&s1);
+        server.merge_flight(&s2);
+        let snap = server.flight_snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[1].detail, "session=1");
+        assert_eq!(snap[2].detail, "session=2");
+        assert_eq!(
+            snap.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
     }
 }

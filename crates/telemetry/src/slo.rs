@@ -1,0 +1,320 @@
+//! Declarative latency SLOs evaluated against trace exports.
+//!
+//! An [`SloSpec`] is parsed from a committed `slo.toml`: one section per
+//! query kind, each carrying optional `p50_ms` / `p99_ms` / `max_ms`
+//! targets evaluated against the `serve.latency.<kind>.total_s` quantile
+//! sketch in a [`TelemetrySnapshot`]. The parser is a deliberate,
+//! tiny TOML subset (section headers, `key = <float>`, `#` comments) so
+//! the telemetry crate stays zero-dependency; unknown keys are a parse
+//! error, which keeps the spec honest when metrics are renamed (the
+//! gm-audit `telemetry-xref` lint cross-references the section names
+//! against recorded metric literals for the same reason).
+//!
+//! ```toml
+//! # slo.toml
+//! [pf]
+//! p50_ms = 40.0
+//! p99_ms = 250.0
+//! max_ms = 2000.0
+//! ```
+
+use crate::export::TelemetrySnapshot;
+use serde::{Deserialize, Serialize};
+
+/// Keys accepted inside a kind section.
+pub const SLO_KEYS: &[&str] = &["p50_ms", "p99_ms", "max_ms"];
+
+/// Per-kind latency targets (milliseconds; absent = not gated).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct KindSlo {
+    /// Query kind — names the `serve.latency.<kind>.total_s` sketch.
+    pub kind: String,
+    /// Median target.
+    pub p50_ms: Option<f64>,
+    /// Tail target.
+    pub p99_ms: Option<f64>,
+    /// Worst-case target (checked against the sketch's exact max).
+    pub max_ms: Option<f64>,
+}
+
+/// A full SLO spec: one [`KindSlo`] per `[section]`, in file order.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// Per-kind targets in declaration order.
+    pub kinds: Vec<KindSlo>,
+}
+
+/// One failed target (or a kind with targets but no recorded metric).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SloViolation {
+    /// Query kind whose target failed.
+    pub kind: String,
+    /// Which target failed ("p50_ms", "p99_ms", "max_ms", or "absent").
+    pub what: String,
+    /// Observed value in milliseconds (0 when the metric is absent).
+    pub observed_ms: f64,
+    /// The configured target in milliseconds.
+    pub target_ms: f64,
+}
+
+impl std::fmt::Display for SloViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.what == "absent" {
+            write!(
+                f,
+                "{}: serve.latency.{}.total_s absent from trace (targets configured)",
+                self.kind, self.kind
+            )
+        } else {
+            write!(
+                f,
+                "{}: {} = {:.2}ms exceeds target {:.2}ms",
+                self.kind, self.what, self.observed_ms, self.target_ms
+            )
+        }
+    }
+}
+
+impl SloSpec {
+    /// Parses the minimal-TOML spec text. Errors name the offending line.
+    pub fn parse(text: &str) -> Result<SloSpec, String> {
+        let mut spec = SloSpec::default();
+        let mut current: Option<KindSlo> = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[') {
+                let name = section
+                    .strip_suffix(']')
+                    .ok_or_else(|| format!("slo.toml:{}: unterminated section header", lineno + 1))?
+                    .trim();
+                if name.is_empty() {
+                    return Err(format!("slo.toml:{}: empty section name", lineno + 1));
+                }
+                if let Some(done) = current.take() {
+                    spec.kinds.push(done);
+                }
+                if spec.kinds.iter().any(|k| k.kind == name) {
+                    return Err(format!(
+                        "slo.toml:{}: duplicate section [{name}]",
+                        lineno + 1
+                    ));
+                }
+                current = Some(KindSlo {
+                    kind: name.to_string(),
+                    ..KindSlo::default()
+                });
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("slo.toml:{}: expected `key = value`", lineno + 1))?;
+            let key = key.trim();
+            let value: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("slo.toml:{}: `{key}` is not a number", lineno + 1))?;
+            if !value.is_finite() || value <= 0.0 {
+                return Err(format!(
+                    "slo.toml:{}: `{key}` must be a positive finite number",
+                    lineno + 1
+                ));
+            }
+            let kind = current.as_mut().ok_or_else(|| {
+                format!(
+                    "slo.toml:{}: `{key}` outside any [kind] section",
+                    lineno + 1
+                )
+            })?;
+            match key {
+                "p50_ms" => kind.p50_ms = Some(value),
+                "p99_ms" => kind.p99_ms = Some(value),
+                "max_ms" => kind.max_ms = Some(value),
+                other => {
+                    return Err(format!(
+                        "slo.toml:{}: unknown key `{other}` (expected one of {})",
+                        lineno + 1,
+                        SLO_KEYS.join(", ")
+                    ));
+                }
+            }
+        }
+        if let Some(done) = current.take() {
+            spec.kinds.push(done);
+        }
+        if spec.kinds.is_empty() {
+            return Err("slo.toml: no [kind] sections found".to_string());
+        }
+        Ok(spec)
+    }
+
+    /// Evaluates the spec against a snapshot. Empty result = every
+    /// target met. A kind with configured targets but no recorded
+    /// `serve.latency.<kind>.total_s` sketch is itself a violation — an
+    /// un-recorded metric must not silently pass the gate.
+    pub fn evaluate(&self, snap: &TelemetrySnapshot) -> Vec<SloViolation> {
+        let mut violations = Vec::new();
+        for k in &self.kinds {
+            let targets: Vec<(&str, f64)> = [
+                ("p50_ms", k.p50_ms),
+                ("p99_ms", k.p99_ms),
+                ("max_ms", k.max_ms),
+            ]
+            .iter()
+            .filter_map(|&(w, t)| t.map(|t| (w, t)))
+            .collect();
+            if targets.is_empty() {
+                continue;
+            }
+            let metric = format!("serve.latency.{}.total_s", k.kind);
+            let Some(sketch) = snap.quantiles.get(&metric).filter(|s| s.count > 0) else {
+                let worst = targets.iter().fold(0.0f64, |m, &(_, t)| m.max(t));
+                violations.push(SloViolation {
+                    kind: k.kind.clone(),
+                    what: "absent".to_string(),
+                    observed_ms: 0.0,
+                    target_ms: worst,
+                });
+                continue;
+            };
+            for (what, target_ms) in targets {
+                let observed_s = match what {
+                    "p50_ms" => sketch.quantile(0.50).unwrap_or(0.0),
+                    "p99_ms" => sketch.quantile(0.99).unwrap_or(0.0),
+                    _ => sketch.max,
+                };
+                let observed_ms = observed_s * 1e3;
+                if observed_ms > target_ms {
+                    violations.push(SloViolation {
+                        kind: k.kind.clone(),
+                        what: what.to_string(),
+                        observed_ms,
+                        target_ms,
+                    });
+                }
+            }
+        }
+        violations
+    }
+
+    /// Renders the observed-vs-target table for every kind in the spec
+    /// (the human-readable half of `gm-trace slo`).
+    pub fn render_table(&self, snap: &TelemetrySnapshot) -> String {
+        let mut out = String::from(
+            "kind          p50        p99        max        targets (p50/p99/max ms)\n",
+        );
+        for k in &self.kinds {
+            let metric = format!("serve.latency.{}.total_s", k.kind);
+            let (p50, p99, max) = snap
+                .quantiles
+                .get(&metric)
+                .filter(|s| s.count > 0)
+                .map_or((None, None, None), |s| {
+                    (s.quantile(0.5), s.quantile(0.99), Some(s.max))
+                });
+            let cell = |v: Option<f64>| {
+                v.map_or_else(|| "   absent".to_string(), |v| format!("{:8.2}ms", v * 1e3))
+            };
+            let tgt = |t: Option<f64>| t.map_or_else(|| "-".to_string(), |t| format!("{t:.0}"));
+            out.push_str(&format!(
+                "{:<12}{} {} {}  {}/{}/{}\n",
+                k.kind,
+                cell(p50),
+                cell(p99),
+                cell(max),
+                tgt(k.p50_ms),
+                tgt(k.p99_ms),
+                tgt(k.max_ms),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    const SPEC: &str = "\
+# serve latency targets
+[pf]
+p50_ms = 50.0
+p99_ms = 200.0
+max_ms = 1000.0
+
+[contingency]
+p99_ms = 500.0  # tail only
+";
+
+    #[test]
+    fn parses_sections_and_keys() {
+        let spec = SloSpec::parse(SPEC).unwrap();
+        assert_eq!(spec.kinds.len(), 2);
+        assert_eq!(spec.kinds[0].kind, "pf");
+        assert_eq!(spec.kinds[0].p50_ms, Some(50.0));
+        assert_eq!(spec.kinds[1].kind, "contingency");
+        assert!(spec.kinds[1].p50_ms.is_none());
+        assert_eq!(spec.kinds[1].p99_ms, Some(500.0));
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(SloSpec::parse("p50_ms = 1.0").is_err()); // key before section
+        assert!(SloSpec::parse("[pf]\nbogus_ms = 1.0").is_err()); // unknown key
+        assert!(SloSpec::parse("[pf]\np50_ms = fast").is_err()); // not a number
+        assert!(SloSpec::parse("[pf]\np50_ms = -3.0").is_err()); // not positive
+        assert!(SloSpec::parse("[pf\np50_ms = 1.0").is_err()); // unterminated
+        assert!(SloSpec::parse("[pf]\n[pf]").is_err()); // duplicate
+        assert!(SloSpec::parse("# only comments\n").is_err()); // empty spec
+    }
+
+    fn snapshot_with(kind: &str, samples_s: &[f64]) -> crate::TelemetrySnapshot {
+        let reg = Registry::new();
+        for &x in samples_s {
+            reg.record_quantile(&format!("serve.latency.{kind}.total_s"), x);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn evaluate_passes_when_under_targets() {
+        let spec = SloSpec::parse("[pf]\np50_ms = 100.0\np99_ms = 100.0\nmax_ms = 100.0").unwrap();
+        let snap = snapshot_with("pf", &[0.010, 0.020, 0.030]);
+        assert!(spec.evaluate(&snap).is_empty());
+    }
+
+    #[test]
+    fn evaluate_flags_each_exceeded_target() {
+        let spec = SloSpec::parse("[pf]\np50_ms = 5.0\np99_ms = 15.0\nmax_ms = 25.0").unwrap();
+        let snap = snapshot_with("pf", &[0.010, 0.020, 0.030]);
+        let v = spec.evaluate(&snap);
+        let whats: Vec<&str> = v.iter().map(|x| x.what.as_str()).collect();
+        assert_eq!(whats, vec!["p50_ms", "p99_ms", "max_ms"]);
+        assert!(v[0].observed_ms > 5.0);
+        assert!(v[0].to_string().contains("exceeds target"));
+    }
+
+    #[test]
+    fn evaluate_flags_absent_metric() {
+        let spec = SloSpec::parse("[ghost]\np99_ms = 100.0").unwrap();
+        let snap = snapshot_with("pf", &[0.010]);
+        let v = spec.evaluate(&snap);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].what, "absent");
+        assert!(v[0].to_string().contains("serve.latency.ghost.total_s"));
+    }
+
+    #[test]
+    fn table_renders_observed_and_targets() {
+        let spec = SloSpec::parse(SPEC).unwrap();
+        let snap = snapshot_with("pf", &[0.010, 0.020]);
+        let table = spec.render_table(&snap);
+        assert!(table.contains("pf"));
+        assert!(table.contains("contingency"));
+        assert!(table.contains("absent"));
+        assert!(table.contains("50/200/1000"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests pinning the log-linear quantile sketch against exact
+//! nearest-rank percentiles — the soundness contract behind every
+//! `serve.latency.*` target in `slo.toml`. The documented guarantee is
+//! a relative error of at most `γ − 1` (≈2.2% at the default 32
+//! sub-buckets per octave) for samples ≥ 1 ns, and it must survive the
+//! production topology: per-worker registries merged into one at server
+//! shutdown, queried only after the merge.
+
+use gm_telemetry::{QuantileSketch, Registry};
+use proptest::prelude::*;
+
+/// Nearest-rank percentile over a sorted slice: the value at rank
+/// `⌈q·n⌉` (clamped to `[1, n]`) — the definition `QuantileSketch`
+/// approximates.
+fn exact_percentile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+fn sorted(samples: &[f64]) -> Vec<f64> {
+    let mut xs = samples.to_vec();
+    xs.sort_by(f64::total_cmp);
+    xs
+}
+
+proptest! {
+    /// Every quantile of every sample set (spanning ten orders of
+    /// magnitude, all above `BASE`) estimates within the documented
+    /// relative-error bound of the exact nearest-rank percentile.
+    #[test]
+    fn quantiles_stay_within_the_documented_relative_error(
+        samples in proptest::collection::vec(1e-6f64..1e4, 1..400),
+        qs in proptest::collection::vec(0.0f64..=1.0, 1..8),
+    ) {
+        let mut sketch = QuantileSketch::default();
+        for &x in &samples {
+            sketch.record(x);
+        }
+        let xs = sorted(&samples);
+        let bound = sketch.relative_error_bound();
+        for &q in &qs {
+            let exact = exact_percentile(&xs, q);
+            let est = sketch.quantile(q).expect("non-empty sketch");
+            prop_assert!(
+                (est - exact).abs() <= exact * bound + 1e-12,
+                "q={q}: est {est} vs exact {exact} (bound {bound})"
+            );
+        }
+    }
+
+    /// The bound survives merge-then-query across three worker
+    /// registries — elementwise bucket addition loses nothing, so the
+    /// merged sketch answers for the union exactly as one sketch that
+    /// saw every sample would.
+    #[test]
+    fn merge_then_query_across_three_registries_holds_the_bound(
+        a in proptest::collection::vec(1e-6f64..1e4, 1..150),
+        b in proptest::collection::vec(1e-6f64..1e4, 1..150),
+        c in proptest::collection::vec(1e-6f64..1e4, 1..150),
+    ) {
+        let workers = [Registry::new(), Registry::new(), Registry::new()];
+        for (reg, shard) in workers.iter().zip([&a, &b, &c]) {
+            for &x in shard.iter() {
+                reg.record_quantile("serve.latency.pf.total_s", x);
+            }
+        }
+        let server = Registry::new();
+        for reg in &workers {
+            server.merge_metrics(reg);
+        }
+        let union = sorted(&a.iter().chain(&b).chain(&c).copied().collect::<Vec<_>>());
+        let bound = QuantileSketch::default().relative_error_bound();
+        for q in [0.05, 0.5, 0.9, 0.99, 1.0] {
+            let exact = exact_percentile(&union, q);
+            let est = server
+                .quantile_value("serve.latency.pf.total_s", q)
+                .expect("merged sketch is non-empty");
+            prop_assert!(
+                (est - exact).abs() <= exact * bound + 1e-12,
+                "q={q}: merged est {est} vs exact {exact} (bound {bound})"
+            );
+        }
+    }
+}
