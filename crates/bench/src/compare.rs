@@ -177,6 +177,26 @@ fn wall_paths(artifact: &str, doc: &Value) -> Vec<(String, f64)> {
                 }
             }
         }
+        Some("ca") => {
+            // Contingency cascade artifact: brute and cascade sweep means
+            // are gated independently per case, so the cascade slowly
+            // converging back toward brute cost is caught even while it
+            // still nominally "beats" it (bench_ca enforces the
+            // cascade-beats-brute invariant itself on every run).
+            if let Some(cases) = doc.get("cases").and_then(Value::as_object) {
+                for (case, v) in cases {
+                    for kind in ["brute", "cascade"] {
+                        if let Some(mean) = v
+                            .get(kind)
+                            .and_then(|s| s.get("mean_s"))
+                            .and_then(Value::as_f64)
+                        {
+                            out.push((format!("cases.{case}.{kind}.mean_s"), mean));
+                        }
+                    }
+                }
+            }
+        }
         Some("e2e") => {
             if let Some(w) = doc.get("wall_elapsed_s").and_then(Value::as_f64) {
                 out.push(("wall_elapsed_s".to_string(), w));
@@ -405,6 +425,44 @@ mod tests {
         );
         assert!(rep.passed(), "{:?}", rep.failures());
         assert_eq!(rep.walls_checked, 0);
+    }
+
+    #[test]
+    fn ca_doc_gates_brute_and_cascade_means() {
+        let ca_doc = |brute: f64, cascade: f64, screened: u64| {
+            json!({
+                "bench": "ca",
+                "cases": { "Ieee118": {
+                    "brute": { "mean_s": brute, "runs": 3 },
+                    "cascade": { "mean_s": cascade, "runs": 3 },
+                    "speedup": brute / cascade,
+                } },
+                "telemetry": { "counters": { "ca.screen.screened_out": screened } },
+            })
+        };
+        let base = ca_doc(0.200, 0.080, 120);
+        let ok = ca_doc(0.210, 0.085, 130);
+        let rep = compare_artifact("BENCH_ca.json", &base, &ok, Tolerances::uniform(0.25));
+        assert!(rep.passed(), "{:?}", rep.failures());
+        assert_eq!(rep.walls_checked, 2);
+
+        // The cascade regressing alone fails even while still beating
+        // brute in absolute terms.
+        let slow_cascade = ca_doc(0.200, 0.150, 120);
+        let rep = compare_artifact(
+            "BENCH_ca.json",
+            &base,
+            &slow_cascade,
+            Tolerances::uniform(0.25),
+        );
+        assert_eq!(rep.slower.len(), 1);
+        assert_eq!(rep.slower[0].metric, "cases.Ieee118.cascade.mean_s");
+
+        // The screen silently never engaging is a dead counter.
+        let dark = ca_doc(0.200, 0.080, 0);
+        let rep = compare_artifact("BENCH_ca.json", &base, &dark, Tolerances::uniform(0.25));
+        assert_eq!(rep.dead_counters.len(), 1);
+        assert_eq!(rep.dead_counters[0].metric, "ca.screen.screened_out");
     }
 
     fn serve_doc(pf_p50: f64, pf_p99: f64, status_p99: f64) -> Value {

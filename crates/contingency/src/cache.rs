@@ -6,7 +6,7 @@
 //! per-outage power flow that is still fresh, and invalidates naturally
 //! when the diff log changes the network.
 
-use crate::types::ContingencyOutcome;
+use crate::types::{ContingencyOutcome, SweepMode};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 
@@ -19,6 +19,10 @@ pub struct CacheKey {
     pub outage_branch: usize,
     /// Hash of the applied modification log.
     pub diff_hash: u64,
+    /// Sweep mode the outcome was produced under. Cascade outcomes
+    /// (screened estimates, compensated solves) and brute outcomes agree
+    /// to solver tolerance but not bit-for-bit, so they must never alias.
+    pub mode: SweepMode,
 }
 
 /// Thread-safe per-outage result cache with hit/miss accounting.
@@ -103,7 +107,19 @@ mod tests {
             case: case.into(),
             outage_branch: branch,
             diff_hash: diff,
+            mode: SweepMode::Brute,
         }
+    }
+
+    #[test]
+    fn mode_keys_do_not_alias() {
+        let cache = ContingencyCache::new();
+        cache.put(key("c14", 0, 1), outcome(0));
+        let cascade = CacheKey {
+            mode: SweepMode::Cascade,
+            ..key("c14", 0, 1)
+        };
+        assert!(cache.get(&cascade).is_none());
     }
 
     #[test]

@@ -1,17 +1,32 @@
 //! The N-1 sweep engine.
 //!
-//! Enumerates single-element outages (lines and transformers), solves the
-//! post-contingency AC power flow for each — warm-started from the base
-//! solution, with a flat-start retry on divergence (the paper's automatic
-//! recovery path) — and scans for thermal and voltage violations. The
-//! sweep is embarrassingly parallel and runs on rayon by default; the
+//! Enumerates single-element outages (lines and transformers) and scans
+//! each post-contingency state for thermal and voltage violations. Three
+//! sweep modes share the enumeration, caching, and report machinery:
+//!
+//! - **Brute** — one full AC power flow per outage, warm-started from the
+//!   base solution with a flat-start retry on divergence (the paper's
+//!   reference sweep and automatic recovery path).
+//! - **Cascade** (default) — the multi-fidelity screen-then-verify
+//!   architecture: LODFs computed once rank every outage by DC-estimated
+//!   post-outage loading; outages above the screening cutoff (plus a
+//!   safety band of top-ranked ones) are AC-verified against the
+//!   base-case Jacobian factorization via Woodbury compensation, with the
+//!   full-Newton path as fallback when compensation is ill-conditioned,
+//!   stalls, or the outage islands the network.
+//! - **Screened** — the pure-DC ablation: flagged outages get a full AC
+//!   solve, everything else is classified from the linear estimate alone.
+//!
+//! The sweep is embarrassingly parallel and runs on rayon by default; the
 //! serial path is kept for the ablation benchmark.
 
 use crate::ranking::rank;
-use crate::types::{ContingencyOutcome, ContingencyReport, Outage, RankingStrategy, Violation};
+use crate::types::{
+    ContingencyOutcome, ContingencyReport, Outage, RankingStrategy, SweepMode, Violation,
+};
 use gm_network::{topology, BranchKind, Network};
 use gm_numeric::Complex;
-use gm_powerflow::{solve_from_with_engine, PfOptions, PfReport};
+use gm_powerflow::{solve_from_with_engine, CompensationBase, PfOptions, PfReport, Sensitivities};
 use gm_sparse::LuEngine;
 use rayon::prelude::*;
 
@@ -40,6 +55,19 @@ pub struct CaOptions {
     pub parallel: bool,
     /// Ranking strategy for the criticality list.
     pub strategy: RankingStrategy,
+    /// Sweep fidelity mode (default: the screening cascade).
+    pub mode: SweepMode,
+    /// Cascade/screened: an outage is a suspect when its DC-estimated
+    /// worst post-outage loading reaches this fraction of any rating.
+    pub screen_margin: f64,
+    /// Cascade/screened: safety band subtracted from the margin — the
+    /// effective cutoff is `screen_margin - screen_band`, absorbing the
+    /// DC estimate's systematic underestimate of MVA loading.
+    pub screen_band: f64,
+    /// Cascade: this many top-DC-ranked outages are AC-verified even when
+    /// they fall below the cutoff, so the head of the criticality ranking
+    /// always rests on AC solutions.
+    pub screen_top_k: usize,
     /// Power flow controls for the post-contingency solves.
     pub pf: PfOptions,
 }
@@ -54,6 +82,10 @@ impl Default for CaOptions {
             include_trafos: true,
             parallel: true,
             strategy: RankingStrategy::Composite,
+            mode: SweepMode::Cascade,
+            screen_margin: 1.0,
+            screen_band: 0.15,
+            screen_top_k: 8,
             pf: PfOptions {
                 enforce_q_limits: false,
                 max_iter: 25,
@@ -66,10 +98,10 @@ impl Default for CaOptions {
 impl CaOptions {
     /// Deterministic fingerprint of every sweep control that can affect
     /// the report (voltage band, thermal threshold, scope, ranking
-    /// strategy, inner power-flow options), for cross-session
-    /// solver-cache keys (gm-serve). FNV-1a over the canonical debug
-    /// rendering; `parallel` is excluded because serial and parallel
-    /// sweeps produce identical reports.
+    /// strategy, sweep mode and screening knobs, inner power-flow
+    /// options), for cross-session solver-cache keys (gm-serve). FNV-1a
+    /// over the canonical debug rendering; `parallel` is excluded because
+    /// serial and parallel sweeps produce identical reports.
     pub fn fingerprint(&self) -> u64 {
         let scrubbed = CaOptions {
             parallel: true,
@@ -83,6 +115,11 @@ impl CaOptions {
         }
         h
     }
+
+    /// Effective DC screening cutoff (fraction of rating).
+    pub fn screen_cutoff(&self) -> f64 {
+        (self.screen_margin - self.screen_band).max(0.0)
+    }
 }
 
 /// Solves the base case (no outages) with the sweep's power flow options.
@@ -90,49 +127,9 @@ pub fn solve_base(net: &Network, opts: &CaOptions) -> Result<PfReport, gm_powerf
     gm_powerflow::solve(net, &opts.pf)
 }
 
-/// Runs the full N-1 study.
-///
-/// `base` may be a previously solved base-case report (its voltages warm
-/// start each outage solve); when `None` the base case is solved first.
-pub fn run_n1(
-    net: &Network,
-    opts: &CaOptions,
-    base: Option<&PfReport>,
-) -> Result<ContingencyReport, gm_powerflow::PfError> {
-    run_n1_cached(net, opts, base, None)
-}
-
-/// Runs the full N-1 study with a per-outage result cache (§3.4: "each
-/// outage evaluation is cached under a composite key (case + outage +
-/// diff hash)").
-///
-/// `cache` is `(cache, diff_hash)`: outcomes are looked up / stored under
-/// the network's case name, branch index, and the supplied hash, so a
-/// repeated compound request recomputes only what the diff log staled.
-pub fn run_n1_cached(
-    net: &Network,
-    opts: &CaOptions,
-    base: Option<&PfReport>,
-    cache: Option<(&crate::cache::ContingencyCache, u64)>,
-) -> Result<ContingencyReport, gm_powerflow::PfError> {
-    let sweep_span = gm_telemetry::span!("ca.sweep", case = net.name, mode = "full");
-    let started = std::time::Instant::now();
-    let owned_base;
-    let base = match base {
-        Some(b) => b,
-        None => {
-            owned_base = solve_base(net, opts)?;
-            &owned_base
-        }
-    };
-    let v0: Vec<Complex> = base
-        .buses
-        .iter()
-        .map(|b| Complex::from_polar(b.vm_pu, b.va_deg.to_radians()))
-        .collect();
-
-    // Element enumeration with kind-relative indices (PandaPower-style
-    // "line 6" / "trafo 0" labels).
+/// Enumerates the outage targets with kind-relative indices
+/// (PandaPower-style "line 6" / "trafo 0" labels).
+pub(crate) fn enumerate_targets(net: &Network, opts: &CaOptions) -> Vec<(Outage, usize)> {
     let mut targets: Vec<(Outage, usize)> = Vec::new();
     let mut line_idx = 0usize;
     let mut trafo_idx = 0usize;
@@ -159,6 +156,114 @@ pub fn run_n1_cached(
             ));
         }
     }
+    targets
+}
+
+/// Assembles the sweep report from per-outage outcomes.
+fn assemble_report(
+    net: &Network,
+    opts: &CaOptions,
+    outcomes: Vec<ContingencyOutcome>,
+    started: std::time::Instant,
+    mode: SweepMode,
+) -> ContingencyReport {
+    let total_violations: usize = outcomes.iter().map(|o| o.violations.len()).sum();
+    let outages_with_overloads = outcomes.iter().filter(|o| o.n_thermal() > 0).count();
+    let outages_with_voltage_issues = outcomes.iter().filter(|o| o.n_voltage() > 0).count();
+    let max_overload_pct = outcomes
+        .iter()
+        .enumerate()
+        .map(|(i, o)| (o.max_loading_pct, i))
+        .fold((0.0f64, 0usize), |acc, v| if v.0 > acc.0 { v } else { acc });
+    let ranking = rank(&outcomes, opts.strategy);
+    let ac_verified = outcomes.iter().filter(|o| o.ac_solved).count();
+    let screened_out = outcomes
+        .iter()
+        .filter(|o| !o.ac_solved && !o.islands)
+        .count();
+
+    ContingencyReport {
+        case_name: net.name.clone(),
+        n_contingencies: outcomes.len(),
+        n_lines: outcomes
+            .iter()
+            .filter(|o| o.outage.kind == BranchKind::Line)
+            .count(),
+        n_trafos: outcomes
+            .iter()
+            .filter(|o| o.outage.kind == BranchKind::Transformer)
+            .count(),
+        outcomes,
+        total_violations,
+        outages_with_overloads,
+        outages_with_voltage_issues,
+        max_overload_pct,
+        ranking,
+        voltage_band: (opts.vmin_pu, opts.vmax_pu),
+        sweep_time_s: started.elapsed().as_secs_f64(),
+        parallel: opts.parallel,
+        mode,
+        screened_out,
+        ac_verified,
+    }
+}
+
+/// Runs the N-1 study in the mode selected by `opts.mode`.
+///
+/// `base` may be a previously solved base-case report (its voltages warm
+/// start each outage solve); when `None` the base case is solved first.
+pub fn run_n1(
+    net: &Network,
+    opts: &CaOptions,
+    base: Option<&PfReport>,
+) -> Result<ContingencyReport, gm_powerflow::PfError> {
+    run_n1_cached(net, opts, base, None)
+}
+
+/// Runs the N-1 study with a per-outage result cache (§3.4: "each
+/// outage evaluation is cached under a composite key (case + outage +
+/// diff hash)").
+///
+/// `cache` is `(cache, diff_hash)`: outcomes are looked up / stored under
+/// the network's case name, branch index, the supplied hash, and the
+/// sweep mode, so a repeated compound request recomputes only what the
+/// diff log staled — and cascade results never alias brute ones.
+pub fn run_n1_cached(
+    net: &Network,
+    opts: &CaOptions,
+    base: Option<&PfReport>,
+    cache: Option<(&crate::cache::ContingencyCache, u64)>,
+) -> Result<ContingencyReport, gm_powerflow::PfError> {
+    match opts.mode {
+        SweepMode::Brute => run_brute(net, opts, base, cache),
+        SweepMode::Cascade => run_cascade(net, opts, base, cache),
+        SweepMode::Screened => run_n1_screened(net, opts, base, opts.screen_cutoff()),
+    }
+}
+
+fn run_brute(
+    net: &Network,
+    opts: &CaOptions,
+    base: Option<&PfReport>,
+    cache: Option<(&crate::cache::ContingencyCache, u64)>,
+) -> Result<ContingencyReport, gm_powerflow::PfError> {
+    let sweep_span = gm_telemetry::span!("ca.sweep", case = net.name, mode = "full");
+    let started = std::time::Instant::now();
+    let owned_base;
+    let base = match base {
+        Some(b) => b,
+        None => {
+            owned_base = solve_base(net, opts)?;
+            &owned_base
+        }
+    };
+    let v0: Vec<Complex> = base
+        .buses
+        .iter()
+        .map(|b| Complex::from_polar(b.vm_pu, b.va_deg.to_radians()))
+        .collect();
+
+    let targets = enumerate_targets(net, opts);
 
     let eval = |engine: &mut LuEngine,
                 &(outage, kind_index): &(Outage, usize)|
@@ -168,6 +273,7 @@ pub fn run_n1_cached(
                 case: net.name.clone(),
                 outage_branch: outage.branch,
                 diff_hash,
+                mode: SweepMode::Brute,
             };
             if let Some(hit) = cache.get(&key) {
                 return hit;
@@ -204,37 +310,210 @@ pub fn run_n1_cached(
         targets.iter().map(|t| eval(&mut engine, t)).collect()
     };
 
-    let total_violations: usize = outcomes.iter().map(|o| o.violations.len()).sum();
-    let outages_with_overloads = outcomes.iter().filter(|o| o.n_thermal() > 0).count();
-    let outages_with_voltage_issues = outcomes.iter().filter(|o| o.n_voltage() > 0).count();
-    let max_overload_pct = outcomes
-        .iter()
-        .enumerate()
-        .map(|(i, o)| (o.max_loading_pct, i))
-        .fold((0.0f64, 0usize), |acc, v| if v.0 > acc.0 { v } else { acc });
-    let ranking = rank(&outcomes, opts.strategy);
-
-    Ok(ContingencyReport {
-        case_name: net.name.clone(),
-        n_contingencies: outcomes.len(),
-        n_lines: outcomes
-            .iter()
-            .filter(|o| o.outage.kind == BranchKind::Line)
-            .count(),
-        n_trafos: outcomes
-            .iter()
-            .filter(|o| o.outage.kind == BranchKind::Transformer)
-            .count(),
+    Ok(assemble_report(
+        net,
+        opts,
         outcomes,
-        total_violations,
-        outages_with_overloads,
-        outages_with_voltage_issues,
-        max_overload_pct,
-        ranking,
-        voltage_band: (opts.vmin_pu, opts.vmax_pu),
-        sweep_time_s: started.elapsed().as_secs_f64(),
-        parallel: opts.parallel,
-    })
+        started,
+        SweepMode::Brute,
+    ))
+}
+
+/// The multi-fidelity screening cascade (default sweep mode).
+///
+/// Phase 1 — screen: compute LODFs once from the base-case PTDF
+/// machinery and rank every outage by its DC-estimated worst post-outage
+/// MVA loading against ratings. Phase 2 — verify: outages at or above
+/// `opts.screen_cutoff()`, the `opts.screen_top_k` DC-ranked head, and
+/// anything the linear model cannot screen (islanding columns) get an AC
+/// verification. Each verified solve goes through the base-case Jacobian
+/// factorization with a Woodbury outage-block correction
+/// ([`gm_powerflow::CompensationBase`]); ill-conditioned or stalled
+/// compensations fall back to the full-Newton [`LuEngine`] path, and
+/// islanding outages never reach a solver at all. Screened-out outages
+/// are classified secure from the DC estimate with `ac_solved = false`
+/// and counted honestly in the report.
+fn run_cascade(
+    net: &Network,
+    opts: &CaOptions,
+    base: Option<&PfReport>,
+    cache: Option<(&crate::cache::ContingencyCache, u64)>,
+) -> Result<ContingencyReport, gm_powerflow::PfError> {
+    let sweep_span = gm_telemetry::span!("ca.sweep", case = net.name, mode = "cascade");
+    let started = std::time::Instant::now();
+    let owned_base;
+    let base = match base {
+        Some(b) => b,
+        None => {
+            owned_base = solve_base(net, opts)?;
+            &owned_base
+        }
+    };
+    let v0: Vec<Complex> = base
+        .buses
+        .iter()
+        .map(|b| Complex::from_polar(b.vm_pu, b.va_deg.to_radians()))
+        .collect();
+
+    // Phase 1: the DC screen. When the linear model itself is
+    // unavailable (e.g. a degenerate network), the cascade degrades to
+    // the brute sweep rather than guessing.
+    let sens = match gm_powerflow::sensitivities_for_screening(net) {
+        Ok(s) => s,
+        Err(_) => {
+            gm_telemetry::counter_add("ca.screen.unavailable", 1);
+            return run_brute(net, opts, Some(base), cache);
+        }
+    };
+    let base_p: Vec<f64> = base.branches.iter().map(|b| b.p_from_mw).collect();
+    let base_q: Vec<f64> = base
+        .branches
+        .iter()
+        .map(|b| b.q_from_mvar.abs().max(b.q_to_mvar.abs()))
+        .collect();
+
+    let targets = enumerate_targets(net, opts);
+    let estimates: Vec<Option<f64>> = targets
+        .iter()
+        .map(|&(outage, _)| {
+            sens.worst_post_outage_loading_mva(net, &base_p, &base_q, outage.branch)
+        })
+        .collect();
+
+    // Suspect set: estimate at or above the cutoff, unscreenable
+    // (islanding column), or within the top-k safety band of the DC
+    // ranking. A network with no rated branches gives the thermal screen
+    // no signal at all — drop the cutoff below zero so every outage is
+    // verified (the compensated sweep still beats brute) instead of
+    // silently classifying everything secure.
+    let rated = net
+        .branches
+        .iter()
+        .any(|b| b.in_service && b.rating_mva > 0.0);
+    if !rated {
+        gm_telemetry::counter_add("ca.screen.unrated", 1);
+    }
+    let cutoff = if rated { opts.screen_cutoff() } else { -1.0 };
+    let mut order: Vec<usize> = (0..targets.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ea = estimates[a].unwrap_or(f64::INFINITY);
+        let eb = estimates[b].unwrap_or(f64::INFINITY);
+        eb.total_cmp(&ea).then(a.cmp(&b))
+    });
+    let mut verify = vec![false; targets.len()];
+    for (pos, &ti) in order.iter().enumerate() {
+        verify[ti] = pos < opts.screen_top_k
+            || match estimates[ti] {
+                None => true,
+                Some(e) => e >= cutoff,
+            };
+    }
+    let n_screened_out = verify.iter().filter(|&&v| !v).count() as u64;
+    let n_verified = verify.len() as u64 - n_screened_out;
+    gm_telemetry::counter_add("ca.screen.screened_out", n_screened_out);
+    gm_telemetry::counter_add("ca.screen.verified", n_verified);
+
+    // Phase 2: AC verification of the suspect set against the base-case
+    // factorization. A failed base build (e.g. Q-limit options) routes
+    // every suspect through the full-Newton fallback.
+    let comp_base = match CompensationBase::new(net, &opts.pf, base) {
+        Ok(cb) => Some(cb),
+        Err(e) => {
+            gm_telemetry::warn_event("ca.screen", format!("compensation base unavailable: {e}"));
+            None
+        }
+    };
+
+    let eval = |engine: &mut LuEngine, idx: usize| -> ContingencyOutcome {
+        let (outage, kind_index) = targets[idx];
+        if !verify[idx] {
+            return screened_out_outcome(base, outage, kind_index, estimates[idx].unwrap_or(0.0));
+        }
+        if let Some((cache, diff_hash)) = cache {
+            let key = crate::cache::CacheKey {
+                case: net.name.clone(),
+                outage_branch: outage.branch,
+                diff_hash,
+                mode: SweepMode::Cascade,
+            };
+            if let Some(hit) = cache.get(&key) {
+                return hit;
+            }
+            let outcome = evaluate_outage_cascade(
+                net,
+                opts,
+                comp_base.as_ref(),
+                &v0,
+                outage,
+                kind_index,
+                estimates[idx],
+                engine,
+            );
+            cache.put(key, outcome.clone());
+            return outcome;
+        }
+        evaluate_outage_cascade(
+            net,
+            opts,
+            comp_base.as_ref(),
+            &v0,
+            outage,
+            kind_index,
+            estimates[idx],
+            engine,
+        )
+    };
+
+    let indices: Vec<usize> = (0..targets.len()).collect();
+    let outcomes: Vec<ContingencyOutcome> = if opts.parallel {
+        let collector = gm_telemetry::current();
+        let parent = sweep_span.id();
+        indices
+            .par_iter()
+            .map_init(
+                || {
+                    (
+                        collector.as_ref().map(|reg| reg.install_scoped(parent)),
+                        LuEngine::with_capacity(SWEEP_ENGINE_SLOTS),
+                    )
+                },
+                |(_worker, engine), &idx| eval(engine, idx),
+            )
+            .collect()
+    } else {
+        let mut engine = LuEngine::with_capacity(SWEEP_ENGINE_SLOTS);
+        indices.iter().map(|&idx| eval(&mut engine, idx)).collect()
+    };
+
+    Ok(assemble_report(
+        net,
+        opts,
+        outcomes,
+        started,
+        SweepMode::Cascade,
+    ))
+}
+
+/// The DC-secure outcome for a screened-out outage: no AC solve, loading
+/// carried from the linear estimate, voltage carried from the base case.
+fn screened_out_outcome(
+    base: &PfReport,
+    outage: Outage,
+    kind_index: usize,
+    estimate: f64,
+) -> ContingencyOutcome {
+    ContingencyOutcome {
+        outage,
+        kind_index,
+        converged: true,
+        islands: false,
+        stranded_buses: 0,
+        violations: Vec::new(),
+        max_loading_pct: 100.0 * estimate,
+        min_vm: base.min_vm,
+        load_shed_mw: 0.0,
+        ac_solved: false,
+    }
 }
 
 /// Runs the N-1 study with DC (LODF) screening: outages whose estimated
@@ -275,32 +554,7 @@ pub fn run_n1_screened(
         .map(|b| b.q_from_mvar.abs().max(b.q_to_mvar.abs()))
         .collect();
 
-    let mut targets: Vec<(Outage, usize)> = Vec::new();
-    let mut line_idx = 0usize;
-    let mut trafo_idx = 0usize;
-    for (bi, br) in net.branches.iter().enumerate() {
-        let (kind_index, include) = match br.kind {
-            BranchKind::Line => {
-                let k = line_idx;
-                line_idx += 1;
-                (k, opts.include_lines)
-            }
-            BranchKind::Transformer => {
-                let k = trafo_idx;
-                trafo_idx += 1;
-                (k, opts.include_trafos)
-            }
-        };
-        if include && br.in_service {
-            targets.push((
-                Outage {
-                    branch: bi,
-                    kind: br.kind,
-                },
-                kind_index,
-            ));
-        }
-    }
+    let targets = enumerate_targets(net, opts);
 
     let eval =
         |engine: &mut LuEngine, &(outage, kind_index): &(Outage, usize)| -> ContingencyOutcome {
@@ -312,18 +566,7 @@ pub fn run_n1_screened(
                 }
                 Some(worst) => {
                     gm_telemetry::counter_add("ca.screen.skipped", 1);
-                    ContingencyOutcome {
-                        outage,
-                        kind_index,
-                        converged: true,
-                        islands: false,
-                        stranded_buses: 0,
-                        violations: Vec::new(),
-                        max_loading_pct: 100.0 * worst,
-                        min_vm: base.min_vm,
-                        load_shed_mw: 0.0,
-                        ac_solved: false,
-                    }
+                    screened_out_outcome(base, outage, kind_index, worst)
                 }
             }
         };
@@ -347,37 +590,13 @@ pub fn run_n1_screened(
         targets.iter().map(|t| eval(&mut engine, t)).collect()
     };
 
-    let total_violations: usize = outcomes.iter().map(|o| o.violations.len()).sum();
-    let outages_with_overloads = outcomes.iter().filter(|o| o.n_thermal() > 0).count();
-    let outages_with_voltage_issues = outcomes.iter().filter(|o| o.n_voltage() > 0).count();
-    let max_overload_pct = outcomes
-        .iter()
-        .enumerate()
-        .map(|(i, o)| (o.max_loading_pct, i))
-        .fold((0.0f64, 0usize), |acc, v| if v.0 > acc.0 { v } else { acc });
-    let ranking = rank(&outcomes, opts.strategy);
-
-    Ok(ContingencyReport {
-        case_name: net.name.clone(),
-        n_contingencies: outcomes.len(),
-        n_lines: outcomes
-            .iter()
-            .filter(|o| o.outage.kind == BranchKind::Line)
-            .count(),
-        n_trafos: outcomes
-            .iter()
-            .filter(|o| o.outage.kind == BranchKind::Transformer)
-            .count(),
+    Ok(assemble_report(
+        net,
+        opts,
         outcomes,
-        total_violations,
-        outages_with_overloads,
-        outages_with_voltage_issues,
-        max_overload_pct,
-        ranking,
-        voltage_band: (opts.vmin_pu, opts.vmax_pu),
-        sweep_time_s: started.elapsed().as_secs_f64(),
-        parallel: opts.parallel,
-    })
+        started,
+        SweepMode::Screened,
+    ))
 }
 
 /// Analyzes one specific outage (the `analyze_specific_contingency` tool).
@@ -389,6 +608,79 @@ pub fn evaluate_outage(
     kind_index: usize,
 ) -> ContingencyOutcome {
     evaluate_outage_with_engine(net, opts, v0, outage, kind_index, &mut LuEngine::new())
+}
+
+/// The islanding outcome shared by every evaluation path. Islanding is
+/// detected from topology before any solver runs — compensation is never
+/// attempted for a bridge outage.
+fn islanding_outcome(
+    net: &Network,
+    outage: Outage,
+    kind_index: usize,
+    stranded: &[usize],
+) -> ContingencyOutcome {
+    gm_telemetry::counter_add("ca.islanded", 1);
+    let load_shed: f64 = net
+        .loads
+        .iter()
+        .filter(|l| l.in_service && stranded.contains(&l.bus))
+        .map(|l| l.p_mw)
+        .sum();
+    ContingencyOutcome {
+        outage,
+        kind_index,
+        converged: false,
+        islands: true,
+        stranded_buses: stranded.len(),
+        violations: Vec::new(),
+        max_loading_pct: 0.0,
+        min_vm: (0.0, 0),
+        load_shed_mw: load_shed,
+        ac_solved: false,
+    }
+}
+
+/// Scans a solved post-outage report for violations.
+fn outcome_from_pf(
+    rep: &PfReport,
+    opts: &CaOptions,
+    outage: Outage,
+    kind_index: usize,
+) -> ContingencyOutcome {
+    let mut violations = Vec::new();
+    for bf in &rep.branches {
+        if bf.loading_pct > opts.thermal_threshold_pct {
+            violations.push(Violation::ThermalOverload {
+                branch: bf.index,
+                loading_pct: bf.loading_pct,
+            });
+        }
+    }
+    for b in &rep.buses {
+        if b.vm_pu < opts.vmin_pu {
+            violations.push(Violation::LowVoltage {
+                bus_id: b.id,
+                vm_pu: b.vm_pu,
+            });
+        } else if b.vm_pu > opts.vmax_pu {
+            violations.push(Violation::HighVoltage {
+                bus_id: b.id,
+                vm_pu: b.vm_pu,
+            });
+        }
+    }
+    ContingencyOutcome {
+        outage,
+        kind_index,
+        converged: true,
+        islands: false,
+        stranded_buses: 0,
+        violations,
+        max_loading_pct: rep.max_loading.0,
+        min_vm: rep.min_vm,
+        load_shed_mw: 0.0,
+        ac_solved: true,
+    }
 }
 
 /// Like [`evaluate_outage`], but factoring through a caller-owned
@@ -407,25 +699,7 @@ pub fn evaluate_outage_with_engine(
     // Island screening before any solve.
     let stranded = topology::stranded_buses(net, outage.branch);
     if !stranded.is_empty() {
-        gm_telemetry::counter_add("ca.islanded", 1);
-        let load_shed: f64 = net
-            .loads
-            .iter()
-            .filter(|l| l.in_service && stranded.contains(&l.bus))
-            .map(|l| l.p_mw)
-            .sum();
-        return ContingencyOutcome {
-            outage,
-            kind_index,
-            converged: false,
-            islands: true,
-            stranded_buses: stranded.len(),
-            violations: Vec::new(),
-            max_loading_pct: 0.0,
-            min_vm: (0.0, 0),
-            load_shed_mw: load_shed,
-            ac_solved: false,
-        };
+        return islanding_outcome(net, outage, kind_index, &stranded);
     }
 
     let mut work = net.clone();
@@ -456,43 +730,73 @@ pub fn evaluate_outage_with_engine(
             load_shed_mw: 0.0,
             ac_solved: true,
         },
-        Ok(rep) => {
-            let mut violations = Vec::new();
-            for bf in &rep.branches {
-                if bf.loading_pct > opts.thermal_threshold_pct {
-                    violations.push(Violation::ThermalOverload {
-                        branch: bf.index,
-                        loading_pct: bf.loading_pct,
-                    });
+        Ok(rep) => outcome_from_pf(&rep, opts, outage, kind_index),
+    }
+}
+
+/// Cascade verification of one suspect outage: Woodbury-compensated solve
+/// against the base factorization, full-Newton fallback on any typed
+/// compensation failure. Islanding is detected before either path.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_outage_cascade(
+    net: &Network,
+    opts: &CaOptions,
+    comp_base: Option<&CompensationBase>,
+    v0: &[Complex],
+    outage: Outage,
+    kind_index: usize,
+    estimate: Option<f64>,
+    engine: &mut LuEngine,
+) -> ContingencyOutcome {
+    let stranded = topology::stranded_buses(net, outage.branch);
+    if !stranded.is_empty() {
+        gm_telemetry::counter_add("ca.outages_evaluated", 1);
+        return islanding_outcome(net, outage, kind_index, &stranded);
+    }
+    if let Some(cb) = comp_base {
+        let mut work = net.clone();
+        work.branches[outage.branch].in_service = false;
+        match cb.solve_outage(&work, &opts.pf, &[outage.branch]) {
+            Ok(rep) => {
+                gm_telemetry::counter_add("ca.outages_evaluated", 1);
+                gm_telemetry::counter_add("ca.screen.compensated", 1);
+                if let Some(est) = estimate {
+                    // Screening error: how far the DC estimate missed the
+                    // AC answer, in loading percentage points.
+                    gm_telemetry::histogram_record(
+                        "ca.screen.error_pct",
+                        (100.0 * est - rep.max_loading.0).abs(),
+                    );
                 }
+                return outcome_from_pf(&rep, opts, outage, kind_index);
             }
-            for b in &rep.buses {
-                if b.vm_pu < opts.vmin_pu {
-                    violations.push(Violation::LowVoltage {
-                        bus_id: b.id,
-                        vm_pu: b.vm_pu,
-                    });
-                } else if b.vm_pu > opts.vmax_pu {
-                    violations.push(Violation::HighVoltage {
-                        bus_id: b.id,
-                        vm_pu: b.vm_pu,
-                    });
-                }
-            }
-            ContingencyOutcome {
-                outage,
-                kind_index,
-                converged: true,
-                islands: false,
-                stranded_buses: 0,
-                violations,
-                max_loading_pct: rep.max_loading.0,
-                min_vm: rep.min_vm,
-                load_shed_mw: 0.0,
-                ac_solved: true,
+            Err(_) => {
+                gm_telemetry::counter_add("ca.screen.fallback", 1);
             }
         }
+    } else {
+        gm_telemetry::counter_add("ca.screen.fallback", 1);
     }
+    // Full-Newton fallback (counts its own evaluation).
+    evaluate_outage_with_engine(net, opts, v0, outage, kind_index, engine)
+}
+
+/// Internal handle exposing screening machinery to the N-2 preview.
+pub(crate) fn screening_inputs(base: &PfReport) -> (Vec<f64>, Vec<f64>) {
+    let base_p: Vec<f64> = base.branches.iter().map(|b| b.p_from_mw).collect();
+    let base_q: Vec<f64> = base
+        .branches
+        .iter()
+        .map(|b| b.q_from_mvar.abs().max(b.q_to_mvar.abs()))
+        .collect();
+    (base_p, base_q)
+}
+
+/// Re-export for the N-2 preview module.
+pub(crate) fn screening_sensitivities(
+    net: &Network,
+) -> Result<Sensitivities, gm_powerflow::PfError> {
+    gm_powerflow::sensitivities_for_screening(net)
 }
 
 #[cfg(test)]
@@ -500,26 +804,39 @@ mod tests {
     use super::*;
     use gm_network::{cases, CaseId};
 
+    fn brute_opts() -> CaOptions {
+        CaOptions {
+            mode: SweepMode::Brute,
+            ..Default::default()
+        }
+    }
+
     #[test]
     fn ieee14_full_sweep_counts() {
         let net = cases::load(CaseId::Ieee14);
-        let rep = run_n1(&net, &CaOptions::default(), None).unwrap();
+        let rep = run_n1(&net, &brute_opts(), None).unwrap();
         assert_eq!(rep.n_contingencies, 20);
         assert_eq!(rep.n_lines, 17);
         assert_eq!(rep.n_trafos, 3);
         assert_eq!(rep.outcomes.len(), 20);
         assert!(!rep.ranking.is_empty());
+        assert_eq!(rep.mode, SweepMode::Brute);
+        // Brute solves everything except islanding outages; nothing is
+        // screened out.
+        let islanders = rep.outcomes.iter().filter(|o| o.islands).count();
+        assert_eq!(rep.ac_verified + islanders, 20);
+        assert_eq!(rep.screened_out, 0);
     }
 
     #[test]
     fn serial_and_parallel_agree() {
         let net = cases::load(CaseId::Ieee30);
-        let par = run_n1(&net, &CaOptions::default(), None).unwrap();
+        let par = run_n1(&net, &brute_opts(), None).unwrap();
         let ser = run_n1(
             &net,
             &CaOptions {
                 parallel: false,
-                ..Default::default()
+                ..brute_opts()
             },
             None,
         )
@@ -537,10 +854,34 @@ mod tests {
     }
 
     #[test]
+    fn cascade_serial_and_parallel_agree() {
+        let net = cases::load(CaseId::Ieee30);
+        let par = run_n1(&net, &CaOptions::default(), None).unwrap();
+        let ser = run_n1(
+            &net,
+            &CaOptions {
+                parallel: false,
+                ..Default::default()
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(par.n_contingencies, ser.n_contingencies);
+        assert_eq!(par.screened_out, ser.screened_out);
+        for (a, b) in par.outcomes.iter().zip(&ser.outcomes) {
+            assert_eq!(a.ac_solved, b.ac_solved);
+            assert!((a.max_loading_pct - b.max_loading_pct).abs() < 1e-9);
+        }
+        let la: Vec<_> = par.ranking.iter().map(|r| r.label.clone()).collect();
+        let lb: Vec<_> = ser.ranking.iter().map(|r| r.label.clone()).collect();
+        assert_eq!(la, lb);
+    }
+
+    #[test]
     fn islanding_outage_detected() {
         // case14 line 7-8 is the only path to bus 8.
         let net = cases::load(CaseId::Ieee14);
-        let rep = run_n1(&net, &CaOptions::default(), None).unwrap();
+        let rep = run_n1(&net, &brute_opts(), None).unwrap();
         let islanders: Vec<_> = rep.outcomes.iter().filter(|o| o.islands).collect();
         assert!(
             !islanders.is_empty(),
@@ -559,7 +900,7 @@ mod tests {
             &net,
             &CaOptions {
                 include_trafos: false,
-                ..Default::default()
+                ..brute_opts()
             },
             None,
         )
@@ -574,7 +915,7 @@ mod tests {
         // transformers in our reconstruction; the authors' pandapower
         // conversion shows 173 + 13).
         let net = cases::load(CaseId::Ieee118);
-        let rep = run_n1(&net, &CaOptions::default(), None).unwrap();
+        let rep = run_n1(&net, &brute_opts(), None).unwrap();
         assert_eq!(rep.n_contingencies, 186);
         assert_eq!(rep.n_lines, 175);
         assert_eq!(rep.n_trafos, 11);
@@ -604,12 +945,63 @@ mod tests {
     }
 
     #[test]
+    fn cascade_matches_brute_on_criticals_and_top5() {
+        // The Table 1 invariant on the paper's case: identical top-5
+        // ranking, identical violation inventory on every AC-verified
+        // outage, and a meaningful screened-out share.
+        let net = cases::load(CaseId::Ieee118);
+        let brute = run_n1(&net, &brute_opts(), None).unwrap();
+        let cascade = run_n1(&net, &CaOptions::default(), None).unwrap();
+        assert_eq!(cascade.n_contingencies, brute.n_contingencies);
+        assert_eq!(cascade.mode, SweepMode::Cascade);
+        assert_eq!(cascade.top_labels(5), brute.top_labels(5));
+        for (b, c) in brute.outcomes.iter().zip(&cascade.outcomes) {
+            if b.n_thermal() > 0 {
+                assert!(
+                    c.ac_solved,
+                    "outage of branch {} missed by the cascade screen",
+                    b.outage.branch
+                );
+                assert_eq!(b.n_thermal(), c.n_thermal());
+            }
+        }
+        assert!(
+            cascade.screened_out > cascade.n_contingencies / 4,
+            "cascade only screened out {}",
+            cascade.screened_out
+        );
+        assert_eq!(
+            cascade.screened_out
+                + cascade.ac_verified
+                + cascade.outcomes.iter().filter(|o| o.islands).count(),
+            cascade.n_contingencies
+        );
+    }
+
+    #[test]
+    fn cascade_faster_than_brute() {
+        let net = cases::load(CaseId::Ieee118);
+        let opts = CaOptions::default();
+        let base = solve_base(&net, &opts).unwrap();
+        let t0 = std::time::Instant::now();
+        let _ = run_n1(&net, &brute_opts(), Some(&base)).unwrap();
+        let brute_t = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let _ = run_n1(&net, &opts, Some(&base)).unwrap();
+        let cascade_t = t1.elapsed();
+        assert!(
+            cascade_t < brute_t,
+            "cascade {cascade_t:?} !< brute {brute_t:?}"
+        );
+    }
+
+    #[test]
     fn screened_sweep_agrees_on_thermal_criticals() {
         let net = cases::load(CaseId::Ieee118);
-        let full = run_n1(&net, &CaOptions::default(), None).unwrap();
+        let full = run_n1(&net, &brute_opts(), None).unwrap();
         // DC screening underestimates MVA loading (no reactive flow), so
         // the guarantee threshold must be conservative.
-        let screened = run_n1_screened(&net, &CaOptions::default(), None, 0.85).unwrap();
+        let screened = run_n1_screened(&net, &brute_opts(), None, 0.85).unwrap();
         assert_eq!(screened.n_contingencies, full.n_contingencies);
         // Every thermally overloading outage in the full sweep must have
         // been AC-solved by the screen and carry the same overload count.
@@ -632,27 +1024,10 @@ mod tests {
     }
 
     #[test]
-    fn screened_sweep_faster_than_full() {
-        let net = cases::load(CaseId::Ieee118);
-        let opts = CaOptions::default();
-        let base = solve_base(&net, &opts).unwrap();
-        let t0 = std::time::Instant::now();
-        let _ = run_n1(&net, &opts, Some(&base)).unwrap();
-        let full_t = t0.elapsed();
-        let t1 = std::time::Instant::now();
-        let _ = run_n1_screened(&net, &opts, Some(&base), 0.85).unwrap();
-        let screened_t = t1.elapsed();
-        assert!(
-            screened_t < full_t,
-            "screened {screened_t:?} !< full {full_t:?}"
-        );
-    }
-
-    #[test]
     fn cached_sweep_hits_on_repeat() {
         let net = cases::load(CaseId::Ieee14);
         let cache = crate::cache::ContingencyCache::new();
-        let opts = CaOptions::default();
+        let opts = brute_opts();
         let r1 = run_n1_cached(&net, &opts, None, Some((&cache, 42))).unwrap();
         let (h1, m1) = cache.stats();
         assert_eq!(h1, 0);
@@ -669,6 +1044,24 @@ mod tests {
     }
 
     #[test]
+    fn cascade_cache_covers_only_verified_outages() {
+        let net = cases::load(CaseId::Ieee118);
+        let cache = crate::cache::ContingencyCache::new();
+        let opts = CaOptions::default();
+        let r1 = run_n1_cached(&net, &opts, None, Some((&cache, 7))).unwrap();
+        let (h1, m1) = cache.stats();
+        assert_eq!(h1, 0);
+        // Screened-out outages never touch the cache.
+        assert_eq!(m1 as usize, r1.n_contingencies - r1.screened_out);
+        let r2 = run_n1_cached(&net, &opts, None, Some((&cache, 7))).unwrap();
+        let (h2, _) = cache.stats();
+        assert_eq!(h2 as usize, r2.n_contingencies - r2.screened_out);
+        // Identical reports either way.
+        assert_eq!(r1.top_labels(5), r2.top_labels(5));
+        assert_eq!(r1.total_violations, r2.total_violations);
+    }
+
+    #[test]
     fn voltage_band_is_configurable() {
         let net = cases::load(CaseId::Ieee30);
         let tight = run_n1(
@@ -676,7 +1069,7 @@ mod tests {
             &CaOptions {
                 vmin_pu: 1.00,
                 vmax_pu: 1.02,
-                ..Default::default()
+                ..brute_opts()
             },
             None,
         )
@@ -686,12 +1079,31 @@ mod tests {
             &CaOptions {
                 vmin_pu: 0.80,
                 vmax_pu: 1.20,
-                ..Default::default()
+                ..brute_opts()
             },
             None,
         )
         .unwrap();
         assert!(tight.total_violations > loose.total_violations);
         assert_eq!(loose.outages_with_voltage_issues, 0);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_modes() {
+        let brute = brute_opts();
+        let cascade = CaOptions::default();
+        let screened = CaOptions {
+            mode: SweepMode::Screened,
+            ..Default::default()
+        };
+        assert_ne!(brute.fingerprint(), cascade.fingerprint());
+        assert_ne!(brute.fingerprint(), screened.fingerprint());
+        assert_ne!(cascade.fingerprint(), screened.fingerprint());
+        // Screening knobs are fingerprint-relevant too.
+        let tighter = CaOptions {
+            screen_band: 0.30,
+            ..Default::default()
+        };
+        assert_ne!(cascade.fingerprint(), tighter.fingerprint());
     }
 }

@@ -12,6 +12,8 @@
 //! - [`cache`] — the `(case + outage + diff hash)` result cache of §3.4.
 //! - [`gen_outage`] — generator T-1 outages (the paper's §2 defines T-1
 //!   over "system assets"; units are assets too).
+//! - [`n2`] — the N-2 preview: LODF pair screening with compensated AC
+//!   verification of the surviving pairs.
 //!
 //! ```
 //! use gm_contingency::{run_n1, CaOptions};
@@ -35,13 +37,16 @@
 pub mod cache;
 pub mod engine;
 pub mod gen_outage;
+pub mod n2;
 pub mod ranking;
 pub mod types;
 
 pub use cache::{CacheKey, ContingencyCache};
 pub use engine::{evaluate_outage, run_n1, run_n1_cached, run_n1_screened, solve_base, CaOptions};
 pub use gen_outage::{run_gen_n1, GenOutageOutcome};
+pub use n2::{n_minus_2_preview, N2Preview, PairOutcome};
 pub use ranking::{rank, score};
 pub use types::{
-    ContingencyOutcome, ContingencyReport, Outage, RankedContingency, RankingStrategy, Violation,
+    ContingencyOutcome, ContingencyReport, Outage, RankedContingency, RankingStrategy, SweepMode,
+    Violation,
 };

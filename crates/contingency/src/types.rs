@@ -100,6 +100,45 @@ impl ContingencyOutcome {
     }
 }
 
+/// How the N-1 sweep trades speed against per-outage fidelity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum SweepMode {
+    /// Full AC power flow for every outage (the paper's reference sweep).
+    Brute,
+    /// Multi-fidelity cascade (the default): LODF screening ranks every
+    /// outage by DC-estimated post-outage loading; only suspects — plus a
+    /// safety band of top-ranked outages — get an AC verification, solved
+    /// against the base-case factorization via Woodbury compensation with
+    /// a full-Newton fallback. Screened-out outages carry
+    /// `ac_solved = false` and the report counts them honestly.
+    #[default]
+    Cascade,
+    /// Pure-DC screening ablation: outages below the cutoff are
+    /// classified from the linear estimate alone, flagged outages get a
+    /// full-Newton solve (no compensation). Kept as the
+    /// speed-vs-completeness baseline between brute and cascade.
+    Screened,
+}
+
+impl SweepMode {
+    /// Canonical lowercase name, for tool JSON and narration. (The
+    /// vendored serde shim ignores `rename_all`, so serialized reports
+    /// carry the variant name verbatim — anything matching on the wire
+    /// form must go through this accessor instead.)
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SweepMode::Brute => "brute",
+            SweepMode::Cascade => "cascade",
+            SweepMode::Screened => "screened",
+        }
+    }
+}
+
+pub(crate) fn default_mode_brute() -> SweepMode {
+    SweepMode::Brute
+}
+
 /// How competing contingencies are ranked into a criticality order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum RankingStrategy {
@@ -162,6 +201,17 @@ pub struct ContingencyReport {
     pub sweep_time_s: f64,
     /// Whether the sweep ran in parallel.
     pub parallel: bool,
+    /// Sweep mode that produced the report. Reports serialized before the
+    /// cascade existed were brute sweeps.
+    #[serde(default = "default_mode_brute")]
+    pub mode: SweepMode,
+    /// Outages classified secure from the DC screen alone (no AC solve).
+    #[serde(default)]
+    pub screened_out: usize,
+    /// Outages verified with an AC solve (suspects, safety band, and
+    /// unscreenable outages). Brute sweeps verify everything.
+    #[serde(default)]
+    pub ac_verified: usize,
 }
 
 impl ContingencyReport {

@@ -488,13 +488,29 @@ impl CaPlanner {
             })
             .collect();
         let max_overload = f(rep, "max_overload_pct");
+        // Honest fidelity statement: a cascade/screened sweep must say
+        // how many outages were classified from the DC estimate alone.
+        let screened_out = rep["screened_out"].as_u64().unwrap_or(0);
+        let fidelity = match rep["mode"].as_str() {
+            Some("cascade") if screened_out > 0 => format!(
+                " The sweep used DC screening with AC verification: {} outages were \
+                 AC-verified and {} were classified secure from the linear screen alone.",
+                rep["ac_verified"], screened_out
+            ),
+            Some("screened") => format!(
+                " The sweep used the fast DC screen: {} outages were classified from the \
+                 linear estimate without an AC solve and can hide voltage-only violations.",
+                screened_out
+            ),
+            _ => String::new(),
+        };
         let mut s = format!(
             "I ran a full N-1 contingency analysis on {} (lines and transformers), after \
              solving the base case.\n\
              \n\
-             Contingencies analyzed: {} ({} lines + {} transformers). \
+             Contingencies analyzed: {} ({} lines + {} transformers).{} \
              Total violation occurrences: {}; {} outages cause thermal overloads and {} cause \
-             voltage violations against the {:?} p.u. band. \
+             voltage violations against the {}\u{2013}{} p.u. band. \
              Maximum post-contingency loading observed: {:.0}%.\n\
              \n\
              Most critical elements:\n{}\n",
@@ -502,10 +518,12 @@ impl CaPlanner {
             rep["n_contingencies"],
             rep["n_lines"],
             rep["n_trafos"],
+            fidelity,
             rep["total_violations"],
             rep["outages_with_overloads"],
             rep["outages_with_voltage_issues"],
-            rep["voltage_band"],
+            rep["voltage_band"][0].as_f64().unwrap_or(0.95),
+            rep["voltage_band"][1].as_f64().unwrap_or(1.05),
             max_overload,
             top.join("\n"),
         );
@@ -877,6 +895,25 @@ mod tests {
         assert!(text.contains("137"));
         assert!(text.contains("line 6"));
         assert!(text.contains("Recommendations"));
+    }
+
+    #[test]
+    fn narration_discloses_cascade_screening() {
+        // Through the real wire format (report_to_json), not a hand-built
+        // JSON: the narrated answer for a cascade sweep must disclose how
+        // many outages were screened out vs AC-verified.
+        let net = gm_network::cases::load(gm_network::CaseId::Ieee118);
+        let opts = gm_contingency::CaOptions::default();
+        let rep = gm_contingency::run_n1(&net, &opts, None).expect("sweep");
+        assert!(rep.screened_out > 0, "cascade screened nothing out");
+        let j = crate::tools_ca::report_to_json(&rep, 5);
+        assert_eq!(j["mode"], json!("cascade"));
+        let text = CaPlanner::narrate_report(&j, 5);
+        assert!(
+            text.contains("classified secure from the linear screen alone"),
+            "cascade narration hides the screening: {text}"
+        );
+        assert!(text.contains(&format!("{}", rep.ac_verified)));
     }
 
     #[test]

@@ -331,6 +331,13 @@ pub fn solve_base_cached(
 /// the threshold bits occupied overlapping lanes and a crafted
 /// `(screened, threshold)` pair could alias a `(full, threshold')` key
 /// (see `old_mix_collision_is_fixed`).
+///
+/// Since the sweep mode moved into [`CaOptions`] (`mode`, `screen_margin`,
+/// `screen_band`, `screen_top_k` are all covered by
+/// `CaOptions::fingerprint`), the extra fields are derived from the
+/// options rather than passed by callers — kept in the key encoding so
+/// pre-existing cache-key reasoning (and the collision regression test)
+/// stays valid.
 fn n1_params_fingerprint(opts_fp: u64, screened: bool, screen_threshold: f64) -> u64 {
     let fields: [&[u8]; 3] = [
         &opts_fp.to_le_bytes(),
@@ -351,31 +358,27 @@ fn n1_params_fingerprint(opts_fp: u64, screened: bool, screen_threshold: f64) ->
     h
 }
 
-/// N-1 sweep through the cache. The `screened` mode and its threshold
-/// fold into the parameter fingerprint so full and screened sweeps of
-/// the same network never alias. On a miss the sweep runs with the
-/// session's per-outage cache (`session_cache`) exactly as before.
-#[allow(clippy::too_many_arguments)]
+/// N-1 sweep through the cache. The sweep mode (brute / cascade /
+/// screened) and the screening knobs live in `opts` and fold into the
+/// parameter fingerprint so sweeps of different fidelity over the same
+/// network never alias. On a miss the sweep runs with the session's
+/// per-outage cache (`session_cache`) exactly as before.
 pub fn run_n1_cached_shared(
     cache: Option<&SharedSolverCache>,
     net: &Network,
     opts: &CaOptions,
     base: Option<&PfReport>,
     session_cache: Option<(&ContingencyCache, u64)>,
-    screened: bool,
-    screen_threshold: f64,
 ) -> Result<ContingencyReport, PfError> {
-    let run = |net: &Network| {
-        if screened {
-            gm_contingency::engine::run_n1_screened(net, opts, base, screen_threshold)
-        } else {
-            gm_contingency::engine::run_n1_cached(net, opts, base, session_cache)
-        }
-    };
+    let run = |net: &Network| gm_contingency::engine::run_n1_cached(net, opts, base, session_cache);
     let Some(cache) = cache else {
         return run(net);
     };
-    let params = n1_params_fingerprint(opts.fingerprint(), screened, screen_threshold);
+    let params = n1_params_fingerprint(
+        opts.fingerprint(),
+        opts.mode == gm_contingency::SweepMode::Screened,
+        opts.screen_cutoff(),
+    );
     let key = SolverCacheKey {
         net_hash: net.content_hash(),
         kind: QueryKind::ContingencyN1,

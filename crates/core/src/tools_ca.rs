@@ -56,6 +56,12 @@ pub fn report_to_json(rep: &ContingencyReport, k: usize) -> Value {
         "max_overload_pct": rep.max_overload_pct.0,
         "voltage_band": [rep.voltage_band.0, rep.voltage_band.1],
         "sweep_time_s": rep.sweep_time_s,
+        // The sweep's fidelity is part of the answer: a cascade or
+        // screened report says how many outages were classified from the
+        // DC estimate alone versus AC-verified.
+        "mode": rep.mode.as_str(),
+        "screened_out": rep.screened_out,
+        "ac_verified": rep.ac_verified,
         "ranking": ranking,
     })
 }
@@ -136,8 +142,8 @@ pub fn run_n1_tool(session: SharedSession, clock: VirtualClock) -> FnTool {
                 ),
                 Field::optional(
                     "mode",
-                    Schema::string_enum(&["full", "screened"]),
-                    "full AC sweep (default) or LODF-screened fast mode",
+                    Schema::string_enum(&["cascade", "full", "screened"]),
+                    "cascade (default): DC screening with compensated AC verification of suspects; full: brute AC sweep of every outage; screened: pure-DC fast mode",
                 ),
             ]),
             output: Schema::Object {
@@ -160,13 +166,18 @@ pub fn run_n1_tool(session: SharedSession, clock: VirtualClock) -> FnTool {
                 message: e.to_string(),
                 recoverable: false,
             })?;
+            let mode = match args.get("mode").and_then(|v| v.as_str()) {
+                Some("full") | Some("brute") => gm_contingency::SweepMode::Brute,
+                Some("screened") => gm_contingency::SweepMode::Screened,
+                _ => gm_contingency::SweepMode::Cascade,
+            };
             let opts = CaOptions {
                 strategy,
+                mode,
                 ..Default::default()
             };
             let base = session.fresh_base_pf();
             let diff_hash = session.diff_hash();
-            let screened = args.get("mode").and_then(|v| v.as_str()) == Some("screened");
             // An injected `pf.base` fault imitates the sweep's own base
             // solve diverging (the session warm start is bypassed too).
             let primary = match gm_faults::inject("pf.base") {
@@ -182,8 +193,6 @@ pub fn run_n1_tool(session: SharedSession, clock: VirtualClock) -> FnTool {
                     &opts,
                     base.as_ref(),
                     Some((&session.cache, diff_hash)),
-                    screened,
-                    0.85,
                 ),
             };
             let (rep, degraded) = match primary {
@@ -203,12 +212,11 @@ pub fn run_n1_tool(session: SharedSession, clock: VirtualClock) -> FnTool {
                         message: format!("base case power flow failed: {e}"),
                         recoverable: true,
                     })?;
-                    let rep =
-                        run_n1_cached_shared(None, &net, &opts, Some(&rbase), None, screened, 0.85)
-                            .map_err(|e| ToolError::Execution {
-                                message: format!("base case power flow failed: {e}"),
-                                recoverable: true,
-                            })?;
+                    let rep = run_n1_cached_shared(None, &net, &opts, Some(&rbase), None)
+                        .map_err(|e| ToolError::Execution {
+                            message: format!("base case power flow failed: {e}"),
+                            recoverable: true,
+                        })?;
                     (rep, Some(cav))
                 }
                 Err(e) => {

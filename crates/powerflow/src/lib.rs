@@ -34,12 +34,14 @@
 // index-based loops are the clearer form here.
 #![allow(clippy::needless_range_loop)]
 
+pub mod compensated;
 pub mod dc;
 pub mod decoupled;
 pub mod newton;
 pub mod sensitivity;
 pub mod types;
 
+pub use compensated::{CompensatedPfError, CompensationBase};
 pub use dc::{solve_dc, DcReport};
 pub use decoupled::{solve_fast_decoupled, solve_fast_decoupled_with_engine};
 pub use newton::{solve, solve_from, solve_from_with_engine};

@@ -14,7 +14,7 @@ use gm_sparse::{CsMat, LuEngine, ScatterMap, Triplets};
 /// Effective bus role during the solve (PV buses can be demoted to PQ when
 /// their units hit reactive limits).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Role {
+pub(crate) enum Role {
     Slack,
     Pv,
     Pq,
@@ -456,7 +456,7 @@ fn newton_inner(
 
 /// Assembles the final report from a solved voltage vector.
 #[allow(clippy::too_many_arguments)]
-fn build_report(
+pub(crate) fn build_report(
     net: &Network,
     ybus: &YBus,
     v: &[Complex],

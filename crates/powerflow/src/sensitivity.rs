@@ -242,6 +242,54 @@ impl Sensitivities {
         }
         Some(worst)
     }
+
+    /// Worst estimated post-outage MVA loading for a *simultaneous* pair
+    /// outage `(k, l)` — the N-2 screen. The double-outage flows come
+    /// from the standard 2×2 compensation of single-outage LODFs:
+    ///
+    /// ```text
+    /// Δk = (f_k + L_kl·f_l) / (1 − L_kl·L_lk)
+    /// Δl = (f_l + L_lk·f_k) / (1 − L_kl·L_lk)
+    /// f'_m = f_m + L_mk·Δk + L_ml·Δl
+    /// ```
+    ///
+    /// Returns `None` when either single outage islands the network or
+    /// the pair denominator (the 2×2 capacitance) vanishes — i.e. the
+    /// pair jointly islands and must be routed to a full evaluation.
+    pub fn worst_pair_outage_loading_mva(
+        &self,
+        net: &Network,
+        base_p_mw: &[f64],
+        base_q_mvar: &[f64],
+        k: usize,
+        l: usize,
+    ) -> Option<f64> {
+        if k == l || self.lodf[(k, k)].is_nan() || self.lodf[(l, l)].is_nan() {
+            return None;
+        }
+        let (lkl, llk) = (self.lodf[(k, l)], self.lodf[(l, k)]);
+        let denom = 1.0 - lkl * llk;
+        if !denom.is_finite() || denom.abs() < 1e-7 {
+            return None;
+        }
+        let (fk, fl) = (base_p_mw[k], base_p_mw[l]);
+        let dk = (fk + lkl * fl) / denom;
+        let dl = (fl + llk * fk) / denom;
+        let mut worst = 0.0f64;
+        for (m, br) in net.branches.iter().enumerate() {
+            if m == k || m == l || !br.in_service || br.rating_mva <= 0.0 {
+                continue;
+            }
+            let (lmk, lml) = (self.lodf[(m, k)], self.lodf[(m, l)]);
+            if lmk.is_nan() || lml.is_nan() {
+                continue;
+            }
+            let p_est = base_p_mw[m] + lmk * dk + lml * dl;
+            let s = (p_est * p_est + base_q_mvar[m] * base_q_mvar[m]).sqrt();
+            worst = worst.max(s / br.rating_mva);
+        }
+        Some(worst)
+    }
 }
 
 #[cfg(test)]

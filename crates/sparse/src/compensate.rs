@@ -1,0 +1,344 @@
+//! Low-rank compensation of a factored sparse system (Sherman–Morrison /
+//! Woodbury).
+//!
+//! A branch outage changes the admittance matrix — and the power-flow
+//! Jacobian evaluated at a fixed state — only in the rows and columns of
+//! the two endpoint buses: a rank ≤ 4 update. Rather than refactoring the
+//! modified matrix per outage, the classic compensation method (Alsac,
+//! Stott, Tinney) solves against the *base* factorization plus a small
+//! dense correction:
+//!
+//! ```text
+//! A' = A + U·C·Vᵀ           U = e-columns of `rows`, V = e-columns of `cols`
+//! A'⁻¹·b = y − W·M⁻¹·C·Vᵀ·y  with  y = A⁻¹·b,  W = A⁻¹·U,
+//!                                 M = I + C·Vᵀ·W   (p×p, p = rows.len())
+//! ```
+//!
+//! Construction pays `p` sparse solves (the `W` columns) and one dense
+//! `p×p` factorization; every subsequent solve costs one base solve plus
+//! `O(n·p)` for the correction — no refactorization, no new pattern.
+//!
+//! The capacitance matrix `M` is where ill-conditioning shows up: an
+//! update that (nearly) singularizes `A'` — e.g. removing a bridge branch
+//! that islands the network — drives `M` (nearly) singular. Construction
+//! detects that and returns [`CompensateError::IllConditioned`] so the
+//! caller can fall back to a fresh factorization instead of propagating
+//! garbage.
+
+use crate::lu::SparseLu;
+use gm_numeric::{DMat, DenseLu};
+
+/// Reciprocal-condition floor for the capacitance matrix: below this the
+/// compensated solve is numerically untrustworthy and the caller must
+/// refactor. The floor is deliberately conservative — a false reject
+/// costs one fresh factorization, a false accept corrupts a study.
+const RCOND_MIN: f64 = 1e-10;
+
+/// Why a compensated solver could not be built.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CompensateError {
+    /// No update entries were supplied.
+    EmptyUpdate,
+    /// A row/column index lies outside the factored dimension.
+    OutOfBounds { index: usize, dim: usize },
+    /// `block` is not `rows.len() × cols.len()`.
+    ShapeMismatch { expected: usize, got: usize },
+    /// The capacitance matrix is singular or near-singular: the update
+    /// (nearly) singularizes the modified system (e.g. an islanding
+    /// outage). Fall back to a fresh factorization path.
+    IllConditioned { rcond: f64 },
+}
+
+impl std::fmt::Display for CompensateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompensateError::EmptyUpdate => write!(f, "empty low-rank update"),
+            CompensateError::OutOfBounds { index, dim } => {
+                write!(f, "update index {index} out of bounds for dimension {dim}")
+            }
+            CompensateError::ShapeMismatch { expected, got } => {
+                write!(f, "update block has {got} entries, expected {expected}")
+            }
+            CompensateError::IllConditioned { rcond } => {
+                write!(
+                    f,
+                    "capacitance matrix ill-conditioned (rcond ≈ {rcond:.2e})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompensateError {}
+
+/// A factored system `A` composed with a low-rank update `U·C·Vᵀ`,
+/// solvable without refactoring `A`.
+///
+/// Borrows the base factorization immutably, so one base factor can back
+/// many concurrent compensated solvers (e.g. parallel sweep workers each
+/// compensating a different outage).
+pub struct CompensatedLu<'a> {
+    base: &'a SparseLu,
+    /// Row indices carrying update entries (the columns of `U`).
+    rows: Vec<usize>,
+    /// Column indices carrying update entries (the columns of `V`).
+    cols: Vec<usize>,
+    /// Dense update block `C`, `rows.len() × cols.len()`, row-major.
+    block: Vec<f64>,
+    /// `W = A⁻¹·U`, one length-`n` column per entry of `rows`.
+    w: DMat,
+    /// Factored capacitance matrix `M = I + C·Vᵀ·W`.
+    m: DenseLu,
+}
+
+impl<'a> CompensatedLu<'a> {
+    /// Builds a compensated solver for `A + Δ` where `Δ` is dense only on
+    /// `rows × cols`: `Δ[rows[a]][cols[b]] = block[a·cols.len() + b]`.
+    ///
+    /// Returns [`CompensateError::IllConditioned`] when the capacitance
+    /// matrix is (near-)singular — the signal that the update cannot be
+    /// compensated and the caller must refactor from scratch.
+    pub fn new(
+        base: &'a SparseLu,
+        rows: &[usize],
+        cols: &[usize],
+        block: &[f64],
+    ) -> Result<Self, CompensateError> {
+        let n = base.dim();
+        let (p, q) = (rows.len(), cols.len());
+        if p == 0 || q == 0 {
+            return Err(CompensateError::EmptyUpdate);
+        }
+        if block.len() != p * q {
+            return Err(CompensateError::ShapeMismatch {
+                expected: p * q,
+                got: block.len(),
+            });
+        }
+        if let Some(&bad) = rows.iter().chain(cols).find(|&&i| i >= n) {
+            return Err(CompensateError::OutOfBounds { index: bad, dim: n });
+        }
+        gm_telemetry::counter_add("sparse.compensate.builds", 1);
+
+        // W = A⁻¹·U: one sparse solve per update row.
+        let mut w = DMat::zeros(n, p);
+        let mut scratch = vec![0.0f64; n];
+        for (a, &r) in rows.iter().enumerate() {
+            let col = w.col_mut(a);
+            col[r] = 1.0;
+            base.solve_in_place(col, &mut scratch);
+        }
+
+        // M = I_p + C·(Vᵀ·W);  (Vᵀ·W)[b][a] = W[cols[b]][a].
+        let mut m = DMat::identity(p);
+        for a in 0..p {
+            for i in 0..p {
+                let mut acc = 0.0;
+                for (b, &c) in cols.iter().enumerate() {
+                    acc += block[a * q + b] * w.col(i)[c];
+                }
+                m.col_mut(i)[a] += acc;
+            }
+        }
+        let m = match DenseLu::factor(&m) {
+            Ok(f) => f,
+            Err(_) => {
+                gm_telemetry::counter_add("sparse.compensate.rejected", 1);
+                return Err(CompensateError::IllConditioned { rcond: 0.0 });
+            }
+        };
+        let rcond = m.rcond_estimate();
+        if !rcond.is_finite() || rcond < RCOND_MIN {
+            gm_telemetry::counter_add("sparse.compensate.rejected", 1);
+            return Err(CompensateError::IllConditioned { rcond });
+        }
+
+        Ok(CompensatedLu {
+            base,
+            rows: rows.to_vec(),
+            cols: cols.to_vec(),
+            block: block.to_vec(),
+            w,
+            m,
+        })
+    }
+
+    /// Rank-1 convenience: `A' = A + delta·e_row·e_colᵀ` (a single changed
+    /// entry), the textbook Sherman–Morrison case.
+    pub fn rank1(
+        base: &'a SparseLu,
+        row: usize,
+        col: usize,
+        delta: f64,
+    ) -> Result<Self, CompensateError> {
+        Self::new(base, &[row], &[col], &[delta])
+    }
+
+    /// Rank of the update (number of compensated rows).
+    pub fn update_rank(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Solves `(A + U·C·Vᵀ)·x = b` in place against the base
+    /// factorization. `scratch` is caller-owned workspace of length `n`
+    /// (clobbered), as in [`SparseLu::solve_in_place`].
+    pub fn solve_in_place(&self, b: &mut [f64], scratch: &mut [f64]) {
+        gm_telemetry::counter_add("sparse.compensate.solves", 1);
+        let (p, q) = (self.rows.len(), self.cols.len());
+        // y = A⁻¹·b (in place).
+        self.base.solve_in_place(b, scratch);
+        // t = C·Vᵀ·y.
+        let mut t = vec![0.0f64; p];
+        for (a, ta) in t.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (bi, &c) in self.cols.iter().enumerate() {
+                acc += self.block[a * q + bi] * b[c];
+            }
+            *ta = acc;
+        }
+        // z = M⁻¹·t, then x = y − W·z.
+        let z = self.m.solve(&t);
+        for (a, &za) in z.iter().enumerate() {
+            if za != 0.0 {
+                let col = self.w.col(a);
+                for (xi, &wi) in b.iter_mut().zip(col) {
+                    *xi -= wi * za;
+                }
+            }
+        }
+    }
+
+    /// Allocating wrapper over [`CompensatedLu::solve_in_place`].
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut out = b.to_vec();
+        let mut scratch = vec![0.0f64; self.base.dim()];
+        self.solve_in_place(&mut out, &mut scratch);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Triplets;
+
+    fn dense_5x5() -> crate::CsMat<f64> {
+        let mut t = Triplets::new(5, 5);
+        for i in 0..5 {
+            t.push(i, i, 6.0 + i as f64);
+        }
+        t.push(0, 1, 1.5);
+        t.push(1, 0, -0.5);
+        t.push(1, 3, 2.0);
+        t.push(2, 4, -1.0);
+        t.push(3, 2, 0.7);
+        t.push(4, 0, 0.3);
+        t.to_csr()
+    }
+
+    fn with_delta(
+        a: &crate::CsMat<f64>,
+        rows: &[usize],
+        cols: &[usize],
+        block: &[f64],
+    ) -> crate::CsMat<f64> {
+        let n = a.rows();
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            let (js, vs) = a.row(i);
+            for (&j, &v) in js.iter().zip(vs) {
+                t.push(i, j, v);
+            }
+        }
+        for (ai, &r) in rows.iter().enumerate() {
+            for (bi, &c) in cols.iter().enumerate() {
+                t.push(r, c, block[ai * cols.len() + bi]);
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn rank1_matches_fresh_factorization() {
+        let a = dense_5x5();
+        let base = SparseLu::factor(&a).unwrap();
+        let comp = CompensatedLu::rank1(&base, 1, 3, -1.2).unwrap();
+        let fresh = SparseLu::factor(&with_delta(&a, &[1], &[3], &[-1.2])).unwrap();
+        let b = [1.0, -2.0, 0.5, 3.0, -0.25];
+        let xc = comp.solve(&b);
+        let xf = fresh.solve(&b);
+        for (c, f) in xc.iter().zip(&xf) {
+            assert!((c - f).abs() < 1e-12, "{c} vs {f}");
+        }
+    }
+
+    #[test]
+    fn block_update_matches_fresh_factorization() {
+        let a = dense_5x5();
+        let base = SparseLu::factor(&a).unwrap();
+        let rows = [0, 2, 4];
+        let cols = [0, 2, 4];
+        // A symmetric-ish bordered block like an outage delta.
+        let block = [-1.0, 0.4, 0.0, 0.4, -2.0, 0.6, 0.0, 0.6, -0.8];
+        let comp = CompensatedLu::new(&base, &rows, &cols, &block).unwrap();
+        assert_eq!(comp.update_rank(), 3);
+        let fresh = SparseLu::factor(&with_delta(&a, &rows, &cols, &block)).unwrap();
+        let b = [0.5, 1.0, -1.0, 2.0, 0.1];
+        let xc = comp.solve(&b);
+        let xf = fresh.solve(&b);
+        for (c, f) in xc.iter().zip(&xf) {
+            assert!((c - f).abs() < 1e-12, "{c} vs {f}");
+        }
+    }
+
+    #[test]
+    fn singularizing_update_is_rejected() {
+        // A = I₂; removing the (0,0) entry makes A' singular, which must
+        // surface as an ill-conditioned capacitance matrix.
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1.0);
+        let a = t.to_csr();
+        let base = SparseLu::factor(&a).unwrap();
+        match CompensatedLu::rank1(&base, 0, 0, -1.0) {
+            Err(CompensateError::IllConditioned { .. }) => {}
+            Err(e) => panic!("expected IllConditioned, got {e:?}"),
+            Ok(_) => panic!("expected IllConditioned, got a factor"),
+        }
+    }
+
+    #[test]
+    fn near_singular_update_is_rejected() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1.0);
+        let a = t.to_csr();
+        let base = SparseLu::factor(&a).unwrap();
+        match CompensatedLu::rank1(&base, 0, 0, -1.0 + 1e-14) {
+            Err(CompensateError::IllConditioned { .. }) => {}
+            Err(e) => panic!("expected IllConditioned, got {e:?}"),
+            Ok(_) => panic!("expected IllConditioned, got a factor"),
+        }
+    }
+
+    #[test]
+    fn shape_and_bounds_are_validated() {
+        let a = dense_5x5();
+        let base = SparseLu::factor(&a).unwrap();
+        assert_eq!(
+            CompensatedLu::new(&base, &[], &[], &[]).err(),
+            Some(CompensateError::EmptyUpdate)
+        );
+        assert_eq!(
+            CompensatedLu::new(&base, &[0], &[9], &[1.0]).err(),
+            Some(CompensateError::OutOfBounds { index: 9, dim: 5 })
+        );
+        assert_eq!(
+            CompensatedLu::new(&base, &[0, 1], &[0], &[1.0]).err(),
+            Some(CompensateError::ShapeMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+    }
+}

@@ -45,6 +45,7 @@
 // index-based loops are the clearer form here.
 #![allow(clippy::needless_range_loop)]
 
+pub mod compensate;
 pub mod csmat;
 pub mod lu;
 pub mod order;
@@ -52,6 +53,7 @@ pub mod scalar;
 pub mod symbolic;
 pub mod triplets;
 
+pub use compensate::{CompensateError, CompensatedLu};
 pub use csmat::CsMat;
 pub use lu::{SparseLu, SparseLuError};
 pub use order::Ordering;

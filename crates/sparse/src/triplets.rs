@@ -56,6 +56,11 @@ impl<T: Scalar> Triplets<T> {
         self.entries.push((row, col, value));
     }
 
+    /// The raw (pre-deduplication) entries, in push order.
+    pub fn entries(&self) -> &[(usize, usize, T)] {
+        &self.entries
+    }
+
     /// Number of raw (pre-deduplication) entries.
     pub fn len(&self) -> usize {
         self.entries.len()

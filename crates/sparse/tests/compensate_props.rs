@@ -1,0 +1,115 @@
+//! Property tests for Woodbury compensation.
+//!
+//! The contract under test: whenever [`CompensatedLu::new`] accepts an
+//! update, its solves are indistinguishable (to tight tolerance) from a
+//! fresh factorization of the explicitly modified matrix — and whenever
+//! it rejects one, the rejection is `IllConditioned`, the explicit signal
+//! that callers must refactor instead of compensate. There is no third
+//! outcome: compensation never silently degrades.
+
+use gm_sparse::{CompensateError, CompensatedLu, CsMat, SparseLu, Triplets};
+use proptest::prelude::*;
+
+/// Random diagonally dominant matrix (same generator family as
+/// `refactor_props.rs`).
+fn sparse_from(n: usize, entries: &[(usize, usize, f64)]) -> CsMat<f64> {
+    let mut t = Triplets::new(n, n);
+    for i in 0..n {
+        t.push(i, i, 8.0 + (i as f64) * 0.1);
+    }
+    for &(i, j, v) in entries {
+        let (i, j) = (i % n, j % n);
+        if i != j {
+            t.push(i, j, v);
+        }
+    }
+    t.to_csr()
+}
+
+/// The base matrix with the dense `rows × cols` block added on top.
+fn with_delta(a: &CsMat<f64>, rows: &[usize], cols: &[usize], block: &[f64]) -> CsMat<f64> {
+    let n = a.rows();
+    let mut t = Triplets::new(n, n);
+    for i in 0..n {
+        let (js, vs) = a.row(i);
+        for (&j, &v) in js.iter().zip(vs) {
+            t.push(i, j, v);
+        }
+    }
+    for (ai, &r) in rows.iter().enumerate() {
+        for (bi, &c) in cols.iter().enumerate() {
+            t.push(r, c, block[ai * cols.len() + bi]);
+        }
+    }
+    t.to_csr()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// An accepted compensated solve matches the fresh factorization of
+    /// the modified matrix within 1e-9 across random "outage-shaped"
+    /// updates (a dense block on up to four row/column pairs — the same
+    /// footprint a branch outage leaves on a Jacobian).
+    #[test]
+    fn compensated_solve_matches_fresh_factorization(
+        n in 4usize..24,
+        entries in prop::collection::vec(
+            (0usize..32, 0usize..32, -2.0f64..2.0), 0..64),
+        idx in prop::collection::vec(0usize..32, 1..5),
+        block_vals in prop::collection::vec(-3.0f64..3.0, 16..17),
+    ) {
+        let a = sparse_from(n, &entries);
+        let base = SparseLu::factor(&a).unwrap();
+        // Distinct in-range indices; symmetric footprint (rows == cols)
+        // like a branch-outage delta.
+        let mut rc: Vec<usize> = idx.iter().map(|&i| i % n).collect();
+        rc.sort_unstable();
+        rc.dedup();
+        let p = rc.len();
+        let block: Vec<f64> = block_vals[..p * p].to_vec();
+
+        let modified = with_delta(&a, &rc, &rc, &block);
+        let rhs: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.9 - 1.0).sin()).collect();
+
+        match CompensatedLu::new(&base, &rc, &rc, &block) {
+            Ok(comp) => {
+                let fresh = SparseLu::factor(&modified).unwrap();
+                let xc = comp.solve(&rhs);
+                let xf = fresh.solve(&rhs);
+                for (c, f) in xc.iter().zip(&xf) {
+                    prop_assert!((c - f).abs() < 1e-9, "{c} vs {f}");
+                }
+            }
+            // A conservative reject is legitimate; anything else is not.
+            Err(CompensateError::IllConditioned { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    /// Updates that exactly cancel a decoupled diagonal make the modified
+    /// matrix singular; compensation must reject them as ill-conditioned
+    /// rather than produce a finite-looking answer. This is the algebraic
+    /// shadow of an islanding outage (the post-outage system loses rank).
+    #[test]
+    fn singularizing_update_always_rejected(
+        n in 2usize..16,
+        which in 0usize..32,
+    ) {
+        // Diagonal-only base: removing one diagonal entry islands that
+        // row from the rest of the system.
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 4.0 + (i as f64));
+        }
+        let a = t.to_csr();
+        let base = SparseLu::factor(&a).unwrap();
+        let r = which % n;
+        let cancel = -(4.0 + (r as f64));
+        match CompensatedLu::rank1(&base, r, r, cancel) {
+            Err(CompensateError::IllConditioned { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+            Ok(_) => prop_assert!(false, "singularizing update accepted"),
+        }
+    }
+}

@@ -262,6 +262,13 @@ pub const REQUIRED_SOLVER_METRICS: &[&str] = &[
     "acopf.ipm.solves",
     "acopf.ipm.iterations",
     "ca.outages_evaluated",
+    // Cascade screening must actually engage: every sweep classifies its
+    // outages (`verified`) and solves suspects through the compensated
+    // base factorization (`compensated`). `ca.screen.screened_out` is
+    // deliberately absent — on unrated networks the screen honestly
+    // verifies everything, so zero screened-out is a legal outcome.
+    "ca.screen.verified",
+    "ca.screen.compensated",
     "tool.invocations",
     "llm.turns",
     "coordinator.steps",

@@ -64,7 +64,10 @@ fn scripted_session_produces_span_tree_and_solver_counters() {
     assert_ne!(parent.name, "coordinator.ask");
 
     // The rayon-parallel contingency sweep re-parents its workers onto
-    // the sweep span, so per-outage Newton solves stay in the tree.
+    // the sweep span, so per-outage solves stay in the tree. Under the
+    // default cascade mode most outages are screened out without an AC
+    // solve; every outage that *was* AC-evaluated (compensated or
+    // full-Newton fallback) must have left at least one child span.
     let sweep = snap
         .spans
         .iter()
@@ -75,9 +78,12 @@ fn scripted_session_produces_span_tree_and_solver_counters() {
         .iter()
         .filter(|s| s.parent == Some(sweep.id))
         .count();
+    let counter = |k: &str| snap.counters.get(k).copied().unwrap_or(0) as usize;
+    let ac_evaluated = counter("ca.screen.compensated") + counter("ca.screen.fallback");
+    assert!(ac_evaluated > 0, "cascade AC-verified no outages");
     assert!(
-        sweep_children >= 10,
-        "sweep has {sweep_children} children, expected the outage solves"
+        sweep_children >= ac_evaluated,
+        "sweep has {sweep_children} children, expected at least the {ac_evaluated} AC evaluations"
     );
 }
 
