@@ -50,6 +50,8 @@ pub struct Entities {
     pub numbers: Vec<f64>,
     /// Scale factors like "by 10%" or "1.2x".
     pub percent: Vec<f64>,
+    /// Scenario counts like "in 8 steps" or "12 scenarios".
+    pub steps: Option<usize>,
 }
 
 /// Extracts entities from an utterance.
@@ -57,6 +59,19 @@ pub fn extract_entities(utterance: &str) -> Entities {
     let tokens = tokenize(utterance);
     let mut e = Entities::default();
     let mut claimed = vec![false; tokens.len()];
+
+    // "%"-suffixed quantities like "80%" survive only in the raw
+    // utterance — the tokenizer treats '%' as a separator and drops it.
+    // Collect them here; the bare-number pass below reroutes matching
+    // values into `percent` instead of `numbers`.
+    let mut percent_raw: Vec<f64> = utterance
+        .split_whitespace()
+        .filter_map(|w| {
+            w.trim_end_matches([',', ';', '.', ')'])
+                .strip_suffix('%')
+                .and_then(|s| s.parse::<f64>().ok())
+        })
+        .collect();
 
     // Strict numeric parse: unit-suffixed tokens like "50mw" are handled
     // by the dedicated quantity pass below, not here.
@@ -103,6 +118,15 @@ pub fn extract_entities(utterance: &str) -> Entities {
                 if let Some(n) = next.and_then(|t| parse_num(&t.text)) {
                     e.top_k = Some(n as usize);
                     claimed[i + 1] = true;
+                }
+            }
+            "steps" | "scenarios" | "intervals" => {
+                // The count precedes the word: "in 8 steps".
+                if let Some(p) = i.checked_sub(1) {
+                    if let Some(n) = parse_num(&tokens[p].text).filter(|n| *n >= 1.0) {
+                        e.steps = Some(n as usize);
+                        claimed[p] = true;
+                    }
                 }
             }
             _ => {}
@@ -159,7 +183,12 @@ pub fn extract_entities(utterance: &str) -> Entities {
         {
             e.percent.push(v);
         } else if let Ok(v) = tok.text.parse::<f64>() {
-            e.numbers.push(v);
+            if let Some(pos) = percent_raw.iter().position(|&p| p == v) {
+                percent_raw.remove(pos);
+                e.percent.push(v);
+            } else {
+                e.numbers.push(v);
+            }
         }
     }
     // Percent written as "... 10 percent".
@@ -320,6 +349,21 @@ mod tests {
         let e = extract_entities("set it to 42 MW and raise loads by 10 percent");
         assert_eq!(e.mw, vec![42.0]);
         assert_eq!(e.percent, vec![10.0]);
+    }
+
+    #[test]
+    fn steps_extraction() {
+        let e = extract_entities("sweep the load from 80% to 120% in 8 steps");
+        assert_eq!(e.percent, vec![80.0, 120.0]);
+        assert_eq!(e.steps, Some(8));
+        // The step count never leaks into the bare-number pool (it
+        // would otherwise be misread as a case or bus reference).
+        assert!(e.numbers.is_empty());
+        assert_eq!(
+            extract_entities("study 12 scenarios across the day").steps,
+            Some(12)
+        );
+        assert_eq!(extract_entities("sweep the load").steps, None);
     }
 
     #[test]

@@ -192,6 +192,7 @@ fn bench_e2e() -> Value {
     let script = [
         "solve case30",
         "run the n-1 contingency analysis",
+        "sweep the load from 90% to 110% in 6 steps",
         "what are the most critical contingencies in case14",
     ];
     let t0 = Instant::now();

@@ -197,6 +197,29 @@ fn wall_paths(artifact: &str, doc: &Value) -> Vec<(String, f64)> {
                 }
             }
         }
+        Some("batch") => {
+            // Batched-study artifact: the batch and naive-loop walls are
+            // gated independently per case — the batch quietly losing
+            // its amortization edge shows up as a batch-wall regression
+            // even while it still beats the naive loop (bench_batch
+            // enforces the ≥5x speedup invariant itself on every run).
+            // Min-of-runs rather than mean: the batch leg is tens of
+            // milliseconds, where scheduler noise swings the mean well
+            // past the tolerance band while the min stays put.
+            if let Some(cases) = doc.get("cases").and_then(Value::as_object) {
+                for (case, v) in cases {
+                    for kind in ["batch", "naive"] {
+                        if let Some(min) = v
+                            .get(kind)
+                            .and_then(|s| s.get("min_s"))
+                            .and_then(Value::as_f64)
+                        {
+                            out.push((format!("cases.{case}.{kind}.min_s"), min));
+                        }
+                    }
+                }
+            }
+        }
         Some("e2e") => {
             if let Some(w) = doc.get("wall_elapsed_s").and_then(Value::as_f64) {
                 out.push(("wall_elapsed_s".to_string(), w));
@@ -355,6 +378,40 @@ mod tests {
         let rep = compare_artifact("BENCH_pf.json", &base, &cur, Tolerances::uniform(0.25));
         assert_eq!(rep.dead_counters.len(), 1);
         assert!(!rep.passed());
+    }
+
+    #[test]
+    fn batch_doc_gates_batch_and_naive_walls_separately() {
+        let batch_doc = |batch: f64, naive: f64| {
+            json!({
+                "bench": "batch",
+                "cases": { "Ieee118": {
+                    "batch": { "min_s": batch },
+                    "naive": { "min_s": naive },
+                }},
+                "telemetry": { "counters": { "batch.warm_hits": 63 } },
+            })
+        };
+        let base = batch_doc(0.10, 0.80);
+        let rep = compare_artifact(
+            "BENCH_batch.json",
+            &base,
+            &batch_doc(0.11, 0.82),
+            Tolerances::uniform(0.25),
+        );
+        assert!(rep.passed(), "{:?}", rep.failures());
+        assert_eq!(rep.walls_checked, 2);
+
+        // The batch losing its amortization edge regresses its own wall
+        // even while it still beats the naive loop outright.
+        let rep = compare_artifact(
+            "BENCH_batch.json",
+            &base,
+            &batch_doc(0.20, 0.80),
+            Tolerances::uniform(0.25),
+        );
+        assert!(!rep.passed());
+        assert_eq!(rep.slower[0].metric, "cases.Ieee118.batch.min_s");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::planners::{AcopfPlanner, CaPlanner};
 use crate::session::SharedSession;
 use crate::tools_acopf;
+use crate::tools_batch;
 use crate::tools_ca;
 use crate::validators::{ConvergenceValidator, OperatingLimitValidator, PowerBalanceValidator};
 use gm_agents::{Agent, ModelProfile, SimulatedLlm, ToolRegistry, VirtualClock};
@@ -25,6 +26,7 @@ You have access to the following tools:
 - modify_bus_load: Modify load at a specific bus and re-solve
 - modify_gen_limits: Change a unit's active power limits and re-solve
 - solve_security_constrained: Solve the preventive security-constrained OPF
+- batch_study: Solve many what-if scenarios (load sweep, daily profile, bus ramp) in one batched run
 - get_network_status: Get current network and solution status
 
 Never fabricate solver outputs; always call tools for numerical data.
@@ -72,6 +74,10 @@ pub fn build_acopf_agent(
         clock.clone(),
     ));
     tools.register(tools_acopf::solve_security_constrained_tool(
+        session.clone(),
+        clock.clone(),
+    ));
+    tools.register(tools_batch::batch_study_tool(
         session.clone(),
         clock.clone(),
     ));
@@ -235,5 +241,80 @@ mod tests {
         assert!(resp.tool_calls.iter().any(|c| !c.ok));
         assert!(resp.tool_calls.iter().filter(|c| c.ok).count() >= 2);
         assert!(resp.text.contains("bus 5"), "{}", resp.text);
+    }
+
+    #[test]
+    fn acopf_agent_batch_study_flow() {
+        let reg = gm_telemetry::Registry::new();
+        let _t = reg.install();
+        let session = SessionContext::new();
+        let clock = VirtualClock::new();
+        let mut agent = build_acopf_agent(
+            ModelProfile::by_name("GPT-o3").unwrap(),
+            session.clone(),
+            clock,
+        );
+        let resp = agent.handle("on case14, sweep the load from 90% to 110% in 5 steps");
+        assert!(resp.completed, "{}", resp.text);
+        assert!(resp.text.contains("Batched study"), "{}", resp.text);
+        assert!(resp.text.contains("5 scenarios"), "{}", resp.text);
+        assert!(
+            resp.text.contains("Cheapest operating point"),
+            "{}",
+            resp.text
+        );
+        // Light load is the cheap end of the sweep.
+        assert!(resp.text.contains("load 90.0%"), "{}", resp.text);
+        assert_eq!(reg.counter_value("batch.scenarios"), 5);
+        assert!(reg.counter_value("batch.warm_hits") >= 3);
+    }
+
+    #[test]
+    fn injected_batch_divergence_is_absorbed_by_flat_restart() {
+        let reg = gm_telemetry::Registry::new();
+        let _t = reg.install();
+        let inj = gm_faults::FaultInjector::scripted(vec![gm_faults::FaultRule::new(
+            "batch.scenario",
+            gm_faults::FaultKind::NewtonDiverge,
+            1,
+            1,
+        )]);
+        let _g = inj.install();
+        let session = SessionContext::new();
+        let clock = VirtualClock::new();
+        let mut agent = build_acopf_agent(ModelProfile::by_name("GPT-o3").unwrap(), session, clock);
+        let resp = agent.handle("on case14, sweep the load from 95% to 105% in 5 steps");
+        // The injected divergence is absorbed inside the batch engine:
+        // the scenario restarts from flat, converges, and the study
+        // narrates normally — never a hard error.
+        assert!(resp.completed, "{}", resp.text);
+        assert!(resp.text.contains("Batched study"), "{}", resp.text);
+        assert!(resp.text.contains("1 flat restart(s)"), "{}", resp.text);
+        assert!(!resp.text.contains("unsolved"), "{}", resp.text);
+        assert_eq!(reg.counter_value("batch.flat_restarts"), 1);
+        assert_eq!(reg.counter_value("recovery.attempts"), 0);
+    }
+
+    #[test]
+    fn batch_study_caveats_unsolvable_scenarios_instead_of_failing() {
+        let reg = gm_telemetry::Registry::new();
+        let _t = reg.install();
+        let session = SessionContext::new();
+        let clock = VirtualClock::new();
+        let mut agent = build_acopf_agent(ModelProfile::by_name("GPT-o3").unwrap(), session, clock);
+        // 400% of nominal load is far beyond case14's loadability: those
+        // scenarios fail Newton, fail the in-engine flat restart, and
+        // descend the recovery ladder — each producing a caveated
+        // approximate row, not an error.
+        let resp = agent.handle("on case14, sweep the load from 100% to 400% in 4 steps");
+        assert!(resp.completed, "{}", resp.text);
+        assert!(resp.text.contains("Batched study"), "{}", resp.text);
+        assert!(
+            resp.text.contains(crate::recovery::CAVEAT_PREFIX),
+            "degraded rows must surface a caveat: {}",
+            resp.text
+        );
+        assert!(reg.counter_value("recovery.attempts") >= 1);
+        assert!(reg.counter_value("batch.flat_restarts") >= 1);
     }
 }

@@ -252,6 +252,7 @@ impl GridMind {
             gm_telemetry::counter_add(
                 match crate::query_kind::classify_query_kind(&segment) {
                     "contingency" => "query.kind.contingency",
+                    "batch" => "query.kind.batch",
                     "mutate" => "query.kind.mutate",
                     "status" => "query.kind.status",
                     "pf" => "query.kind.pf",

@@ -46,6 +46,7 @@ pub mod repl;
 pub mod session;
 pub mod solver_cache;
 pub mod tools_acopf;
+pub mod tools_batch;
 pub mod tools_ca;
 pub mod validators;
 
@@ -59,5 +60,6 @@ pub use recovery::{
 };
 pub use session::{SessionContext, SessionError, SessionState, SharedSession, Stamped};
 pub use solver_cache::{
-    QueryKind, SharedSolverCache, SolverCache, SolverCacheKey, SolverCacheStats, SolverResult,
+    run_batch_cached, QueryKind, SharedSolverCache, SolverCache, SolverCacheKey, SolverCacheStats,
+    SolverResult,
 };

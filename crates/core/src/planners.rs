@@ -84,7 +84,107 @@ impl AcopfPlanner {
                 &["status"],
                 0.0,
             ),
+            IntentRule::new(
+                "batch_study",
+                &["study", "scenarios", "hourly", "profile", "day", "batch"],
+                &["sweep", "across", "batch"],
+                0.0,
+            ),
         ]
+    }
+
+    /// Builds the `batch_study` call from the utterance: the scenario
+    /// family from its wording, the range from percent pairs, and the
+    /// scenario count from a "… in N steps" entity.
+    fn batch_call(view: &ConversationView) -> ToolCall {
+        let ents = extract_entities(view.user_input);
+        let lower = view.user_input.to_lowercase();
+        let mut args = json!({});
+        let case = ents.case.clone().or_else(|| {
+            view.context_value("active_case")
+                .and_then(|v| v.as_str().map(String::from))
+        });
+        if let Some(case) = case {
+            args["case_name"] = json!(case);
+        }
+        if lower.contains("day") || lower.contains("hour") {
+            args["kind"] = json!("daily_profile");
+        } else if let Some(&bus) = ents.buses.first() {
+            args["kind"] = json!("bus_profile");
+            args["bus_id"] = json!(bus);
+        } else {
+            args["kind"] = json!("load_sweep");
+        }
+        if ents.percent.len() >= 2 {
+            args["from_percent"] = json!(ents.percent[0]);
+            args["to_percent"] = json!(ents.percent[1]);
+        }
+        if let Some(steps) = ents.steps {
+            args["steps"] = json!(steps);
+        }
+        ToolCall {
+            tool: "batch_study".into(),
+            args,
+        }
+    }
+
+    fn narrate_batch(out: &Value) -> String {
+        let rows = out["rows"].as_array().cloned().unwrap_or_default();
+        let mut table = String::new();
+        for r in &rows {
+            if r["converged"].as_bool() == Some(true) {
+                table.push_str(&format!(
+                    "  {:<16} cost {:>10.2} $/h | {} violation(s) | max loading {:>5.1}% \
+                     | min V {:.4} p.u.{}\n",
+                    r["label"].as_str().unwrap_or("?"),
+                    f(r, "cost_per_hour"),
+                    r["violations"],
+                    f(r, "max_loading_pct"),
+                    f(r, "min_voltage_pu"),
+                    if r["degraded"].as_bool() == Some(true) {
+                        " (approximate)"
+                    } else {
+                        ""
+                    },
+                ));
+            } else {
+                table.push_str(&format!(
+                    "  {:<16} unsolved: {}\n",
+                    r["label"].as_str().unwrap_or("?"),
+                    r["error"].as_str().unwrap_or("solver failure"),
+                ));
+            }
+        }
+        let mut text = format!(
+            "Batched study of {}: {} scenarios solved in one pass \
+             ({} warm-started, {} flat restart(s)).\n\n{}",
+            out["case_name"].as_str().unwrap_or("the case"),
+            out["scenarios"],
+            out["warm_hits"],
+            out["flat_restarts"],
+            table,
+        );
+        if out["cheapest"].is_object() && out["costliest"].is_object() {
+            text.push_str(&format!(
+                "\nCheapest operating point: {} at {:.2} $/h; costliest: {} at {:.2} $/h.",
+                out["cheapest"]["label"].as_str().unwrap_or("?"),
+                f(&out["cheapest"], "cost_per_hour"),
+                out["costliest"]["label"].as_str().unwrap_or("?"),
+                f(&out["costliest"], "cost_per_hour"),
+            ));
+        }
+        match out["worst_violations"]["count"].as_u64() {
+            Some(n) if n > 0 => text.push_str(&format!(
+                " Most violations: {} in scenario {}.",
+                n,
+                out["worst_violations"]["label"].as_str().unwrap_or("?"),
+            )),
+            Some(_) => {
+                text.push_str(" No voltage or thermal violations in any scenario.");
+            }
+            None => {}
+        }
+        text
     }
 
     fn narrate_solution(sol: &Value) -> String {
@@ -229,12 +329,18 @@ impl Planner for AcopfPlanner {
             // narrate.
             match tool.as_str() {
                 "solve_acopf_case" => {
-                    // If the original intent was a modification, the solve
-                    // was a recovery step: now do the modification.
+                    // If the original intent was a modification or a
+                    // batched study, the solve was a recovery step: now
+                    // do the actual work.
                     let ents = extract_entities(view.user_input);
-                    let wanted_modify = classify(view.user_input, &Self::rules())
-                        .map(|m| m.intent == "modify_load")
-                        .unwrap_or(false);
+                    let wanted = classify(view.user_input, &Self::rules()).map(|m| m.intent);
+                    if wanted.as_deref() == Some("batch_study") && view.round < 4 {
+                        return ModelTurn {
+                            reasoning: vec!["(case ready; run the batched study)".into()],
+                            action: TurnAction::Calls(vec![Self::batch_call(view)]),
+                        };
+                    }
+                    let wanted_modify = wanted.as_deref() == Some("modify_load");
                     if wanted_modify && !ents.buses.is_empty() && !ents.mw.is_empty() {
                         return ModelTurn {
                             reasoning: vec!["(case ready; apply the requested load change)".into()],
@@ -292,6 +398,18 @@ impl Planner for AcopfPlanner {
                         action: TurnAction::Respond(with_caveats(
                             view,
                             Self::narrate_scopf(result),
+                        )),
+                    };
+                }
+                "batch_study" => {
+                    return ModelTurn {
+                        reasoning: vec![
+                            "(validate per-scenario results)".into(),
+                            "(narrate the study table)".into(),
+                        ],
+                        action: TurnAction::Respond(with_caveats(
+                            view,
+                            Self::narrate_batch(result),
                         )),
                     };
                 }
@@ -382,6 +500,14 @@ impl Planner for AcopfPlanner {
                     }]),
                 }
             }
+            Some("batch_study") => ModelTurn {
+                reasoning: vec![
+                    "(understand the task: a family of operating points)".into(),
+                    "(build the scenario set)".into(),
+                    "(one batched power-flow run, then summarize)".into(),
+                ],
+                action: TurnAction::Calls(vec![Self::batch_call(view)]),
+            },
             Some("solve_case") | Some("modify_load") | None => {
                 let case = ents.case.clone().or(active_case);
                 match case {

@@ -11,11 +11,12 @@
 //! *which latency bucket*).
 
 /// Every label [`classify_query_kind`] can produce, in match order.
-pub const QUERY_KIND_LABELS: &[&str] = &["contingency", "mutate", "status", "pf", "other"];
+pub const QUERY_KIND_LABELS: &[&str] = &["contingency", "batch", "mutate", "status", "pf", "other"];
 
 /// Classifies a query into its latency-accounting kind:
 ///
 /// - `"contingency"` — N-1/outage sweeps (the expensive path),
+/// - `"batch"` — multi-scenario studies (load sweeps, daily profiles),
 /// - `"mutate"` — network edits (set/increase/decrease a load or limit),
 /// - `"status"` — state recall, no solver work expected,
 /// - `"pf"` — power-flow / OPF solves,
@@ -32,6 +33,18 @@ pub fn classify_query_kind(query: &str) -> &'static str {
         "vulnerab",
     ]) {
         "contingency"
+    } else if has(&[
+        "sweep",
+        "batch",
+        "scenarios",
+        "across the day",
+        "daily profile",
+        "hourly",
+    ]) {
+        // Before "mutate"/"pf": "sweep the load from 80% to 120%"
+        // contains both "load" and often "increase"-ish wording, but it
+        // is a many-solve batch, not a single mutate-and-resolve.
+        "batch"
     } else if has(&[
         "set ",
         "set the",
@@ -89,9 +102,24 @@ mod tests {
     }
 
     #[test]
+    fn batch_studies_get_their_own_bucket() {
+        assert_eq!(
+            classify_query_kind("sweep the load from 80% to 120% in 8 steps"),
+            "batch"
+        );
+        assert_eq!(
+            classify_query_kind("how does case118 look across the day?"),
+            "batch"
+        );
+        // N-1 keywords still win over batch keywords.
+        assert_eq!(classify_query_kind("batch the n-1 outages"), "contingency");
+    }
+
+    #[test]
     fn every_label_is_reachable_and_listed() {
         for (query, want) in [
             ("run the n-1 sweep", "contingency"),
+            ("run a batch study of the load", "batch"),
             ("increase the load at bus 2", "mutate"),
             ("network status please", "status"),
             ("solve the base case", "pf"),

@@ -34,7 +34,7 @@ use gm_acopf::{
 };
 use gm_contingency::{solve_base, CaOptions, ContingencyCache, ContingencyReport};
 use gm_network::Network;
-use gm_powerflow::{PfError, PfReport};
+use gm_powerflow::{BatchError, BatchReport, PfError, PfOptions, PfReport, ScenarioSet};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -51,6 +51,8 @@ pub enum QueryKind {
     BasePf,
     /// Full N-1 branch-outage sweep.
     ContingencyN1,
+    /// Batched multi-scenario study.
+    BatchStudy,
 }
 
 /// Composite cache key: network content × query kind × solver options.
@@ -75,6 +77,8 @@ pub enum SolverResult {
     Pf(PfReport),
     /// A completed N-1 sweep report.
     Contingency(ContingencyReport),
+    /// A completed batched multi-scenario study.
+    Batch(BatchReport),
 }
 
 /// Cumulative cache statistics.
@@ -392,6 +396,82 @@ pub fn run_n1_cached_shared(
     Ok(rep)
 }
 
+/// Folds the batch-study parameters — the power-flow options and the
+/// full [`ScenarioSet`] — into one fingerprint via the same canonical
+/// length-prefixed FNV-1a scheme as [`n1_params_fingerprint`].
+///
+/// This is the bugfix the batch tool shipped with: `SolverCacheKey`
+/// only folds `Network::content_hash` and an *option* fingerprint, and
+/// the scenario set is neither — two studies over the same base network
+/// with the same options but different sweeps would alias if the set
+/// were left out, and a naive unprefixed concatenation of labels/deltas
+/// would let `["ab","c"]` alias `["a","bc"]`
+/// (see `batch_naive_concat_collision_is_fixed`).
+/// [`ScenarioSet::canonical_bytes`] length-prefixes every variable
+/// field, and each `PfOptions` field is emitted as its own
+/// length-prefixed field, so the byte stream parses back to exactly one
+/// `(options, set)` pair.
+fn batch_params_fingerprint(opts: &PfOptions, set: &ScenarioSet) -> u64 {
+    let init_tag: u8 = match opts.init {
+        gm_powerflow::InitStrategy::Flat => 0,
+        gm_powerflow::InitStrategy::CaseValues => 1,
+        gm_powerflow::InitStrategy::DcWarmStart => 2,
+    };
+    let set_bytes = set.canonical_bytes();
+    let fields: [&[u8]; 7] = [
+        &opts.tol_pu.to_bits().to_le_bytes(),
+        &(opts.max_iter as u64).to_le_bytes(),
+        &[u8::from(opts.iwamoto_damping)],
+        &[u8::from(opts.enforce_q_limits)],
+        &(opts.max_q_rounds as u64).to_le_bytes(),
+        &[init_tag],
+        &set_bytes,
+    ];
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    };
+    for field in fields {
+        // The set encoding can exceed 255 bytes; use a 4-byte prefix.
+        for &b in &(field.len() as u32).to_le_bytes() {
+            eat(b);
+        }
+        for &b in field {
+            eat(b);
+        }
+    }
+    h
+}
+
+/// Batched multi-scenario study through the cache. Only fully-clean
+/// batches — every scenario outcome `Ok` — are memoized: a batch with
+/// failed scenarios may be narrated through the recovery ladder with
+/// CAVEATs, and degraded results must never be served from cache.
+pub fn run_batch_cached(
+    cache: Option<&SharedSolverCache>,
+    net: &Network,
+    opts: &PfOptions,
+    set: &ScenarioSet,
+) -> Result<BatchReport, BatchError> {
+    let Some(cache) = cache else {
+        return gm_powerflow::run_batch(net, opts, set);
+    };
+    let key = SolverCacheKey {
+        net_hash: net.content_hash(),
+        kind: QueryKind::BatchStudy,
+        params: batch_params_fingerprint(opts, set),
+    };
+    if let Some(SolverResult::Batch(rep)) = cache_lookup(cache, &key) {
+        return Ok(rep);
+    }
+    let rep = gm_powerflow::run_batch(net, opts, set)?;
+    if rep.outcomes.iter().all(|o| o.report.is_ok()) {
+        cache.put(key, SolverResult::Batch(rep.clone()));
+    }
+    Ok(rep)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -569,6 +649,87 @@ mod tests {
             n1_params_fingerprint(fp, true, t1),
             n1_params_fingerprint(fp, true, 0.9)
         );
+    }
+
+    #[test]
+    fn batch_naive_concat_collision_is_fixed() {
+        use gm_powerflow::{Scenario, ScenarioSet};
+        // A naive fingerprint that concatenates scenario labels without
+        // length prefixes cannot tell ["ab","c"] from ["a","bc"]: the
+        // byte streams are identical, so the keys collide and one
+        // study's table would be served for the other.
+        let a = ScenarioSet::new(vec![
+            Scenario {
+                label: "ab".into(),
+                deltas: vec![],
+            },
+            Scenario {
+                label: "c".into(),
+                deltas: vec![],
+            },
+        ]);
+        let b = ScenarioSet::new(vec![
+            Scenario {
+                label: "a".into(),
+                deltas: vec![],
+            },
+            Scenario {
+                label: "bc".into(),
+                deltas: vec![],
+            },
+        ]);
+        let naive = |set: &ScenarioSet| -> u64 {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for sc in &set.scenarios {
+                for &byte in sc.label.as_bytes() {
+                    h ^= u64::from(byte);
+                    h = h.wrapping_mul(0x0100_0000_01b3);
+                }
+            }
+            h
+        };
+        assert_eq!(naive(&a), naive(&b), "the naive concat collapses the pair");
+        let opts = PfOptions::default();
+        assert_ne!(
+            batch_params_fingerprint(&opts, &a),
+            batch_params_fingerprint(&opts, &b),
+            "the canonical length-prefixed encoding must separate it"
+        );
+        // Option changes must also miss: same set, different tolerance.
+        let tight = PfOptions {
+            tol_pu: 1e-10,
+            ..PfOptions::default()
+        };
+        assert_ne!(
+            batch_params_fingerprint(&opts, &a),
+            batch_params_fingerprint(&tight, &a)
+        );
+        // And a delta-value change inside one scenario must miss.
+        let mut c = a.clone();
+        c.scenarios[0]
+            .deltas
+            .push(gm_powerflow::ScenarioDelta::ScaleAllLoads { factor: 1.1 });
+        assert_ne!(
+            batch_params_fingerprint(&opts, &a),
+            batch_params_fingerprint(&opts, &c)
+        );
+    }
+
+    #[test]
+    fn batch_study_caches_clean_runs_and_recalls_them() {
+        let net = cases::load(gm_network::CaseId::Ieee14);
+        let cache = SolverCache::new(8);
+        let opts = PfOptions::default();
+        let set = gm_powerflow::ScenarioSet::load_sweep(0.9, 1.1, 5);
+        let first = run_batch_cached(Some(&cache), &net, &opts, &set).unwrap();
+        assert_eq!(cache.stats().inserts, 1, "clean batch is memoized");
+        let second = run_batch_cached(Some(&cache), &net, &opts, &set).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(format!("{second:?}"), format!("{first:?}"));
+        // A different sweep over the same network and options misses.
+        let other = gm_powerflow::ScenarioSet::load_sweep(0.8, 1.2, 5);
+        let _ = run_batch_cached(Some(&cache), &net, &opts, &other).unwrap();
+        assert_eq!(cache.stats().inserts, 2);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 // index-based loops are the clearer form here.
 #![allow(clippy::needless_range_loop)]
 
+pub mod batch;
 pub mod compensated;
 pub mod dc;
 pub mod decoupled;
@@ -41,6 +42,10 @@ pub mod newton;
 pub mod sensitivity;
 pub mod types;
 
+pub use batch::{
+    run_batch, run_naive, BatchError, BatchReport, Scenario, ScenarioDelta, ScenarioOutcome,
+    ScenarioSet,
+};
 pub use compensated::{CompensatedPfError, CompensationBase};
 pub use dc::{solve_dc, DcReport};
 pub use decoupled::{solve_fast_decoupled, solve_fast_decoupled_with_engine};

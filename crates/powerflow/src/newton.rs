@@ -47,15 +47,51 @@ pub fn solve_from_with_engine(
     start: Option<&[Complex]>,
     engine: &mut LuEngine,
 ) -> Result<PfReport, PfError> {
-    let _span = gm_telemetry::span!("pf.newton.solve", case = net.name, n_bus = net.n_bus());
-    gm_telemetry::counter_add("pf.newton.solves", 1);
     if let Err(problems) = net.validate() {
         return Err(PfError::InvalidNetwork {
             problems: problems.iter().map(|p| p.to_string()).collect(),
         });
     }
-    let n = net.n_bus();
     let ybus = YBus::assemble(net);
+    let mut scratch = JacScratch::new();
+    solve_prepared(net, opts, start, None, &ybus, engine, &mut scratch).map(|(rep, _)| rep)
+}
+
+/// Reactive-limit switching state of a converged solve: for each bus,
+/// the total generator reactive output (p.u.) it ended up pinned at, or
+/// `None` if its PV status survived. The batch engine carries this from
+/// a warm-start neighbor into the seeded solve so the Newton iteration
+/// starts on the *switched* problem the neighbor converged to — without
+/// it, every scenario first re-converges the unswitched problem and
+/// then re-discovers the same PV→PQ switches, roughly doubling the
+/// iteration count and erasing the warm start's advantage. Pin values
+/// are generator limits (network constants across load/dispatch
+/// deltas), so carrying them between scenarios is exact.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct QState {
+    /// Bus-indexed pinned total generator Q (p.u.), `None` = not pinned.
+    pub(crate) pinned_q_gen: Vec<Option<f64>>,
+}
+
+/// The solver body behind [`solve_from_with_engine`], taking a
+/// pre-assembled admittance matrix and caller-owned Jacobian scratch so
+/// the batch engine can amortize validation, `YBus` assembly, and
+/// allocation across scenarios that share a topology. Assumes `net` has
+/// already passed [`Network::validate`] (load/dispatch deltas on a valid
+/// base cannot invalidate it); results are bit-identical to the public
+/// entry points.
+pub(crate) fn solve_prepared(
+    net: &Network,
+    opts: &PfOptions,
+    start: Option<&[Complex]>,
+    q_seed: Option<&QState>,
+    ybus: &YBus,
+    engine: &mut LuEngine,
+    scratch: &mut JacScratch,
+) -> Result<(PfReport, QState), PfError> {
+    let _span = gm_telemetry::span!("pf.newton.solve", case = net.name, n_bus = net.n_bus());
+    gm_telemetry::counter_add("pf.newton.solves", 1);
+    let n = net.n_bus();
     let Some(slack) = net.slack() else {
         // `validate` above guarantees a slack; keep a typed error rather
         // than a panic in case validation rules and this ever drift.
@@ -88,6 +124,29 @@ pub fn solve_from_with_engine(
         if let Some((_, g)) = net.gens_at(i).next() {
             if role[i] != Role::Pq {
                 vm_set[i] = g.vm_setpoint_pu;
+            }
+        }
+    }
+
+    let mut at_limit: Vec<bool> = vec![false; net.gens.len()];
+    let mut pinned_q: Vec<Option<f64>> = vec![None; n];
+    // Apply a carried Q-switching state before the first iteration: the
+    // seeded buses start demoted to PQ with Q pinned exactly where the
+    // warm-start neighbor left them (the pin is a generator limit, so
+    // it is scenario-independent; only the load share of `q_spec`
+    // changes under this scenario's deltas).
+    if let Some(seed) = q_seed {
+        for i in 0..n {
+            if role[i] != Role::Pv {
+                continue;
+            }
+            if let Some(pin) = seed.pinned_q_gen.get(i).copied().flatten() {
+                role[i] = Role::Pq;
+                q_spec[i] = pin - bus_load_q(net, i);
+                pinned_q[i] = Some(pin);
+                for (gi, _) in net.gens_at(i) {
+                    at_limit[gi] = true;
+                }
             }
         }
     }
@@ -133,13 +192,11 @@ pub fn solve_from_with_engine(
     let mut q_rounds = 0usize;
     let mut mismatch_history = Vec::new();
     let mut multipliers = Vec::new();
-    let mut at_limit: Vec<bool> = vec![false; net.gens.len()];
-    let mut scratch = JacScratch::new();
 
     loop {
         let converged = newton_inner(
             net,
-            &ybus,
+            ybus,
             &role,
             &p_spec,
             &q_spec,
@@ -150,7 +207,7 @@ pub fn solve_from_with_engine(
             &mut mismatch_history,
             &mut multipliers,
             engine,
-            &mut scratch,
+            scratch,
         )?;
         if !converged {
             gm_telemetry::counter_add("pf.newton.diverged", 1);
@@ -172,19 +229,14 @@ pub fn solve_from_with_engine(
                 continue;
             }
             // Total generator Q needed at the bus = injection + load Q.
-            let load_q: f64 = net
-                .loads
-                .iter()
-                .filter(|l| l.in_service && l.bus == i)
-                .map(|l| l.q_mvar)
-                .sum::<f64>()
-                / net.base_mva;
+            let load_q = bus_load_q(net, i);
             let q_gen = s_calc[i].im + load_q;
             let (q_min, q_max) = gen_q_range(net, i);
             if q_gen > q_max + 1e-9 || q_gen < q_min - 1e-9 {
                 let pinned = q_gen.clamp(q_min, q_max);
                 role[i] = Role::Pq;
                 q_spec[i] = pinned - load_q;
+                pinned_q[i] = Some(pinned);
                 for (gi, _) in net.gens_at(i) {
                     at_limit[gi] = true;
                 }
@@ -200,9 +252,9 @@ pub fn solve_from_with_engine(
     gm_telemetry::counter_add("pf.newton.iterations", iterations as u64);
     gm_telemetry::counter_add("pf.newton.q_rounds", q_rounds as u64);
     gm_telemetry::histogram_record("pf.newton.iterations_per_solve", iterations as f64);
-    Ok(build_report(
+    let report = build_report(
         net,
-        &ybus,
+        ybus,
         &v,
         slack,
         iterations,
@@ -210,7 +262,23 @@ pub fn solve_from_with_engine(
         mismatch_history,
         multipliers,
         &at_limit,
+    );
+    Ok((
+        report,
+        QState {
+            pinned_q_gen: pinned_q,
+        },
     ))
+}
+
+/// Total in-service load reactive demand at a bus (p.u.).
+fn bus_load_q(net: &Network, bus: usize) -> f64 {
+    net.loads
+        .iter()
+        .filter(|l| l.in_service && l.bus == bus)
+        .map(|l| l.q_mvar)
+        .sum::<f64>()
+        / net.base_mva
 }
 
 /// Total generator reactive range at a bus (p.u.).
@@ -228,7 +296,7 @@ fn gen_q_range(net: &Network, bus: usize) -> (f64, f64) {
 /// triplet stamping buffer, the assembled matrix with its scatter map
 /// (in-place numeric refresh when the pattern holds, rebuild when it
 /// does not), and the update/scratch vectors for the in-place LU solve.
-struct JacScratch {
+pub(crate) struct JacScratch {
     tj: Triplets<f64>,
     jac: Option<(CsMat<f64>, ScatterMap)>,
     dx: Vec<f64>,
@@ -236,7 +304,7 @@ struct JacScratch {
 }
 
 impl JacScratch {
-    fn new() -> JacScratch {
+    pub(crate) fn new() -> JacScratch {
         JacScratch {
             tj: Triplets::new(0, 0),
             jac: None,

@@ -1,0 +1,112 @@
+//! Property tests for the batched multi-scenario engine.
+//!
+//! The contract under test: [`gm_powerflow::run_batch`] is bit-for-bit
+//! identical to [`gm_powerflow::run_naive`] — the same scenarios solved
+//! one at a time through fresh per-scenario state — while doing no more
+//! symbolic analysis than the naive replay (the amortization that pays
+//! for the batch in the first place).
+
+use gm_powerflow::{run_batch, run_naive, PfOptions, Scenario, ScenarioDelta, ScenarioSet};
+use gm_telemetry::Registry;
+use proptest::prelude::*;
+
+fn scenario_set(factors: &[f64], bus_loads: &[(u8, f64)]) -> ScenarioSet {
+    let mut scenarios: Vec<Scenario> = factors
+        .iter()
+        .enumerate()
+        .map(|(i, &factor)| Scenario {
+            label: format!("scale {i}"),
+            deltas: vec![ScenarioDelta::ScaleAllLoads { factor }],
+        })
+        .collect();
+    for (i, &(bus_sel, p)) in bus_loads.iter().enumerate() {
+        scenarios.push(Scenario {
+            label: format!("bus load {i}"),
+            deltas: vec![ScenarioDelta::SetBusLoad {
+                // Bus ids on the IEEE 14-bus case are 1..=14.
+                bus_id: u32::from(bus_sel % 14) + 1,
+                p_mw: p,
+                q_mvar: None,
+            }],
+        });
+    }
+    ScenarioSet::new(scenarios)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Batch and naive replay agree bit for bit on every per-scenario
+    /// answer, flag, and counter — and the batch never does more
+    /// symbolic analyses than the one-at-a-time loop.
+    #[test]
+    fn batch_is_bitwise_identical_to_naive_replay(
+        factors in prop::collection::vec(0.7f64..1.25, 1..8),
+        bus_loads in prop::collection::vec((0u8..14, 5.0f64..80.0), 0..4),
+    ) {
+        let net = gm_network::cases::load(gm_network::CaseId::Ieee14);
+        let set = scenario_set(&factors, &bus_loads);
+        let opts = PfOptions::default();
+
+        let reg_fast = Registry::new();
+        let fast = {
+            let _g = reg_fast.install();
+            run_batch(&net, &opts, &set).unwrap()
+        };
+        let reg_slow = Registry::new();
+        let slow = {
+            let _g = reg_slow.install();
+            run_naive(&net, &opts, &set).unwrap()
+        };
+
+        prop_assert_eq!(fast.scenarios, slow.scenarios);
+        prop_assert_eq!(fast.warm_hits, slow.warm_hits);
+        prop_assert_eq!(fast.flat_restarts, slow.flat_restarts);
+        for (a, b) in fast.outcomes.iter().zip(&slow.outcomes) {
+            prop_assert_eq!(&a.label, &b.label);
+            prop_assert_eq!(a.signature_mw.to_bits(), b.signature_mw.to_bits());
+            prop_assert_eq!(a.warm_started, b.warm_started);
+            prop_assert_eq!(a.flat_restarted, b.flat_restarted);
+            match (&a.report, &b.report) {
+                (Ok(ra), Ok(rb)) => {
+                    prop_assert_eq!(ra.iterations, rb.iterations);
+                    prop_assert_eq!(ra.q_limit_rounds, rb.q_limit_rounds);
+                    prop_assert_eq!(
+                        ra.max_mismatch_pu.to_bits(), rb.max_mismatch_pu.to_bits());
+                    for (ba, bb) in ra.buses.iter().zip(&rb.buses) {
+                        prop_assert_eq!(ba.vm_pu.to_bits(), bb.vm_pu.to_bits());
+                        prop_assert_eq!(ba.va_deg.to_bits(), bb.va_deg.to_bits());
+                        prop_assert_eq!(ba.p_mw.to_bits(), bb.p_mw.to_bits());
+                        prop_assert_eq!(ba.q_mvar.to_bits(), bb.q_mvar.to_bits());
+                    }
+                    for (fa, fb) in ra.branches.iter().zip(&rb.branches) {
+                        prop_assert_eq!(fa.p_from_mw.to_bits(), fb.p_from_mw.to_bits());
+                        prop_assert_eq!(fa.loading_pct.to_bits(), fb.loading_pct.to_bits());
+                    }
+                    for (ga, gb) in ra.gens.iter().zip(&rb.gens) {
+                        prop_assert_eq!(ga.p_mw.to_bits(), gb.p_mw.to_bits());
+                        prop_assert_eq!(ga.q_mvar.to_bits(), gb.q_mvar.to_bits());
+                    }
+                }
+                (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+                (a, b) => prop_assert!(false, "outcome mismatch: {a:?} vs {b:?}"),
+            }
+        }
+
+        // Per-scenario solver stats stay monotone: the shared engine
+        // and the single DC panel factorization can only *reduce* the
+        // symbolic/factorization work relative to the per-scenario
+        // replay, and both paths run one Newton solve per scenario
+        // (plus flat restarts).
+        let fast_sym = reg_fast.counter_value("sparse.symbolic.build");
+        let slow_sym = reg_slow.counter_value("sparse.symbolic.build");
+        prop_assert!(fast_sym <= slow_sym, "symbolic {fast_sym} > naive {slow_sym}");
+        let fast_fac = reg_fast.counter_value("sparse.lu.factorizations");
+        let slow_fac = reg_slow.counter_value("sparse.lu.factorizations");
+        prop_assert!(fast_fac <= slow_fac, "factorizations {fast_fac} > naive {slow_fac}");
+        prop_assert_eq!(
+            reg_fast.counter_value("pf.newton.solves"),
+            reg_slow.counter_value("pf.newton.solves")
+        );
+    }
+}

@@ -400,6 +400,7 @@ fn serve_one(
         match kind {
             "pf" => "serve.latency.pf.total_s",
             "contingency" => "serve.latency.contingency.total_s",
+            "batch" => "serve.latency.batch.total_s",
             "mutate" => "serve.latency.mutate.total_s",
             "status" => "serve.latency.status.total_s",
             _ => "serve.latency.other.total_s",

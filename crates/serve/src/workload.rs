@@ -63,11 +63,14 @@ impl Default for WorkloadConfig {
     }
 }
 
-/// The standard 4-query script: solve, sweep, mutate + re-solve, recall.
+/// The standard 5-query script: solve, N-1 sweep, batched load study,
+/// mutate + re-solve, recall. One query per latency-accounting kind
+/// (see `gridmind_core::classify_query_kind`) except `other`.
 pub fn default_script() -> Vec<String> {
     vec![
         "solve case14".into(),
         "run the n-1 contingency analysis".into(),
+        "sweep the load from 95% to 105% in 5 steps".into(),
         "set the load at bus 9 to 45 MW".into(),
         "what is the network status".into(),
     ]
@@ -377,7 +380,7 @@ mod tests {
         // Every script query lands in its own latency bucket, once per
         // session.
         let latency = report.latency_summary();
-        for kind in ["pf", "contingency", "mutate", "status"] {
+        for kind in ["pf", "contingency", "batch", "mutate", "status"] {
             assert_eq!(
                 latency[kind]["count"], 6u64,
                 "latency summary for {kind}: {latency}"

@@ -274,6 +274,100 @@ impl SparseLu {
             b[qk] = x[k];
         }
     }
+
+    /// Solves `A·X = B` for `nrhs` right-hand sides in place. `panel` is a
+    /// structure-of-arrays layout over the right-hand sides: entry `i` of
+    /// side `s` lives at `panel[i * nrhs + s]`, so all lanes of one row
+    /// are contiguous and the triangular sweeps stream a dense AXPY over
+    /// the lane block per factor nonzero (SIMD-friendly, one pass over
+    /// `L`/`U` regardless of `nrhs`). `scratch` is caller-owned workspace
+    /// of length `n * nrhs + nrhs` (contents ignored on entry).
+    ///
+    /// Bitwise contract: the result equals `nrhs` independent
+    /// [`SparseLu::solve_in_place`] calls on the de-interleaved columns —
+    /// including the `±0.0` edge cases, which is why the mixed-lane path
+    /// below keeps the per-lane skip-on-zero of the single-RHS sweep
+    /// (an unconditional `x -= v·0.0` could flip a `-0.0` to `+0.0`).
+    /// Property-tested in `tests/solve_many_props.rs`.
+    ///
+    /// # Panics
+    /// Panics when `nrhs` is zero or the slice lengths disagree with
+    /// `n * nrhs` / `n * nrhs + nrhs`.
+    pub fn solve_many_in_place(&self, panel: &mut [f64], nrhs: usize, scratch: &mut [f64]) {
+        assert!(nrhs > 0, "at least one right-hand side");
+        assert_eq!(panel.len(), self.n * nrhs, "panel length mismatch");
+        assert_eq!(
+            scratch.len(),
+            self.n * nrhs + nrhs,
+            "scratch length mismatch"
+        );
+        gm_telemetry::counter_add("sparse.lu.solves", nrhs as u64);
+        let (x, lanes) = scratch.split_at_mut(self.n * nrhs);
+        // X = P B, lane blocks move wholesale.
+        for (orig, &pk) in self.pinv.iter().enumerate() {
+            x[pk * nrhs..(pk + 1) * nrhs].copy_from_slice(&panel[orig * nrhs..(orig + 1) * nrhs]);
+        }
+        // L solve (unit diagonal first entry per column).
+        for j in 0..self.n {
+            let (rows, vals) = self.l.col(j);
+            lanes.copy_from_slice(&x[j * nrhs..(j + 1) * nrhs]);
+            let live = lanes.iter().filter(|v| **v != 0.0).count();
+            if live == 0 {
+                continue;
+            }
+            if live == nrhs {
+                // Every lane active: plain dense AXPY over the lane block.
+                for (&r, &v) in rows.iter().zip(vals).skip(1) {
+                    for (xr, &xj) in x[r * nrhs..(r + 1) * nrhs].iter_mut().zip(lanes.iter()) {
+                        *xr -= v * xj;
+                    }
+                }
+            } else {
+                // Mixed lanes: keep the single-RHS skip-on-zero per lane.
+                for (&r, &v) in rows.iter().zip(vals).skip(1) {
+                    for (xr, &xj) in x[r * nrhs..(r + 1) * nrhs].iter_mut().zip(lanes.iter()) {
+                        if xj != 0.0 {
+                            *xr -= v * xj;
+                        }
+                    }
+                }
+            }
+        }
+        // U solve (diagonal last entry per column).
+        for j in (0..self.n).rev() {
+            let (rows, vals) = self.u.col(j);
+            let last = rows.len() - 1;
+            debug_assert_eq!(rows[last], j);
+            let d = vals[last];
+            for (xj, lane) in x[j * nrhs..(j + 1) * nrhs].iter_mut().zip(lanes.iter_mut()) {
+                *xj /= d;
+                *lane = *xj;
+            }
+            let live = lanes.iter().filter(|v| **v != 0.0).count();
+            if live == 0 {
+                continue;
+            }
+            if live == nrhs {
+                for (&r, &v) in rows[..last].iter().zip(&vals[..last]) {
+                    for (xr, &xj) in x[r * nrhs..(r + 1) * nrhs].iter_mut().zip(lanes.iter()) {
+                        *xr -= v * xj;
+                    }
+                }
+            } else {
+                for (&r, &v) in rows[..last].iter().zip(&vals[..last]) {
+                    for (xr, &xj) in x[r * nrhs..(r + 1) * nrhs].iter_mut().zip(lanes.iter()) {
+                        if xj != 0.0 {
+                            *xr -= v * xj;
+                        }
+                    }
+                }
+            }
+        }
+        // Undo the column permutation: out[q[k]] = x[k], lane blocks.
+        for (k, &qk) in self.q.iter().enumerate() {
+            panel[qk * nrhs..(qk + 1) * nrhs].copy_from_slice(&x[k * nrhs..(k + 1) * nrhs]);
+        }
+    }
 }
 
 /// The left-looking Gilbert–Peierls elimination loop shared by the
@@ -615,6 +709,57 @@ mod tests {
         let b = vec![1.0; n];
         assert!(residual_inf(&a, &md.solve(&b), &b) < 1e-9);
         assert!(residual_inf(&a, &nat.solve(&b), &b) < 1e-9);
+    }
+
+    #[test]
+    fn solve_many_matches_repeated_single_solves_bitwise() {
+        let n = 30;
+        let a = dense_random(n, 0.25, 4242);
+        let lu = SparseLu::factor(&a).unwrap();
+        for nrhs in [1usize, 2, 3, 7] {
+            // Interleaved panel with some exact-zero and negative-zero
+            // lanes to exercise the skip-on-zero paths.
+            let mut panel = vec![0.0f64; n * nrhs];
+            let mut singles: Vec<Vec<f64>> = vec![vec![0.0; n]; nrhs];
+            for i in 0..n {
+                for s in 0..nrhs {
+                    let v = match (i + s) % 4 {
+                        0 => ((i * 7 + s * 3) as f64).sin(),
+                        1 => 0.0,
+                        2 => -0.0,
+                        _ => -((i + 2 * s) as f64).cos(),
+                    };
+                    panel[i * nrhs + s] = v;
+                    singles[s][i] = v;
+                }
+            }
+            let mut scratch = vec![0.0f64; n * nrhs + nrhs];
+            lu.solve_many_in_place(&mut panel, nrhs, &mut scratch);
+            let mut ws = vec![0.0f64; n];
+            for (s, b) in singles.iter_mut().enumerate() {
+                lu.solve_in_place(b, &mut ws);
+                for i in 0..n {
+                    assert_eq!(
+                        panel[i * nrhs + s].to_bits(),
+                        b[i].to_bits(),
+                        "nrhs {nrhs}, lane {s}, row {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_many_counts_one_solve_per_lane() {
+        let reg = gm_telemetry::Registry::new();
+        let _g = reg.install();
+        let a: CsMat<f64> = CsMat::identity(4);
+        let lu = SparseLu::factor(&a).unwrap();
+        let mut panel = vec![1.0f64; 4 * 3];
+        let mut scratch = vec![0.0f64; 4 * 3 + 3];
+        lu.solve_many_in_place(&mut panel, 3, &mut scratch);
+        assert_eq!(reg.counter_value("sparse.lu.solves"), 3);
+        assert_eq!(panel, vec![1.0; 12]);
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Property tests for the multi-RHS panel solve.
+//!
+//! The contract under test: [`SparseLu::solve_many_in_place`] on an
+//! interleaved structure-of-arrays panel is bit-for-bit identical to
+//! `nrhs` independent [`SparseLu::solve_in_place`] calls on the
+//! de-interleaved columns — including `±0.0` lanes, which exercise the
+//! skip-on-zero branches of the triangular sweeps.
+
+use gm_sparse::{CsMat, Ordering, SparseLu, Triplets};
+use proptest::prelude::*;
+
+/// Random diagonally dominant matrix (same generator family as
+/// `tests/refactor_props.rs`): dominance keeps the factorization
+/// well-defined for arbitrary off-diagonal draws.
+fn sparse_from(n: usize, entries: &[(usize, usize, f64)]) -> CsMat<f64> {
+    let mut t = Triplets::new(n, n);
+    for i in 0..n {
+        t.push(i, i, 8.0 + (i as f64) * 0.1);
+    }
+    for &(i, j, v) in entries {
+        let (i, j) = (i % n, j % n);
+        if i != j {
+            t.push(i, j, v);
+        }
+    }
+    t.to_csr()
+}
+
+/// Lane value classes: ordinary values plus the signed-zero edge cases
+/// the skip-on-zero sweeps must preserve.
+fn lane_value(raw: f64, class: u8) -> f64 {
+    match class {
+        0 => 0.0,
+        1 => -0.0,
+        _ => raw,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The panel solve equals per-lane single solves bit for bit.
+    #[test]
+    fn panel_solve_matches_per_lane_single_solves(
+        n in 2usize..24,
+        nrhs in 1usize..9,
+        entries in prop::collection::vec(
+            (0usize..32, 0usize..32, -2.0f64..2.0), 0..80),
+        raws in prop::collection::vec(-3.0f64..3.0, 216..217),
+        classes in prop::collection::vec(0u8..5, 216..217),
+    ) {
+        let a = sparse_from(n, &entries);
+        let lu = SparseLu::factor_with(&a, Ordering::MinDegree, 0.1).unwrap();
+
+        // Interleaved panel: entry i of lane s at panel[i*nrhs + s].
+        let mut panel = vec![0.0f64; n * nrhs];
+        for i in 0..n {
+            for s in 0..nrhs {
+                let k = i * nrhs + s;
+                panel[k] = lane_value(raws[k], classes[k]);
+            }
+        }
+
+        // Reference: de-interleave and solve each lane independently.
+        let mut expect = vec![0.0f64; n * nrhs];
+        let mut b = vec![0.0f64; n];
+        let mut ws = vec![0.0f64; n];
+        for s in 0..nrhs {
+            for i in 0..n {
+                b[i] = panel[i * nrhs + s];
+            }
+            lu.solve_in_place(&mut b, &mut ws);
+            for i in 0..n {
+                expect[i * nrhs + s] = b[i];
+            }
+        }
+
+        let mut scratch = vec![0.0f64; n * nrhs + nrhs];
+        lu.solve_many_in_place(&mut panel, nrhs, &mut scratch);
+
+        for (k, (got, want)) in panel.iter().zip(&expect).enumerate() {
+            prop_assert_eq!(
+                got.to_bits(), want.to_bits(),
+                "lane entry {} differs: {} vs {}", k, got, want
+            );
+        }
+    }
+}

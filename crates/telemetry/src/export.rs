@@ -269,6 +269,11 @@ pub const REQUIRED_SOLVER_METRICS: &[&str] = &[
     // verifies everything, so zero screened-out is a legal outcome.
     "ca.screen.verified",
     "ca.screen.compensated",
+    // The batched multi-scenario engine: the scenario count and the
+    // warm-start hit count must both be live — a batch that flat-starts
+    // every scenario has silently lost its amortization.
+    "batch.scenarios",
+    "batch.warm_hits",
     "tool.invocations",
     "llm.turns",
     "coordinator.steps",

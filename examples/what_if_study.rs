@@ -1,50 +1,76 @@
 //! Iterative what-if analysis (the paper's §1 motivation: "adjust load
-//! levels, re-solve, inspect impacts").
+//! levels, re-solve, inspect impacts") — batched.
 //!
-//! Sweeps the load at one bus of IEEE 30 through a range conversationally
-//! and tabulates the optimal cost the agent reports at each step —
-//! demonstrating context preservation across a multi-step study.
+//! The original version of this example mutated one bus and re-solved
+//! in a conversational loop, paying full validation, YBus assembly, and
+//! symbolic analysis for every step. The batched engine answers the
+//! same question in one utterance: the agent plans a `batch_study` tool
+//! call, `gm_powerflow::run_batch` amortizes the fixed costs across the
+//! whole scenario set, and the reply is a single narrated table.
 //!
 //! ```text
 //! cargo run --release --example what_if_study
 //! ```
 
+use std::time::Instant;
+
+use gm_network::{cases, CaseId};
+use gm_powerflow::{run_batch, solve, PfOptions, ScenarioSet};
 use gridmind_core::{GridMind, ModelProfile};
 
-fn main() {
-    let mut gm = GridMind::new(ModelProfile::by_name("GPT-o4 Mini").unwrap());
+fn main() -> Result<(), String> {
+    let profile =
+        ModelProfile::by_name("GPT-o4 Mini").ok_or("model profile table is missing GPT-o4 Mini")?;
+    let mut gm = GridMind::new(profile);
 
-    println!("=== What-if study: load at bus 7 of IEEE 30 ===\n");
-    let reply = gm.ask("solve case30");
-    let base_cost = gm
-        .session
-        .fresh_acopf()
-        .map(|s| s.objective_cost)
-        .expect("base solve succeeded");
-    println!("Base case solved: {:.2} $/h\n", base_cost);
-    let _ = reply;
+    // One conversational turn instead of a mutate/re-solve loop: the
+    // planner classifies the sweep intent, issues a single batch_study
+    // call, and narrates every operating point at once.
+    println!("=== What-if study: system load of IEEE 30 ===\n");
+    let request = "on case30, sweep the load from 90% to 110% in 8 steps";
+    println!("You: {request}\n");
+    let reply = gm.ask(request);
+    println!("{}\n", reply.text);
 
-    println!("{:>10} {:>14} {:>12}", "load MW", "cost $/h", "Δ vs base");
-    for load in [25.0, 30.0, 40.0, 55.0, 70.0] {
-        let request = format!("set the load at bus 7 to {load} MW");
-        let reply = gm.ask(&request);
-        assert!(reply.steps[0].completed, "{}", reply.text);
-        let sol = gm.session.fresh_acopf().expect("re-solve succeeded");
-        println!(
-            "{:>10.1} {:>14.2} {:>11.2}",
-            load,
-            sol.objective_cost,
-            sol.objective_cost - base_cost
-        );
+    // Follow-up in the same session: a 24-hour daily profile, still one
+    // batched run (24 scenarios, warm-started along the load curve).
+    let request = "how does it look across the day?";
+    println!("You: {request}\n");
+    let reply = gm.ask(request);
+    println!("{}\n", reply.text);
+
+    // The engine-level view of what the tool just did: the batch path
+    // against the naive one-solve-at-a-time loop the old example ran.
+    let net = cases::load(CaseId::Ieee118);
+    let opts = PfOptions::default();
+    let set = ScenarioSet::load_sweep(0.90, 1.10, 96);
+    let nets = set
+        .materialize(&net)
+        .map_err(|e| format!("materializing scenarios: {e}"))?;
+
+    let t0 = Instant::now();
+    let mut naive_converged = 0usize;
+    for net_k in &nets {
+        if solve(net_k, &opts).is_ok() {
+            naive_converged += 1;
+        }
     }
+    let naive_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let report = run_batch(&net, &opts, &set).map_err(|e| format!("batch run: {e}"))?;
+    let batch_s = t0.elapsed().as_secs_f64();
+    let batch_converged = report.outcomes.iter().filter(|o| o.report.is_ok()).count();
 
     println!(
-        "\nApplied modifications (the session diff log):\n  {}",
-        gm.session.diff_descriptions().join("\n  ")
+        "=== Engine view: case118, {} scenarios ===",
+        report.scenarios
     );
+    println!("  naive loop  {naive_s:>8.4}s  ({naive_converged} converged)");
     println!(
-        "\nTotal conversation: {} turns, {:.1}s virtual latency",
-        gm.metrics().len(),
-        gm.metrics().iter().map(|m| m.elapsed_s).sum::<f64>()
+        "  run_batch   {batch_s:>8.4}s  ({batch_converged} converged, {} warm starts, {} flat restarts)",
+        report.warm_hits, report.flat_restarts
     );
+    println!("  speedup     {:>7.2}x", naive_s / batch_s.max(1e-12));
+    Ok(())
 }
