@@ -220,6 +220,36 @@ fn wall_paths(artifact: &str, doc: &Value) -> Vec<(String, f64)> {
                 }
             }
         }
+        Some("scale") => {
+            // Scaling-curve artifact: AMD analyze / refactor means and
+            // the end-to-end Newton min are gated per size. The greedy
+            // legs are reference measurements, not gated — the bin
+            // itself enforces the AMD-vs-greedy speedup and fill
+            // invariants on every run. The same measurement floor as
+            // the sparse artifact keeps the small sizes out of timer
+            // noise.
+            const SCALE_WALL_FLOOR_S: f64 = 50e-6;
+            if let Some(cases) = doc.get("cases").and_then(Value::as_object) {
+                for (case, v) in cases {
+                    for (kind, stat) in [
+                        ("analyze", "mean_s"),
+                        ("refactor", "mean_s"),
+                        ("newton", "min_s"),
+                        ("panel_blocked", "min_s"),
+                    ] {
+                        if let Some(x) = v
+                            .get(kind)
+                            .and_then(|s| s.get(stat))
+                            .and_then(Value::as_f64)
+                        {
+                            if x >= SCALE_WALL_FLOOR_S {
+                                out.push((format!("cases.{case}.{kind}.{stat}"), x));
+                            }
+                        }
+                    }
+                }
+            }
+        }
         Some("e2e") => {
             if let Some(w) = doc.get("wall_elapsed_s").and_then(Value::as_f64) {
                 out.push(("wall_elapsed_s".to_string(), w));
@@ -520,6 +550,44 @@ mod tests {
         let rep = compare_artifact("BENCH_ca.json", &base, &dark, Tolerances::uniform(0.25));
         assert_eq!(rep.dead_counters.len(), 1);
         assert_eq!(rep.dead_counters[0].metric, "ca.screen.screened_out");
+    }
+
+    #[test]
+    fn scale_doc_gates_amd_walls_but_not_greedy_legs() {
+        let scale_doc = |analyze: f64, newton: f64, orders: u64| {
+            json!({
+                "bench": "scale",
+                "cases": { "synth9241": {
+                    "analyze": { "mean_s": analyze, "runs": 3 },
+                    "analyze_greedy": { "mean_s": analyze * 20.0, "runs": 3 },
+                    "refactor": { "mean_s": analyze / 4.0, "runs": 3 },
+                    "newton": { "min_s": newton, "runs": 3 },
+                    "newton_greedy": { "min_s": newton * 3.0, "runs": 3 },
+                    "panel_blocked": { "min_s": 0.010, "runs": 3 },
+                    "panel_percol": { "min_s": 0.030, "runs": 3 },
+                } },
+                "telemetry": { "counters": { "sparse.amd.orders": orders } },
+            })
+        };
+        let base = scale_doc(0.050, 0.400, 12);
+        let ok = scale_doc(0.055, 0.420, 14);
+        let rep = compare_artifact("BENCH_scale.json", &base, &ok, Tolerances::uniform(0.25));
+        assert!(rep.passed(), "{:?}", rep.failures());
+        // analyze + refactor + newton + panel_blocked; greedy legs are
+        // reference-only.
+        assert_eq!(rep.walls_checked, 4);
+
+        // The Newton leg regressing alone fails.
+        let slow = scale_doc(0.050, 0.900, 12);
+        let rep = compare_artifact("BENCH_scale.json", &base, &slow, Tolerances::uniform(0.25));
+        assert_eq!(rep.slower.len(), 1);
+        assert_eq!(rep.slower[0].metric, "cases.synth9241.newton.min_s");
+
+        // The AMD ordering going dark is a dead counter.
+        let dark = scale_doc(0.050, 0.400, 0);
+        let rep = compare_artifact("BENCH_scale.json", &base, &dark, Tolerances::uniform(0.25));
+        assert_eq!(rep.dead_counters.len(), 1);
+        assert_eq!(rep.dead_counters[0].metric, "sparse.amd.orders");
     }
 
     fn serve_doc(pf_p50: f64, pf_p99: f64, status_p99: f64) -> Value {

@@ -87,7 +87,8 @@ impl std::fmt::Display for UnknownCase {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "unknown case {:?}; supported: case14, case30, case57, case118, case300",
+            "unknown case {:?}; supported: case14, case30, case57, case118, case300, \
+             synth1354, synth2869, synth9241",
             self.input
         )
     }
@@ -163,7 +164,8 @@ pub fn load(id: CaseId) -> Network {
                 total_gen_capacity_mw: 2800.0,
                 seed: 0x57,
                 rating_margin: 1.0,
-            }),
+            })
+            .expect("embedded case57 spec must generate"),
             ratings::RATINGS_57,
         ),
         CaseId::Ieee118 => apply_ratings(
@@ -178,7 +180,8 @@ pub fn load(id: CaseId) -> Network {
                 total_gen_capacity_mw: 9161.0,
                 seed: 0x118,
                 rating_margin: 1.0,
-            }),
+            })
+            .expect("embedded case118 spec must generate"),
             ratings::RATINGS_118,
         ),
         CaseId::Ieee300 => apply_ratings(
@@ -193,19 +196,27 @@ pub fn load(id: CaseId) -> Network {
                 total_gen_capacity_mw: 43000.0,
                 seed: 0x300,
                 rating_margin: 1.45,
-            }),
+            })
+            .expect("embedded case300 spec must generate"),
             ratings::RATINGS_300,
         ),
     }
 }
 
 /// Loads a case by fuzzy name, returning the network and the identification
-/// confidence (the paper's log line).
+/// confidence (the paper's log line). Falls through to the
+/// interconnect-scale registry ([`crate::scale`]) so `synth9241`-class
+/// names resolve the same way the paper cases do.
 pub fn load_case(input: &str) -> Result<(Network, f64), UnknownCase> {
-    let (id, conf) = identify_case(input).ok_or_else(|| UnknownCase {
+    if let Some((id, conf)) = identify_case(input) {
+        return Ok((load(id), conf));
+    }
+    if let Some((id, conf)) = crate::scale::identify_scale(input) {
+        return Ok((crate::scale::load_scale(id).clone(), conf));
+    }
+    Err(UnknownCase {
         input: input.to_string(),
-    })?;
-    Ok((load(id), conf))
+    })
 }
 
 #[cfg(test)]

@@ -40,6 +40,7 @@ pub mod cases;
 pub mod diff;
 pub mod matpower;
 pub mod model;
+pub mod scale;
 pub mod synth;
 pub mod topology;
 pub mod ybus;
@@ -53,4 +54,6 @@ pub use model::{
     Branch, BranchKind, Bus, BusKind, GenCost, Generator, Load, ModelError, Network,
     NetworkSummary, Shunt,
 };
+pub use scale::{generate_scale, identify_scale, load_scale, ScaleId, ScaleSpec};
+pub use synth::SynthError;
 pub use ybus::YBus;

@@ -17,6 +17,35 @@ use gm_sparse::{SparseLu, Triplets};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+/// Typed failure from synthetic-case generation: a malformed spec or a
+/// degenerate intermediate network surfaces as an error the caller can
+/// handle instead of panicking (the generators run inside serve workers
+/// and agent tools).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SynthError {
+    /// The spec violates a structural precondition of the generator.
+    InvalidSpec {
+        /// Which precondition failed.
+        reason: &'static str,
+    },
+    /// The intermediate network has no slack bus (no generators).
+    NoSlack,
+    /// The DC calibration matrix failed to factor.
+    DcSingular,
+}
+
+impl std::fmt::Display for SynthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthError::InvalidSpec { reason } => write!(f, "invalid synthetic spec: {reason}"),
+            SynthError::NoSlack => write!(f, "synthetic network has no slack bus"),
+            SynthError::DcSingular => write!(f, "DC calibration matrix is singular"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
 /// Parameters of a synthetic case.
 #[derive(Clone, Debug)]
 pub struct SynthSpec {
@@ -45,19 +74,27 @@ pub struct SynthSpec {
 
 impl SynthSpec {
     /// Sanity constraints the generator relies on.
-    fn check(&self) {
-        assert!(self.n_bus >= 12, "need at least 12 buses");
-        assert!(self.n_gen >= 1 && self.n_gen <= self.n_bus);
-        assert!(self.n_load >= 1 && self.n_load <= self.n_bus);
-        assert!(
-            self.n_trafo >= 4,
-            "two-level design needs >= 4 transformers"
-        );
-        assert!(
-            self.n_line + self.n_trafo >= self.n_bus + 4,
-            "not enough branches for a doubly-connected two-zone network"
-        );
-        assert!(self.total_gen_capacity_mw > self.total_load_mw * 1.1);
+    fn check(&self) -> Result<(), SynthError> {
+        let fail = |reason| Err(SynthError::InvalidSpec { reason });
+        if self.n_bus < 12 {
+            return fail("need at least 12 buses");
+        }
+        if self.n_gen < 1 || self.n_gen > self.n_bus {
+            return fail("generator count out of range");
+        }
+        if self.n_load < 1 || self.n_load > self.n_bus {
+            return fail("load count out of range");
+        }
+        if self.n_trafo < 4 {
+            return fail("two-level design needs >= 4 transformers");
+        }
+        if self.n_line + self.n_trafo < self.n_bus + 4 {
+            return fail("not enough branches for a doubly-connected two-zone network");
+        }
+        if self.total_gen_capacity_mw <= self.total_load_mw * 1.1 {
+            return fail("generation capacity must exceed load by 10%");
+        }
+        Ok(())
     }
 
     /// Derived zone layout: `(n_hv, n_ring_lv, n_pair, t_ring)`.
@@ -67,7 +104,7 @@ impl SynthSpec {
     /// "substation" buses each hung off an HV bus through a *pair* of
     /// parallel transformers (so no single transformer outage islands
     /// anything). `t_ring + 2·n_pair == n_trafo` exactly.
-    fn layout(&self) -> (usize, usize, usize, usize) {
+    fn layout(&self) -> Result<(usize, usize, usize, usize), SynthError> {
         // Pair buses absorb surplus transformers (IEEE 300 has 128!), and
         // also relieve ring line demand when lines are scarce.
         let max_pairs = self.n_trafo.saturating_sub(4) / 2;
@@ -87,25 +124,30 @@ impl SynthSpec {
         let non_pair = self.n_bus - n_pair;
         let n_ring_lv = 3usize.max((t_ring * 3).min(non_pair / 4));
         let n_hv = non_pair - n_ring_lv;
-        assert!(
-            self.n_line >= n_hv + n_ring_lv + 2,
-            "not enough lines for both rings plus chords"
-        );
-        assert!(t_ring <= n_ring_lv * n_hv, "cannot place ring transformers");
-        (n_hv, n_ring_lv, n_pair, t_ring)
+        if self.n_line < n_hv + n_ring_lv + 2 {
+            return Err(SynthError::InvalidSpec {
+                reason: "not enough lines for both rings plus chords",
+            });
+        }
+        if t_ring > n_ring_lv * n_hv {
+            return Err(SynthError::InvalidSpec {
+                reason: "cannot place ring transformers",
+            });
+        }
+        Ok((n_hv, n_ring_lv, n_pair, t_ring))
     }
 }
 
 /// Generates the synthetic network for a spec.
-pub fn generate(spec: &SynthSpec) -> Network {
-    spec.check();
+pub fn generate(spec: &SynthSpec) -> Result<Network, SynthError> {
+    spec.check()?;
     let mut rng = SmallRng::seed_from_u64(spec.seed);
 
     // ---- Zone sizing (see `SynthSpec::layout`): an HV ring, an LV ring
     // joined to it by `t_ring` transformers, and `n_pair` substation buses
     // on parallel transformer pairs. No single branch outage islands the
     // system.
-    let (n_hv, n_ring_lv, n_pair, t_ring) = spec.layout();
+    let (n_hv, n_ring_lv, n_pair, t_ring) = spec.layout()?;
     let n_lv = n_ring_lv + n_pair;
 
     let mut net = Network::new(spec.name.clone());
@@ -166,7 +208,11 @@ pub fn generate(spec: &SynthSpec) -> Network {
             }
         }
         stride += 1;
-        assert!(placed || stride <= n_hv, "could not place all lines");
+        if !placed && stride > n_hv {
+            return Err(SynthError::InvalidSpec {
+                reason: "could not place all requested lines",
+            });
+        }
     }
     let line_edges: Vec<(usize, usize)> = edges.iter().copied().collect();
     assert_eq!(line_edges.len(), spec.n_line);
@@ -280,7 +326,7 @@ pub fn generate(spec: &SynthSpec) -> Network {
     // Slack = largest unit.
     let slack_gen = (0..spec.n_gen)
         .max_by(|&a, &b| net.gens[a].p_max_mw.total_cmp(&net.gens[b].p_max_mw))
-        .unwrap();
+        .ok_or(SynthError::NoSlack)?;
     let slack_bus = net.gens[slack_gen].bus;
     net.buses[slack_bus].kind = BusKind::Slack;
     net.buses[slack_bus].vm_pu = net.gens[slack_gen].vm_setpoint_pu;
@@ -309,7 +355,7 @@ pub fn generate(spec: &SynthSpec) -> Network {
     }
 
     // ---- Calibration pass 1: impedance homogenization against DC flows.
-    let flows = dc_flows(&net);
+    let flows = dc_flows(&net)?;
     for (idx, br) in net.branches.iter_mut().enumerate() {
         let f = flows[idx].abs().max(0.15); // p.u.
         let max_angle = 0.045; // rad across any one branch at base case
@@ -322,14 +368,14 @@ pub fn generate(spec: &SynthSpec) -> Network {
     }
 
     // ---- Calibration pass 2: thermal ratings from a DC N-1 sweep.
-    let base = dc_flows(&net);
+    let base = dc_flows(&net)?;
     let mut worst = base.iter().map(|f| f.abs()).collect::<Vec<f64>>();
     let n_br = net.branches.len();
     for out in 0..n_br {
         net.branches[out].in_service = false;
         // Skip if outage would island (ring design should prevent this).
         if crate::topology::connected_components(&net) == 1 {
-            let f = dc_flows(&net);
+            let f = dc_flows(&net)?;
             for (w, fi) in worst.iter_mut().zip(&f) {
                 *w = w.max(fi.abs());
             }
@@ -398,14 +444,14 @@ pub fn generate(spec: &SynthSpec) -> Network {
         }
     }
 
-    net
+    Ok(net)
 }
 
 /// DC power flow: returns per-branch active flow in p.u. (from → to).
 /// Internal calibration tool — the real solvers live in `gm-powerflow`.
-fn dc_flows(net: &Network) -> Vec<f64> {
+pub(crate) fn dc_flows(net: &Network) -> Result<Vec<f64>, SynthError> {
     let n = net.n_bus();
-    let slack = net.slack().expect("synthetic net has a slack");
+    let slack = net.slack().ok_or(SynthError::NoSlack)?;
     // Injections in p.u.
     let (p_mw, _) = net.scheduled_injections();
     let mut p: Vec<f64> = p_mw.iter().map(|v| v / net.base_mva).collect();
@@ -432,9 +478,10 @@ fn dc_flows(net: &Network) -> Vec<f64> {
     t.push(slack, slack, 1.0);
     p[slack] = 0.0;
     let bmat = t.to_csr();
-    let lu = SparseLu::factor(&bmat).expect("DC matrix factorizable");
+    let lu = SparseLu::factor(&bmat).map_err(|_| SynthError::DcSingular)?;
     let theta = lu.solve(&p);
-    net.branches
+    Ok(net
+        .branches
         .iter()
         .map(|br| {
             if br.in_service {
@@ -443,7 +490,7 @@ fn dc_flows(net: &Network) -> Vec<f64> {
                 0.0
             }
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -467,7 +514,7 @@ mod tests {
 
     #[test]
     fn exact_inventory() {
-        let net = generate(&small_spec());
+        let net = generate(&small_spec()).unwrap();
         assert_eq!(net.n_bus(), 40);
         assert_eq!(net.gens.len(), 8);
         assert_eq!(net.loads.len(), 25);
@@ -477,15 +524,15 @@ mod tests {
 
     #[test]
     fn totals_match_spec() {
-        let net = generate(&small_spec());
+        let net = generate(&small_spec()).unwrap();
         assert!((net.total_load_mw() - 900.0).abs() < 1e-6);
         assert!((net.total_gen_capacity_mw() - 2100.0).abs() < 1e-6);
     }
 
     #[test]
     fn deterministic() {
-        let a = generate(&small_spec());
-        let b = generate(&small_spec());
+        let a = generate(&small_spec()).unwrap();
+        let b = generate(&small_spec()).unwrap();
         assert_eq!(a.branches.len(), b.branches.len());
         for (x, y) in a.branches.iter().zip(&b.branches) {
             assert_eq!(x.x_pu, y.x_pu);
@@ -500,8 +547,8 @@ mod tests {
     fn different_seed_different_network() {
         let mut s2 = small_spec();
         s2.seed = 8;
-        let a = generate(&small_spec());
-        let b = generate(&s2);
+        let a = generate(&small_spec()).unwrap();
+        let b = generate(&s2).unwrap();
         let same = a
             .branches
             .iter()
@@ -512,13 +559,13 @@ mod tests {
 
     #[test]
     fn validates_clean() {
-        let net = generate(&small_spec());
+        let net = generate(&small_spec()).unwrap();
         net.validate().expect("synthetic case must validate");
     }
 
     #[test]
     fn no_single_branch_outage_islands() {
-        let net = generate(&small_spec());
+        let net = generate(&small_spec()).unwrap();
         for i in 0..net.branches.len() {
             assert!(
                 !crate::topology::outage_islands(&net, i),
@@ -529,8 +576,8 @@ mod tests {
 
     #[test]
     fn base_case_dc_secure() {
-        let net = generate(&small_spec());
-        let flows = dc_flows(&net);
+        let net = generate(&small_spec()).unwrap();
+        let flows = dc_flows(&net).unwrap();
         for (idx, br) in net.branches.iter().enumerate() {
             let loading = flows[idx].abs() * net.base_mva / br.rating_mva;
             assert!(
@@ -544,13 +591,13 @@ mod tests {
     fn some_n1_stress_exists() {
         // The deliberate derating should leave at least one branch whose
         // worst-case DC N-1 loading exceeds 100%.
-        let mut net = generate(&small_spec());
+        let mut net = generate(&small_spec()).unwrap();
         let n_br = net.branches.len();
         let mut max_loading = 0.0f64;
         for out in 0..n_br {
             net.branches[out].in_service = false;
             if crate::topology::connected_components(&net) == 1 {
-                let f = dc_flows(&net);
+                let f = dc_flows(&net).unwrap();
                 for (idx, br) in net.branches.iter().enumerate() {
                     if idx != out && br.in_service {
                         max_loading = max_loading.max(f[idx].abs() * net.base_mva / br.rating_mva);
@@ -568,8 +615,8 @@ mod tests {
 
     #[test]
     fn dc_power_balance() {
-        let net = generate(&small_spec());
-        let flows = dc_flows(&net);
+        let net = generate(&small_spec()).unwrap();
+        let flows = dc_flows(&net).unwrap();
         // At every non-slack bus: injections equal sum of outgoing flows.
         let slack = net.slack().unwrap();
         let (p_mw, _) = net.scheduled_injections();

@@ -56,7 +56,7 @@ pub mod triplets;
 pub use compensate::{CompensateError, CompensatedLu};
 pub use csmat::CsMat;
 pub use lu::{SparseLu, SparseLuError};
-pub use order::Ordering;
+pub use order::{Ordering, OrderingError};
 pub use scalar::Scalar;
 pub use symbolic::{LuEngine, SymbolicLu};
 pub use triplets::{ScatterMap, Triplets};

@@ -1,14 +1,58 @@
 //! Fill-reducing orderings.
 //!
-//! A greedy minimum-degree ordering on the symmetrized pattern `A + Aᵀ`
-//! dramatically reduces fill-in for power system matrices, whose graphs are
-//! near-planar meshes. The implementation is the textbook greedy algorithm
-//! (eliminate the minimum-degree vertex, form the clique of its neighbours)
-//! — quadratic worst case but fast at the sizes GridMind handles (≤ a few
-//! thousand buses), and fully deterministic (ties break on vertex index).
+//! Two fill-reducing strategies are offered on the symmetrized pattern
+//! `A + Aᵀ`:
+//!
+//! * [`Ordering::MinDegree`] — the textbook greedy algorithm (eliminate
+//!   the minimum-degree vertex, form the clique of its neighbours).
+//!   Quadratic worst case: fine at a few hundred buses, painful at ten
+//!   thousand. Kept as a variant so benches can A/B against it.
+//! * [`Ordering::Amd`] (default) — approximate minimum degree in the
+//!   quotient-graph formulation: eliminated vertices become *elements*
+//!   whose boundaries stand in for their cliques, adjacent elements are
+//!   absorbed on elimination, external degrees are maintained as the
+//!   Amestoy–Davis–Duff upper bound (one `|Le \ Lp|` workspace pass per
+//!   pivot instead of a set union), indistinguishable variables are
+//!   merged into supervariables, and candidate pivots sit in lazy degree
+//!   buckets. Near-linear in practice on power-grid patterns.
+//!
+//! Both orderings are fully deterministic: a pure function of the input
+//! pattern, with ties broken by bucket insertion order (which itself is
+//! index order for the initial population) for AMD and by vertex index
+//! for greedy min-degree.
 
 use crate::csmat::CsMat;
 use crate::scalar::Scalar;
+use std::fmt;
+
+/// Typed failure from [`Ordering::permutation`]: orderings are defined
+/// on square patterns only. A malformed pattern surfaces as an error the
+/// caller can route (e.g. into [`crate::SparseLuError`]) instead of
+/// panicking a serve worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OrderingError {
+    /// The matrix is not square.
+    NotSquare {
+        /// Offending `(rows, cols)`.
+        shape: (usize, usize),
+    },
+}
+
+impl fmt::Display for OrderingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrderingError::NotSquare { shape } => {
+                write!(
+                    f,
+                    "ordering requires a square matrix, got {}x{}",
+                    shape.0, shape.1
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for OrderingError {}
 
 /// Column-ordering strategy for [`crate::SparseLu`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -16,25 +60,31 @@ pub enum Ordering {
     /// Factor in natural column order.
     Natural,
     /// Greedy minimum-degree on the pattern of `A + Aᵀ`.
-    #[default]
     MinDegree,
+    /// Approximate minimum degree (quotient graph, element absorption,
+    /// supervariables) on the pattern of `A + Aᵀ`.
+    #[default]
+    Amd,
 }
 
 impl Ordering {
     /// Computes the column permutation `q` for a square matrix: column
     /// `q[k]` of `A` is eliminated at step `k`.
-    pub fn permutation<T: Scalar>(self, a: &CsMat<T>) -> Vec<usize> {
-        match self {
+    pub fn permutation<T: Scalar>(self, a: &CsMat<T>) -> Result<Vec<usize>, OrderingError> {
+        if a.rows() != a.cols() {
+            return Err(OrderingError::NotSquare { shape: a.shape() });
+        }
+        Ok(match self {
             Ordering::Natural => (0..a.rows()).collect(),
             Ordering::MinDegree => min_degree(a),
-        }
+            Ordering::Amd => amd(a),
+        })
     }
 }
 
-fn min_degree<T: Scalar>(a: &CsMat<T>) -> Vec<usize> {
+/// Symmetric adjacency of `A + Aᵀ` (sorted vecs per node, no self loops).
+fn symmetric_adjacency<T: Scalar>(a: &CsMat<T>) -> Vec<Vec<usize>> {
     let n = a.rows();
-    assert_eq!(n, a.cols(), "ordering requires a square matrix");
-    // Build symmetric adjacency (sorted vecs per node, no self loops).
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
     for i in 0..n {
         let (cols, _) = a.row(i);
@@ -49,6 +99,12 @@ fn min_degree<T: Scalar>(a: &CsMat<T>) -> Vec<usize> {
         nbrs.sort_unstable();
         nbrs.dedup();
     }
+    adj
+}
+
+fn min_degree<T: Scalar>(a: &CsMat<T>) -> Vec<usize> {
+    let n = a.rows();
+    let mut adj = symmetric_adjacency(a);
 
     let mut eliminated = vec![false; n];
     let mut order = Vec::with_capacity(n);
@@ -87,9 +143,243 @@ fn min_degree<T: Scalar>(a: &CsMat<T>) -> Vec<usize> {
     order
 }
 
+/// Approximate minimum degree on the quotient graph.
+///
+/// State per node index (variables and elements share the index space —
+/// an eliminated pivot's index is reused as its element's id):
+///
+/// * `adj[i]` — live variable neighbours of variable `i` *not* already
+///   covered by a shared element (pruned lazily, then exactly whenever
+///   `i` sits on an elimination boundary).
+/// * `adj_el[i]` — elements whose boundary contains variable `i`.
+/// * `el_vars[e]` / `el_w[e]` — boundary `Le` of element `e` and its
+///   total supervariable weight (constant over the element's lifetime:
+///   weights only move between variables of the same boundary).
+/// * `nv[i]` — supervariable weight; `0` marks a variable absorbed into
+///   another supervariable.
+fn amd<T: Scalar>(a: &CsMat<T>) -> Vec<usize> {
+    let n = a.rows();
+    if n == 0 {
+        gm_telemetry::counter_add("sparse.amd.orders", 1);
+        return Vec::new();
+    }
+    let mut adj = symmetric_adjacency(a);
+    let mut adj_el: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut el_vars: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut el_w: Vec<usize> = vec![0; n];
+    let mut alive_el = vec![false; n];
+    let mut eliminated = vec![false; n];
+    let mut nv: Vec<usize> = vec![1; n];
+    // Original columns folded into each supervariable, emitted together
+    // (in index order) when the representative is eliminated.
+    let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+
+    // Lazy degree buckets: an entry is valid only while the stored degree
+    // still matches; stale entries are skipped on pop. `bucket_pos` never
+    // rewinds — re-pushed entries land past it and are found when
+    // `mindeg` drops back to that bucket.
+    let mut degree: Vec<usize> = adj.iter().map(Vec::len).collect();
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut bucket_pos: Vec<usize> = vec![0; n];
+    for i in 0..n {
+        buckets[degree[i].min(n - 1)].push(i);
+    }
+    let mut mindeg = 0usize;
+
+    // Stamped workspaces (stamp bumps once per pivot; no clearing).
+    let mut mark: Vec<u64> = vec![0; n]; // Lp ∪ {p} membership
+    let mut wstamp: Vec<u64> = vec![0; n];
+    let mut w: Vec<usize> = vec![0; n]; // |Le \ Lp| in supervariable weight
+    let mut stamp: u64 = 0;
+
+    let mut order = Vec::with_capacity(n);
+    let mut remaining = n;
+    let mut absorbed: u64 = 0;
+    let mut merged: u64 = 0;
+    let mut lp: Vec<usize> = Vec::new();
+    let mut touched: Vec<usize> = Vec::new();
+
+    while remaining > 0 {
+        // Pick the live supervariable of (approximately) minimum degree.
+        let p = loop {
+            debug_assert!(
+                mindeg < n,
+                "degree buckets exhausted with {remaining} columns left"
+            );
+            let mut found = usize::MAX;
+            while bucket_pos[mindeg] < buckets[mindeg].len() {
+                let v = buckets[mindeg][bucket_pos[mindeg]];
+                bucket_pos[mindeg] += 1;
+                if !eliminated[v] && nv[v] > 0 && degree[v].min(n - 1) == mindeg {
+                    found = v;
+                    break;
+                }
+            }
+            if found != usize::MAX {
+                break found;
+            }
+            mindeg += 1;
+        };
+
+        stamp += 1;
+        eliminated[p] = true;
+        mark[p] = stamp;
+        remaining -= nv[p];
+
+        // Lp: live boundary of the new element — direct neighbours plus
+        // the boundaries of every adjacent element (all absorbed by p).
+        lp.clear();
+        for &u in &adj[p] {
+            if nv[u] > 0 && !eliminated[u] && mark[u] != stamp {
+                mark[u] = stamp;
+                lp.push(u);
+            }
+        }
+        let els = std::mem::take(&mut adj_el[p]);
+        for &e in &els {
+            if !alive_el[e] {
+                continue;
+            }
+            for &u in &el_vars[e] {
+                if nv[u] > 0 && !eliminated[u] && mark[u] != stamp {
+                    mark[u] = stamp;
+                    lp.push(u);
+                }
+            }
+            alive_el[e] = false;
+            el_vars[e] = Vec::new();
+            absorbed += 1;
+        }
+        adj[p] = Vec::new();
+        lp.sort_unstable();
+        let lp_weight: usize = lp.iter().map(|&u| nv[u]).sum();
+
+        // Emit the pivot's supervariable in index order.
+        let mut mem = std::mem::take(&mut members[p]);
+        mem.sort_unstable();
+        order.extend_from_slice(&mem);
+
+        if lp.is_empty() {
+            continue;
+        }
+
+        // Prune each boundary variable's lists: variable edges inside
+        // Lp ∪ {p} are now represented by element p; dead elements drop.
+        for &i in &lp {
+            adj[i].retain(|&u| nv[u] > 0 && !eliminated[u] && mark[u] != stamp);
+            adj_el[i].retain(|&e| alive_el[e]);
+        }
+
+        // One-pass |Le \ Lp| workspace trick (Amestoy–Davis–Duff): seed
+        // w[e] with the element weight on first touch, subtract nv[i]
+        // for every boundary variable i ∈ Le ∩ Lp.
+        touched.clear();
+        for &i in &lp {
+            for &e in &adj_el[i] {
+                if wstamp[e] != stamp {
+                    wstamp[e] = stamp;
+                    w[e] = el_w[e];
+                    touched.push(e);
+                }
+                w[e] -= nv[i];
+            }
+        }
+        // Aggressive absorption: Le ⊆ Lp makes e redundant next to p.
+        for &e in &touched {
+            if w[e] == 0 {
+                alive_el[e] = false;
+                el_vars[e] = Vec::new();
+                absorbed += 1;
+            }
+        }
+
+        // Approximate external degrees, then register p on each boundary
+        // variable. Lists are re-sorted so supervariable detection can
+        // compare them exactly.
+        for &i in &lp {
+            if !touched.is_empty() {
+                adj_el[i].retain(|&e| alive_el[e]);
+            }
+            adj_el[i].push(p);
+            adj_el[i].sort_unstable();
+            let var_deg: usize = adj[i].iter().map(|&u| nv[u]).sum();
+            let el_deg: usize = adj_el[i]
+                .iter()
+                .filter(|&&e| e != p)
+                .map(|&e| if wstamp[e] == stamp { w[e] } else { el_w[e] })
+                .sum();
+            let d = (var_deg + (lp_weight - nv[i]) + el_deg).min(remaining - nv[i]);
+            degree[i] = d;
+        }
+
+        // Supervariable detection: hash boundary variables by their
+        // pruned adjacency, confirm with an exact list compare, fold
+        // duplicates into the lowest-indexed representative.
+        let hashes: Vec<usize> = lp
+            .iter()
+            .map(|&i| {
+                let mut h = 0usize;
+                for &u in &adj[i] {
+                    h = h.wrapping_add(u);
+                }
+                for &e in &adj_el[i] {
+                    h = h.wrapping_add(e);
+                }
+                h % n
+            })
+            .collect();
+        for a_idx in 0..lp.len() {
+            let i = lp[a_idx];
+            if nv[i] == 0 {
+                continue;
+            }
+            for b_idx in (a_idx + 1)..lp.len() {
+                let j = lp[b_idx];
+                if nv[j] == 0 || hashes[b_idx] != hashes[a_idx] {
+                    continue;
+                }
+                if adj[i] == adj[j] && adj_el[i] == adj_el[j] {
+                    // j is indistinguishable from i: fold it in.
+                    let wj = nv[j];
+                    nv[i] += wj;
+                    nv[j] = 0;
+                    degree[i] -= wj;
+                    let mem_j = std::mem::take(&mut members[j]);
+                    members[i].extend_from_slice(&mem_j);
+                    adj[j] = Vec::new();
+                    adj_el[j] = Vec::new();
+                    merged += 1;
+                }
+            }
+        }
+
+        // Surviving boundary becomes the element; re-bucket survivors.
+        let boundary: Vec<usize> = lp.iter().copied().filter(|&i| nv[i] > 0).collect();
+        for &i in &boundary {
+            let d = degree[i].min(remaining.saturating_sub(nv[i]));
+            degree[i] = d;
+            let b = d.min(n - 1);
+            buckets[b].push(i);
+            if b < mindeg {
+                mindeg = b;
+            }
+        }
+        el_w[p] = lp_weight;
+        el_vars[p] = boundary;
+        alive_el[p] = true;
+    }
+
+    gm_telemetry::counter_add("sparse.amd.orders", 1);
+    gm_telemetry::counter_add("sparse.amd.supervars", merged);
+    gm_telemetry::counter_add("sparse.amd.absorbed", absorbed);
+    debug_assert_eq!(order.len(), n);
+    order
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lu::SparseLu;
     use crate::triplets::Triplets;
 
     fn arrow_matrix(n: usize) -> CsMat<f64> {
@@ -106,25 +396,79 @@ mod tests {
         t.to_csr()
     }
 
+    /// 2D grid Laplacian-like pattern: the canonical power-grid stand-in.
+    fn grid_matrix(nx: usize, ny: usize) -> CsMat<f64> {
+        let n = nx * ny;
+        let mut t = Triplets::new(n, n);
+        for x in 0..nx {
+            for y in 0..ny {
+                let i = x * ny + y;
+                t.push(i, i, 8.0);
+                if x + 1 < nx {
+                    let j = (x + 1) * ny + y;
+                    t.push(i, j, -1.0);
+                    t.push(j, i, -1.0);
+                }
+                if y + 1 < ny {
+                    let j = x * ny + y + 1;
+                    t.push(i, j, -1.0);
+                    t.push(j, i, -1.0);
+                }
+            }
+        }
+        t.to_csr()
+    }
+
+    fn assert_is_permutation(q: &[usize], n: usize) {
+        let mut sorted = q.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
     #[test]
     fn natural_is_identity() {
         let a = arrow_matrix(5);
-        assert_eq!(Ordering::Natural.permutation(&a), vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            Ordering::Natural.permutation(&a).unwrap(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn non_square_is_typed_error() {
+        let mut t = Triplets::new(2, 3);
+        t.push(0, 0, 1.0);
+        t.push(1, 2, 1.0);
+        let a = t.to_csr();
+        for ord in [Ordering::Natural, Ordering::MinDegree, Ordering::Amd] {
+            assert_eq!(
+                ord.permutation(&a),
+                Err(OrderingError::NotSquare { shape: (2, 3) })
+            );
+        }
     }
 
     #[test]
     fn min_degree_defers_hub() {
         let a = arrow_matrix(6);
-        let q = Ordering::MinDegree.permutation(&a);
+        let q = Ordering::MinDegree.permutation(&a).unwrap();
         assert_eq!(q.len(), 6);
         // The hub (vertex 0, degree 5) must be deferred until only it and at
         // most one leaf remain (it ties at degree 1 with the final leaf).
         let hub_pos = q.iter().position(|&v| v == 0).unwrap();
         assert!(hub_pos >= 4, "hub eliminated too early: order {q:?}");
-        // Permutation property.
-        let mut sorted = q.clone();
-        sorted.sort_unstable();
-        assert_eq!(sorted, (0..6).collect::<Vec<_>>());
+        assert_is_permutation(&q, 6);
+    }
+
+    #[test]
+    fn amd_defers_hub() {
+        let a = arrow_matrix(6);
+        let q = Ordering::Amd.permutation(&a).unwrap();
+        // The leaves are mutually indistinguishable after the first
+        // elimination; whatever the merge order, the dense hub must not
+        // lead the ordering.
+        assert_ne!(q[0], 0, "hub eliminated first: order {q:?}");
+        assert_is_permutation(&q, 6);
     }
 
     #[test]
@@ -133,16 +477,60 @@ mod tests {
         for i in 0..4 {
             t.push(i, i, 1.0);
         }
-        let q = Ordering::MinDegree.permutation(&t.to_csr());
-        assert_eq!(q, vec![0, 1, 2, 3]);
+        let a = t.to_csr();
+        assert_eq!(
+            Ordering::MinDegree.permutation(&a).unwrap(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(Ordering::Amd.permutation(&a).unwrap(), vec![0, 1, 2, 3]);
     }
 
     #[test]
     fn deterministic() {
         let a = arrow_matrix(8);
-        assert_eq!(
-            Ordering::MinDegree.permutation(&a),
-            Ordering::MinDegree.permutation(&a)
-        );
+        for ord in [Ordering::MinDegree, Ordering::Amd] {
+            assert_eq!(ord.permutation(&a).unwrap(), ord.permutation(&a).unwrap());
+        }
+    }
+
+    #[test]
+    fn amd_valid_permutation_on_grid() {
+        let a = grid_matrix(13, 17);
+        let q = Ordering::Amd.permutation(&a).unwrap();
+        assert_is_permutation(&q, 13 * 17);
+    }
+
+    #[test]
+    fn amd_fill_parity_with_greedy_on_grids() {
+        // Fill-count parity or better (within the 10% AMD approximation
+        // slack) against greedy min-degree on grid-like patterns.
+        for (nx, ny) in [(8, 8), (12, 9), (20, 15)] {
+            let a = grid_matrix(nx, ny);
+            let amd_nnz = SparseLu::factor_with(&a, Ordering::Amd, 0.1)
+                .unwrap()
+                .factor_nnz();
+            let greedy_nnz = SparseLu::factor_with(&a, Ordering::MinDegree, 0.1)
+                .unwrap()
+                .factor_nnz();
+            assert!(
+                (amd_nnz as f64) <= 1.1 * (greedy_nnz as f64),
+                "{nx}x{ny} grid: AMD fill {amd_nnz} vs greedy {greedy_nnz}"
+            );
+        }
+    }
+
+    #[test]
+    fn amd_merges_supervariables_on_dense_block() {
+        // A fully dense 6x6 block: after the first elimination the five
+        // remaining variables are indistinguishable and must merge.
+        let n = 6;
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                t.push(i, j, if i == j { 4.0 } else { 1.0 });
+            }
+        }
+        let q = Ordering::Amd.permutation(&t.to_csr()).unwrap();
+        assert_eq!(q, (0..n).collect::<Vec<_>>());
     }
 }

@@ -49,13 +49,29 @@ pub struct SymbolicLu {
     q: Vec<usize>,
     /// Captured pivot permutation: `pinv[original_row] = pivot position`.
     pinv: Vec<usize>,
-    /// Per-step reach pattern in DFS postorder (`pat_rows` spans indexed
-    /// by `pat_ptr`), exactly as the analysis numeric loop iterated it.
+    /// Per-step reach pattern (`pat_rows` spans indexed by `pat_ptr`),
+    /// re-ordered from the captured DFS postorder into two runs per
+    /// step: rows already pivoted before step `k` (`pinv[i] < k`, the
+    /// elimination sources, still in postorder among themselves) up to
+    /// `pat_split[k]`, then the not-yet-pivoted rows. The numeric replay
+    /// then runs branch-free: the same operations in the same order as
+    /// the analysis loop, minus the per-entry `pinv` comparisons.
     pat_ptr: Vec<usize>,
+    pat_split: Vec<usize>,
     pat_rows: Vec<usize>,
     /// Exact entry counts of the analysis factors, for reservation.
     l_nnz: usize,
     u_nnz: usize,
+    /// Final factor structure — a pure function of pattern + pivot
+    /// sequence, so a refactorization only writes values into it:
+    /// `l_rows_orig` holds L's row indices as original rows (what the
+    /// elimination scatter indexes), `l_rows_piv` the same entries
+    /// rewritten into pivot order (what the finished factor stores).
+    l_colptr: Vec<usize>,
+    l_rows_orig: Vec<usize>,
+    l_rows_piv: Vec<usize>,
+    u_colptr: Vec<usize>,
+    u_rows: Vec<usize>,
     /// Column-access plan: step `k` reads `A(:, q[k])` values straight
     /// out of the CSR data array.
     acc: ColAccess,
@@ -74,7 +90,9 @@ impl SymbolicLu {
         if a.rows() != a.cols() {
             return Err(SparseLuError::NotSquare { shape: a.shape() });
         }
-        let q = ordering.permutation(a);
+        let q = ordering.permutation(a).map_err(
+            |crate::order::OrderingError::NotSquare { shape }| SparseLuError::NotSquare { shape },
+        )?;
         let acc = ColAccess::build(a, &q);
         let mut cap = PatternCapture::default();
         let numeric = factor_core(
@@ -86,18 +104,55 @@ impl SymbolicLu {
             pivot_tol,
             Some(&mut cap),
         )?;
+        let n = a.rows();
+        let pinv = numeric.pinv.clone();
+        // Split each step's postorder pattern into eliminated-before-k /
+        // not-yet-pivoted runs (see the `pat_split` field docs). Both
+        // runs preserve their relative postorder, so the replay executes
+        // the exact same floating-point sequence as the analysis.
+        let mut pat_split = vec![0usize; n];
+        let mut pat_rows = Vec::with_capacity(cap.pat_rows.len());
+        for k in 0..n {
+            let span = &cap.pat_rows[cap.pat_ptr[k]..cap.pat_ptr[k + 1]];
+            for &i in span {
+                if pinv[i] < k {
+                    pat_rows.push(i);
+                }
+            }
+            pat_split[k] = pat_rows.len();
+            for &i in span {
+                if pinv[i] >= k {
+                    pat_rows.push(i);
+                }
+            }
+        }
+        // Capture the final factor structure. L's stored rows are in
+        // pivot order; the elimination reads them as original rows, so
+        // keep both images of the same index sequence.
+        let mut pivot_row = vec![0usize; n];
+        for (orig, &pk) in pinv.iter().enumerate() {
+            pivot_row[pk] = orig;
+        }
+        let l_rows_piv = numeric.l.rows.clone();
+        let l_rows_orig: Vec<usize> = l_rows_piv.iter().map(|&r| pivot_row[r]).collect();
         let sym = SymbolicLu {
-            n: a.rows(),
+            n,
             nnz: a.nnz(),
             fingerprint: a.pattern_fingerprint(),
             ordering,
             pivot_tol,
             q,
-            pinv: numeric.pinv.clone(),
+            pinv,
             pat_ptr: cap.pat_ptr,
-            pat_rows: cap.pat_rows,
+            pat_split,
+            pat_rows,
             l_nnz: numeric.l.rows.len(),
             u_nnz: numeric.u.rows.len(),
+            l_colptr: numeric.l.colptr.clone(),
+            l_rows_orig,
+            l_rows_piv,
+            u_colptr: numeric.u.colptr.clone(),
+            u_rows: numeric.u.rows.clone(),
             acc,
         };
         Ok((sym, numeric))
@@ -195,38 +250,53 @@ impl SymbolicLu {
         let avals = a.values();
         let pinv = &self.pinv;
 
+        // The fill structure is a pure function of pattern + verified
+        // pivot sequence, so the captured colptr/rows ARE the output
+        // structure: the replay below only writes values, through a
+        // cursor per factor, with no per-push capacity checks and no
+        // final row-rewrite pass. Elimination reads L's in-progress
+        // columns through the captured original-row image
+        // (`l_rows_orig`) — only values change between refactorizations.
         out.n = n;
         out.q.clone_from(&self.q);
         out.pinv.clone_from(pinv);
-        out.l.reset();
-        out.u.reset();
-        out.l.rows.reserve(self.l_nnz);
-        out.l.vals.reserve(self.l_nnz);
-        out.u.rows.reserve(self.u_nnz);
-        out.u.vals.reserve(self.u_nnz);
+        out.l.colptr.clone_from(&self.l_colptr);
+        out.l.rows.clone_from(&self.l_rows_piv);
+        out.l.vals.resize(self.l_nnz, 0.0);
+        out.u.colptr.clone_from(&self.u_colptr);
+        out.u.rows.clone_from(&self.u_rows);
+        out.u.vals.resize(self.u_nnz, 0.0);
         scratch.resize(n, 0.0);
         let x = &mut scratch[..];
+        let mut lpos = 0usize;
+        let mut upos = 0usize;
 
         for k in 0..n {
-            let pattern = &self.pat_rows[self.pat_ptr[k]..self.pat_ptr[k + 1]];
+            // Pattern runs for step k: rows pivoted before k (the
+            // elimination sources, in the captured postorder), then the
+            // not-yet-pivoted rest. Same index sets the analysis loop
+            // partitioned per entry — pre-split, so the hot loops are
+            // branch-free.
+            let elim = &self.pat_rows[self.pat_ptr[k]..self.pat_split[k]];
+            let rest = &self.pat_rows[self.pat_split[k]..self.pat_ptr[k + 1]];
 
             // --- Numeric: scatter A(:, q[k]), then eliminate in the
-            // captured topological order. Identical operation sequence
-            // to the analysis loop, with "unpivoted at step k" decided
-            // by the captured permutation: pinv[i] >= k. ---
-            for &i in pattern {
+            // captured topological order (reverse postorder). ---
+            for &i in elim {
+                x[i] = 0.0;
+            }
+            for &i in rest {
                 x[i] = 0.0;
             }
             let (bcols, bsrc) = self.acc.col(k);
             for (&i, &p) in bcols.iter().zip(bsrc) {
                 x[i] = avals[p];
             }
-            for idx in (0..pattern.len()).rev() {
-                let i = pattern[idx];
-                if pinv[i] >= k {
-                    continue;
-                }
-                let (lrows, lvals) = out.l.col(pinv[i]);
+            for idx in (0..elim.len()).rev() {
+                let i = elim[idx];
+                let jcol = pinv[i];
+                let lrows = &self.l_rows_orig[self.l_colptr[jcol]..self.l_colptr[jcol + 1]];
+                let lvals = &out.l.vals[self.l_colptr[jcol]..self.l_colptr[jcol + 1]];
                 let xi = x[i];
                 if xi != 0.0 {
                     for (&r, &lv) in lrows.iter().zip(lvals).skip(1) {
@@ -239,13 +309,11 @@ impl SymbolicLu {
             // any deviation from the captured choice is instability. ---
             let mut ipiv = usize::MAX;
             let mut amax = 0.0f64;
-            for &i in pattern {
-                if pinv[i] >= k {
-                    let t = x[i].abs();
-                    if t > amax {
-                        amax = t;
-                        ipiv = i;
-                    }
+            for &i in rest {
+                let t = x[i].abs();
+                if t > amax {
+                    amax = t;
+                    ipiv = i;
                 }
             }
             if ipiv == usize::MAX || amax <= 0.0 {
@@ -260,36 +328,26 @@ impl SymbolicLu {
             }
             let pivot = x[ipiv];
 
-            // --- Store U and L columns k. With the pivot sequence
-            // verified, the split of the captured pattern by `pinv` is
-            // exactly the structure the fresh factorization stores
-            // (explicit zeros included), so no entry-level verification
-            // is needed. ---
-            for &i in pattern {
-                if pinv[i] < k {
-                    out.u.rows.push(pinv[i]);
-                    out.u.vals.push(x[i]);
-                }
+            // --- Write U and L values for column k straight into the
+            // captured structure (explicit zeros included). ---
+            for &i in elim {
+                out.u.vals[upos] = x[i];
+                upos += 1;
             }
-            out.u.rows.push(k);
-            out.u.vals.push(pivot);
-            out.u.close_col();
+            out.u.vals[upos] = pivot;
+            upos += 1;
 
-            out.l.rows.push(ipiv);
-            out.l.vals.push(1.0);
-            for &i in pattern {
+            out.l.vals[lpos] = 1.0;
+            lpos += 1;
+            for &i in rest {
                 if pinv[i] > k {
-                    out.l.rows.push(i);
-                    out.l.vals.push(x[i] / pivot);
+                    out.l.vals[lpos] = x[i] / pivot;
+                    lpos += 1;
                 }
             }
-            out.l.close_col();
         }
-
-        // Rewrite L's row indices into pivot order, as the analysis does.
-        for r in &mut out.l.rows {
-            *r = pinv[*r];
-        }
+        debug_assert_eq!(lpos, self.l_nnz);
+        debug_assert_eq!(upos, self.u_nnz);
         Ok(())
     }
 }
@@ -361,6 +419,10 @@ pub struct LuEngine {
     /// MRU-first.
     slots: Vec<Slot>,
     scratch: Vec<f64>,
+    /// Ordering used by [`LuEngine::factorize`] (the no-arguments path
+    /// every solver loop calls). Defaults to [`Ordering::default`];
+    /// benches pin it to A/B orderings end to end.
+    ordering: Ordering,
 }
 
 impl Default for LuEngine {
@@ -384,14 +446,24 @@ impl LuEngine {
             capacity: capacity.max(1),
             slots: Vec::new(),
             scratch: Vec::new(),
+            ordering: Ordering::default(),
         }
+    }
+
+    /// Same engine, but [`LuEngine::factorize`] uses `ordering` instead
+    /// of the default. Lets a caller A/B a whole solver loop (Newton,
+    /// the N-1 sweep) under a pinned ordering without threading an
+    /// argument through every layer.
+    pub fn with_ordering(mut self, ordering: Ordering) -> LuEngine {
+        self.ordering = ordering;
+        self
     }
 
     /// Factors `a` with the default ordering and pivot threshold (the
     /// same defaults as [`SparseLu::factor`]), reusing a cached symbolic
     /// analysis when `a`'s pattern has been seen before.
     pub fn factorize(&mut self, a: &CsMat<f64>) -> Result<&SparseLu, SparseLuError> {
-        self.factorize_with(a, Ordering::default(), 0.1)
+        self.factorize_with(a, self.ordering, 0.1)
     }
 
     /// Factors `a` with explicit ordering and pivot threshold. The

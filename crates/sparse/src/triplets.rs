@@ -106,7 +106,11 @@ impl<T: Scalar> Triplets<T> {
             let (lo, hi) = (counts[r], counts[r + 1]);
             order.clear();
             order.extend(lo..hi);
-            order.sort_unstable_by_key(|&p| cols[p]);
+            // Tie-break equal columns on slot index: slots within a row
+            // are in push order, so duplicate accumulation order is the
+            // push order — the same order [`ScatterMap::scatter`] replays
+            // with its single sequential pass over the entries.
+            order.sort_unstable_by_key(|&p| (cols[p], p));
             let mut k = 0;
             while k < order.len() {
                 let c = cols[order[k]];
@@ -155,31 +159,40 @@ impl<T: Scalar> Triplets<T> {
         let mut out_cols = Vec::with_capacity(self.entries.len());
         let mut out_vals = Vec::with_capacity(self.entries.len());
         indptr.push(0);
-        let mut ord: Vec<usize> = Vec::with_capacity(self.entries.len());
-        let mut grp_ptr = vec![0usize];
-        let mut grp_dst: Vec<usize> = Vec::new();
+        let mut dst_of_raw = vec![usize::MAX; self.entries.len()];
+        let mut dropped_raw: Vec<usize> = Vec::new();
+        let mut dropped_ptr = vec![0usize];
         let mut order: Vec<usize> = Vec::new();
         for r in 0..self.rows {
             let (lo, hi) = (counts[r], counts[r + 1]);
             order.clear();
             order.extend(lo..hi);
-            order.sort_unstable_by_key(|&p| cols[p]);
+            // Same stable (column, push-order) key as [`Triplets::to_csr`]:
+            // duplicate accumulation order is the push order, which is what
+            // lets `scatter` replay it with one forward pass over the raw
+            // entries instead of a gather through an index array.
+            order.sort_unstable_by_key(|&p| (cols[p], p));
             let mut k = 0;
             while k < order.len() {
                 let c = cols[order[k]];
+                let start = k;
                 let mut acc = T::zero();
                 while k < order.len() && cols[order[k]] == c {
                     acc += vals[order[k]];
-                    ord.push(raw[order[k]]);
                     k += 1;
                 }
-                grp_ptr.push(ord.len());
                 if !acc.is_zero() {
-                    grp_dst.push(out_cols.len());
+                    let slot = out_cols.len();
+                    for &p in &order[start..k] {
+                        dst_of_raw[raw[p]] = slot;
+                    }
                     out_cols.push(c);
                     out_vals.push(acc);
                 } else {
-                    grp_dst.push(usize::MAX);
+                    for &p in &order[start..k] {
+                        dropped_raw.push(raw[p]);
+                    }
+                    dropped_ptr.push(dropped_raw.len());
                 }
             }
             indptr.push(out_cols.len());
@@ -192,9 +205,9 @@ impl<T: Scalar> Triplets<T> {
             nnz,
             raw_len: self.entries.len(),
             pos_fp: position_fingerprint(&self.entries),
-            ord,
-            grp_ptr,
-            grp_dst,
+            dst_of_raw,
+            dropped_raw,
+            dropped_ptr,
         };
         (mat, map)
     }
@@ -221,12 +234,16 @@ fn position_fingerprint<T: Scalar>(entries: &[(usize, usize, T)]) -> u64 {
 /// Built once by [`Triplets::to_csr_with_map`]; [`ScatterMap::scatter`]
 /// then refreshes only the values of an existing matrix for each later
 /// stamping of the *same* position sequence, with zero allocation. The
-/// accumulation replays the conversion's exact duplicate-summation order,
-/// so the refreshed values are bit-identical to what a fresh
-/// [`Triplets::to_csr`] would produce — or `scatter` reports `false` and
-/// the caller rebuilds, whenever the push sequence or the cancellation
-/// structure changed (a dropped position became nonzero, or a kept one
-/// cancelled to exact zero).
+/// plan is a raw-entry → value-slot map, so the refresh is one forward
+/// streaming pass over the freshly stamped entries — no index gather, no
+/// per-row sorting — which is what keeps Jacobian assembly from
+/// thrashing the cache at 10k-bus sizes. Duplicate accumulation lands in
+/// push order, the exact order [`Triplets::to_csr`] sums (its column
+/// sort tie-breaks on push order), so the refreshed values are
+/// bit-identical to what a fresh `to_csr()` would produce — or `scatter`
+/// reports `false` and the caller rebuilds, whenever the push sequence
+/// or the cancellation structure changed (a dropped position became
+/// nonzero, or a kept one cancelled to exact zero).
 #[derive(Clone, Debug)]
 pub struct ScatterMap {
     rows: usize,
@@ -234,14 +251,15 @@ pub struct ScatterMap {
     nnz: usize,
     raw_len: usize,
     pos_fp: u64,
-    /// Raw entry indices, grouped by output position in accumulation
-    /// order.
-    ord: Vec<usize>,
-    /// Group boundaries into `ord`; one group per accumulated position.
-    grp_ptr: Vec<usize>,
-    /// Per group: destination in the CSR value array, or `usize::MAX`
-    /// for positions that cancelled to exact zero and were dropped.
-    grp_dst: Vec<usize>,
+    /// Per raw entry (push order): destination slot in the CSR value
+    /// array, or `usize::MAX` when the entry belongs to a position that
+    /// cancelled to exact zero and was dropped from the pattern.
+    dst_of_raw: Vec<usize>,
+    /// Raw entry indices of the dropped positions, grouped by position
+    /// (`dropped_ptr` bounds), so `scatter` can verify each still
+    /// cancels.
+    dropped_raw: Vec<usize>,
+    dropped_ptr: Vec<usize>,
 }
 
 impl ScatterMap {
@@ -263,21 +281,31 @@ impl ScatterMap {
         {
             return false;
         }
+        // One forward pass: each slot accumulates its duplicates in push
+        // order, starting from zero — the same operation sequence as the
+        // conversion, so the values come out bit-identical.
         let vals = dst.values_mut();
-        for (g, &dst_pos) in self.grp_dst.iter().enumerate() {
+        for v in vals.iter_mut() {
+            *v = T::zero();
+        }
+        for (&d, e) in self.dst_of_raw.iter().zip(&t.entries) {
+            if d != usize::MAX {
+                vals[d] += e.2;
+            }
+        }
+        // A kept position that now cancels to exact zero would have been
+        // dropped by `to_csr` — pattern change, rebuild.
+        if vals.iter().any(|v| v.is_zero()) {
+            return false;
+        }
+        // Dropped positions must still cancel exactly.
+        for g in 0..self.dropped_ptr.len() - 1 {
             let mut acc = T::zero();
-            for &raw in &self.ord[self.grp_ptr[g]..self.grp_ptr[g + 1]] {
+            for &raw in &self.dropped_raw[self.dropped_ptr[g]..self.dropped_ptr[g + 1]] {
                 acc += t.entries[raw].2;
             }
-            if dst_pos == usize::MAX {
-                if !acc.is_zero() {
-                    return false;
-                }
-            } else {
-                if acc.is_zero() {
-                    return false;
-                }
-                vals[dst_pos] = acc;
+            if !acc.is_zero() {
+                return false;
             }
         }
         true

@@ -1,0 +1,119 @@
+//! Property tests for the fill-reducing orderings.
+//!
+//! Contracts under test on random power-grid-like patterns (2D grid
+//! graphs — ring/mesh structure — plus random long-range chords, the
+//! shape of every Ybus/Jacobian in the stack):
+//!
+//! 1. Both [`Ordering::Amd`] and [`Ordering::MinDegree`] always return a
+//!    valid permutation of `0..n`.
+//! 2. AMD's fill never exceeds 1.1x the greedy min-degree fill — the
+//!    supervariable/quotient-graph approximation must not buy its speed
+//!    with fill on the matrices the solvers actually factor.
+//! 3. AMD is deterministic: the same pattern orders identically on
+//!    repeated calls.
+
+use gm_sparse::{CsMat, Ordering, SparseLu, Triplets};
+use proptest::prelude::*;
+
+/// Grid graph (nx x ny Laplacian-style pattern) with extra symmetric
+/// chords, diagonally dominant so elimination stays on the diagonal and
+/// fill reflects the ordering rather than pivoting churn.
+fn grid_with_chords(nx: usize, ny: usize, chords: &[(usize, usize)]) -> CsMat<f64> {
+    let n = nx * ny;
+    let mut t = Triplets::new(n, n);
+    for i in 0..n {
+        t.push(i, i, 16.0 + (i % 7) as f64);
+    }
+    let mut couple = |a: usize, b: usize| {
+        t.push(a, b, -1.0);
+        t.push(b, a, -1.0);
+    };
+    for y in 0..ny {
+        for x in 0..nx {
+            let a = y * nx + x;
+            if x + 1 < nx {
+                couple(a, a + 1);
+            }
+            if y + 1 < ny {
+                couple(a, a + nx);
+            }
+        }
+    }
+    for &(a, b) in chords {
+        let (a, b) = (a % n, b % n);
+        if a != b {
+            couple(a, b);
+        }
+    }
+    t.to_csr()
+}
+
+fn assert_valid_permutation(p: &[usize], n: usize) {
+    assert_eq!(p.len(), n);
+    let mut seen = vec![false; n];
+    for &v in p {
+        assert!(v < n && !seen[v], "invalid permutation entry {v}");
+        seen[v] = true;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn both_orderings_yield_valid_permutations(
+        nx in 2usize..14,
+        ny in 2usize..14,
+        chords in proptest::collection::vec((0usize..200, 0usize..200), 0..24),
+    ) {
+        let a = grid_with_chords(nx, ny, &chords);
+        let n = a.rows();
+        let amd = Ordering::Amd.permutation(&a).unwrap();
+        let greedy = Ordering::MinDegree.permutation(&a).unwrap();
+        assert_valid_permutation(&amd, n);
+        assert_valid_permutation(&greedy, n);
+    }
+
+    #[test]
+    fn amd_fill_within_ten_percent_of_greedy(
+        nx in 3usize..14,
+        ny in 3usize..14,
+        chords in proptest::collection::vec((0usize..200, 0usize..200), 0..16),
+    ) {
+        let a = grid_with_chords(nx, ny, &chords);
+        let amd = SparseLu::factor_with(&a, Ordering::Amd, 0.1).unwrap();
+        let greedy = SparseLu::factor_with(&a, Ordering::MinDegree, 0.1).unwrap();
+        let (fa, fg) = (amd.factor_nnz() as f64, greedy.factor_nnz() as f64);
+        prop_assert!(
+            fa <= fg * 1.1,
+            "AMD fill {fa} exceeds 1.1x greedy fill {fg} on {nx}x{ny} + {} chords",
+            chords.len()
+        );
+    }
+
+    #[test]
+    fn amd_is_deterministic(
+        nx in 2usize..12,
+        ny in 2usize..12,
+        chords in proptest::collection::vec((0usize..150, 0usize..150), 0..16),
+    ) {
+        let a = grid_with_chords(nx, ny, &chords);
+        let p1 = Ordering::Amd.permutation(&a).unwrap();
+        let p2 = Ordering::Amd.permutation(&a).unwrap();
+        prop_assert_eq!(p1, p2);
+    }
+}
+
+/// Non-square patterns surface as typed errors from both orderings, not
+/// panics (the serve workers route arbitrary matrices here).
+#[test]
+fn rectangular_pattern_is_a_typed_error() {
+    let mut t = Triplets::new(3, 4);
+    t.push(0, 0, 1.0);
+    t.push(2, 3, 1.0);
+    let a = t.to_csr();
+    for ordering in [Ordering::Natural, Ordering::MinDegree, Ordering::Amd] {
+        let err = ordering.permutation(&a).unwrap_err();
+        assert_eq!(err, gm_sparse::OrderingError::NotSquare { shape: (3, 4) });
+    }
+}

@@ -126,8 +126,11 @@ proptest! {
         // The engine path is always safe: fallback or not, the answer
         // matches the fresh factorization bit for bit.
         let mut engine = LuEngine::new();
-        engine.factorize(&good).unwrap();
-        let x_engine = engine.factorize(&bad).unwrap().solve(&rhs);
+        engine.factorize_with(&good, Ordering::MinDegree, 0.1).unwrap();
+        let x_engine = engine
+            .factorize_with(&bad, Ordering::MinDegree, 0.1)
+            .unwrap()
+            .solve(&rhs);
         prop_assert_eq!(x_engine, x_fresh);
     }
 }

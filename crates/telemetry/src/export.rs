@@ -259,6 +259,10 @@ pub const REQUIRED_SOLVER_METRICS: &[&str] = &[
     "sparse.lu.factorizations",
     "sparse.symbolic.build",
     "sparse.symbolic.reuse",
+    // The AMD ordering is the default fill-reducing preorder: any
+    // instrumented session that factors at all must have ordered
+    // through it at least once.
+    "sparse.amd.orders",
     "acopf.ipm.solves",
     "acopf.ipm.iterations",
     "ca.outages_evaluated",

@@ -159,6 +159,8 @@ proptest! {
             rating_margin: 1.0,
         };
         let net = synth::generate(&spec);
+        prop_assert!(net.is_ok(), "seed {seed}, n_bus {n_bus}: {:?}", net.err());
+        let net = net.unwrap();
         prop_assert!(net.validate().is_ok());
         // Newton power flow must converge on every generated network.
         let rep = gm_powerflow::solve(
